@@ -1,0 +1,76 @@
+// E2 — De-anonymization time vs. δk (full reversal L^1 -> L0).
+// Paper expectation: de-anonymization is of the same order as
+// anonymization; RPLE reversal is cheaper than RGE's (table replay vs
+// frontier rebuild per step).
+#include "bench/common.h"
+
+using namespace rcloak;
+using namespace rcloak::bench;
+
+int main() {
+  PrintHeader("E2: de-anonymization time vs delta_k",
+              "Mean time (ms) to reduce the cloaked region back to the "
+              "exact segment (all keys granted); 20 origins per point.");
+
+  Workload workload = MakeAtlantaWorkload();
+  core::Anonymizer anonymizer(workload.net, workload.occupancy);
+  core::Deanonymizer deanonymizer(workload.net);
+  if (const auto status = anonymizer.EnsurePreassigned(); !status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  // Warm-up: the de-anonymizer rebuilds the RPLE tables lazily on first
+  // use; that one-off cost belongs to E6, not to per-request latency.
+  {
+    core::AnonymizeRequest warmup;
+    warmup.origin = workload.origins.front();
+    warmup.profile = core::PrivacyProfile::SingleLevel({5, 2, 1e9});
+    warmup.algorithm = core::Algorithm::kRple;
+    warmup.context = "e2/warmup";
+    const auto keys = crypto::KeyChain::FromSeed(1, 1);
+    if (const auto result = anonymizer.Anonymize(warmup, keys); result.ok()) {
+      (void)deanonymizer.Reduce(result->artifact, AllKeys(keys), 0);
+    }
+  }
+
+  TableWriter table(
+      {"delta_k", "RGE_deanon_ms", "RPLE_deanon_ms", "verified"});
+  for (const std::uint32_t k : {5u, 10u, 20u, 40u, 80u}) {
+    Samples rge_ms, rple_ms;
+    int verified = 0, attempts = 0;
+    int request_id = 0;
+    for (const auto origin : workload.origins) {
+      const auto keys = crypto::KeyChain::FromSeed(1700 + request_id, 1);
+      core::AnonymizeRequest request;
+      request.origin = origin;
+      request.profile =
+          core::PrivacyProfile::SingleLevel({k, 3, 1e9});
+      request.context = "e2/" + std::to_string(k) + "/" +
+                        std::to_string(request_id++);
+      for (const auto algorithm :
+           {core::Algorithm::kRge, core::Algorithm::kRple}) {
+        request.algorithm = algorithm;
+        const auto result = anonymizer.Anonymize(request, keys);
+        if (!result.ok()) continue;
+        ++attempts;
+        Stopwatch timer;
+        const auto reduced =
+            deanonymizer.Reduce(result->artifact, AllKeys(keys), 0);
+        const double elapsed = timer.ElapsedMillis();
+        if (!reduced.ok()) continue;
+        (algorithm == core::Algorithm::kRge ? rge_ms : rple_ms).Add(elapsed);
+        if (reduced->size() == 1 &&
+            reduced->segments_by_id().front() == origin) {
+          ++verified;
+        }
+      }
+    }
+    table.AddRow({TableWriter::Int(k), TableWriter::Fixed(rge_ms.Mean(), 3),
+                  TableWriter::Fixed(rple_ms.Mean(), 3),
+                  TableWriter::Int(verified) + "/" +
+                      TableWriter::Int(attempts)});
+  }
+  table.PrintMarkdown(std::cout);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E7 — Multi-level cost: anonymization/de-anonymization time and per-level
+// region sizes vs. number of privacy levels N.
+// Paper expectation: cost grows with N (each level continues the
+// expansion); level regions nest strictly.
+#include "bench/common.h"
+
+using namespace rcloak;
+using namespace rcloak::bench;
+
+int main() {
+  PrintHeader("E7: multi-level cost vs N",
+              "DefaultLadder profile (k1=5 doubling); mean over 10 origins. "
+              "sizes = outermost-level mean #segments.");
+
+  Workload workload = MakeAtlantaWorkload(/*num_origins=*/10);
+  core::Anonymizer anonymizer(workload.net, workload.occupancy);
+  core::Deanonymizer deanonymizer(workload.net);
+  if (const auto status = anonymizer.EnsurePreassigned(); !status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  // Warm-up the de-anonymizer's lazy RPLE table build (measured in E6).
+  {
+    core::AnonymizeRequest warmup;
+    warmup.origin = workload.origins.front();
+    warmup.profile = core::PrivacyProfile::SingleLevel({5, 2, 1e9});
+    warmup.algorithm = core::Algorithm::kRple;
+    warmup.context = "e7/warmup";
+    const auto keys = crypto::KeyChain::FromSeed(1, 1);
+    if (const auto result = anonymizer.Anonymize(warmup, keys); result.ok()) {
+      (void)deanonymizer.Reduce(result->artifact, AllKeys(keys), 0);
+    }
+  }
+
+  TableWriter table({"levels", "algo", "anon_ms", "deanon_to_L0_ms",
+                     "outer_segs", "ok"});
+  for (const int levels : {1, 2, 3, 4, 5, 6}) {
+    for (const auto algorithm :
+         {core::Algorithm::kRge, core::Algorithm::kRple}) {
+      Samples anon_ms, deanon_ms, outer;
+      int ok = 0;
+      int request_id = 0;
+      for (const auto origin : workload.origins) {
+        const auto keys = crypto::KeyChain::FromSeed(
+            5200 + request_id, levels);
+        core::AnonymizeRequest request;
+        request.origin = origin;
+        request.profile = core::PrivacyProfile::DefaultLadder(levels);
+        request.algorithm = algorithm;
+        request.context = "e7/" + std::to_string(levels) + "/" +
+                          std::to_string(request_id++);
+        Stopwatch anon_timer;
+        const auto result = anonymizer.Anonymize(request, keys);
+        if (!result.ok()) continue;
+        anon_ms.Add(anon_timer.ElapsedMillis());
+        outer.Add(
+            static_cast<double>(result->artifact.region_segments.size()));
+        Stopwatch deanon_timer;
+        const auto reduced =
+            deanonymizer.Reduce(result->artifact, AllKeys(keys), 0);
+        if (reduced.ok() && reduced->size() == 1 &&
+            reduced->segments_by_id().front() == origin) {
+          deanon_ms.Add(deanon_timer.ElapsedMillis());
+          ++ok;
+        }
+      }
+      table.AddRow({TableWriter::Int(levels),
+                    std::string(core::AlgorithmName(algorithm)),
+                    TableWriter::Fixed(anon_ms.Mean(), 3),
+                    TableWriter::Fixed(deanon_ms.Mean(), 3),
+                    TableWriter::Fixed(outer.Mean(), 1),
+                    TableWriter::Int(ok) + "/" +
+                        TableWriter::Int(static_cast<long long>(
+                            workload.origins.size()))});
+    }
+  }
+  table.PrintMarkdown(std::cout);
+  return 0;
+}

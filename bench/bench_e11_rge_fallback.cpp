@@ -1,0 +1,47 @@
+// E11 — Ablation: how often RGE's collision-avoidance rebuild (candidate
+// ring expansion, DESIGN.md §3) actually fires, vs. δk.
+// Expectation: on a road network the ring-1 frontier usually outgrows the
+// region, so fallbacks are rare and concentrated at small frontiers /
+// large k.
+#include "bench/common.h"
+
+using namespace rcloak;
+using namespace rcloak::bench;
+
+int main() {
+  PrintHeader("E11: RGE ring-fallback ablation",
+              "ring_fallbacks / transitions and max rings used, vs delta_k; "
+              "20 origins per point (atlanta workload).");
+
+  Workload workload = MakeAtlantaWorkload();
+
+  TableWriter table({"delta_k", "transitions", "fallbacks", "fallback_rate",
+                     "max_rings"});
+  for (const std::uint32_t k : {5u, 10u, 20u, 40u, 80u, 160u}) {
+    core::RgeStats stats;
+    int request_id = 0;
+    for (const auto origin : workload.origins) {
+      const auto key = crypto::AccessKey::FromSeed(8200 + request_id);
+      core::CloakRegion region(workload.net);
+      region.Insert(origin);
+      roadnet::SegmentId chain = origin;
+      (void)core::RgeAnonymizeLevel(
+          workload.occupancy, region, chain, key,
+          "e11/" + std::to_string(k) + "/" + std::to_string(request_id++), 1,
+          {k, 3, 1e9}, &stats);
+    }
+    table.AddRow(
+        {TableWriter::Int(k),
+         TableWriter::Int(static_cast<long long>(stats.transitions)),
+         TableWriter::Int(static_cast<long long>(stats.ring_fallbacks)),
+         TableWriter::Fixed(
+             stats.transitions
+                 ? static_cast<double>(stats.ring_fallbacks) /
+                       static_cast<double>(stats.transitions)
+                 : 0.0,
+             4),
+         TableWriter::Int(stats.max_rings)});
+  }
+  table.PrintMarkdown(std::cout);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E13 — Crypto/PRNG microbenchmarks (google-benchmark): the per-transition
+// draw cost bounds how cheap a cloaking step can be.
+#include <benchmark/benchmark.h>
+
+#include "crypto/chacha20.h"
+#include "crypto/keyed_prng.h"
+#include "crypto/sha256.h"
+#include "crypto/siphash.h"
+
+namespace {
+
+using namespace rcloak;
+using namespace rcloak::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(32, 0x11);
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_HkdfExpand(benchmark::State& state) {
+  const Bytes ikm(32, 0x22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HkdfSha256(ikm, {}, {'l', 'v', 'l'}, 32));
+  }
+}
+BENCHMARK(BM_HkdfExpand);
+
+void BM_ChaCha20Block(benchmark::State& state) {
+  std::array<std::uint8_t, 32> key{};
+  std::array<std::uint8_t, 12> nonce{};
+  std::uint32_t counter = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ChaCha20::Block(key, nonce, counter++));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ChaCha20Block);
+
+void BM_SipHash(benchmark::State& state) {
+  SipKey key{};
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0x33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SipHash24(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SipHash)->Arg(8)->Arg(64);
+
+void BM_KeyedPrngSequentialDraws(benchmark::State& state) {
+  const KeyedPrng prng(AccessKey::FromSeed(1), "bench");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prng.Draw(i++));
+  }
+}
+BENCHMARK(BM_KeyedPrngSequentialDraws);
+
+void BM_KeyedPrngRandomAccessDraws(benchmark::State& state) {
+  const KeyedPrng prng(AccessKey::FromSeed(1), "bench");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    // Stride 9 defeats the single-block cache: worst case.
+    benchmark::DoNotOptimize(prng.Draw(i += 9));
+  }
+}
+BENCHMARK(BM_KeyedPrngRandomAccessDraws);
+
+void BM_KeyedPrngConstruction(benchmark::State& state) {
+  const AccessKey key = AccessKey::FromSeed(2);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KeyedPrng(key, "ctx" + std::to_string(++i)));
+  }
+}
+BENCHMARK(BM_KeyedPrngConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

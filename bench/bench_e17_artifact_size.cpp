@@ -1,0 +1,72 @@
+// E17 — Ablation: wire size of the cloaked artifact vs δk and level count.
+// The artifact is what the mobile client uploads to the LBS on every
+// request; RPLE artifacts carry the blinded walk metadata, RGE ones only a
+// seal per level. Expectation: RGE bytes ≈ linear in region size (delta-
+// coded id list dominates); RPLE adds the padded step-bit payload.
+#include "bench/common.h"
+#include "core/artifact.h"
+
+using namespace rcloak;
+using namespace rcloak::bench;
+
+int main() {
+  PrintHeader("E17: artifact wire size",
+              "Mean encoded CloakedArtifact bytes over 20 origins.");
+
+  Workload workload = MakeAtlantaWorkload();
+  core::Anonymizer anonymizer(workload.net, workload.occupancy);
+  if (const auto status = anonymizer.EnsurePreassigned(); !status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  TableWriter table({"levels", "delta_k_outer", "RGE_bytes", "RPLE_bytes",
+                     "RGE_bytes_per_seg", "RPLE_bytes_per_seg"});
+  for (const int levels : {1, 2, 3}) {
+    for (const std::uint32_t k_base : {10u, 40u}) {
+      Samples rge_bytes, rple_bytes, rge_per_seg, rple_per_seg;
+      int request_id = 0;
+      for (const auto origin : workload.origins) {
+        std::vector<core::LevelRequirement> reqs;
+        for (int level = 1; level <= levels; ++level) {
+          reqs.push_back({k_base * static_cast<std::uint32_t>(level),
+                          2u * static_cast<std::uint32_t>(level), 1e9});
+        }
+        const auto keys = crypto::KeyChain::FromSeed(12000 + request_id,
+                                                     levels);
+        core::AnonymizeRequest request;
+        request.origin = origin;
+        request.profile = core::PrivacyProfile(reqs);
+        request.context = "e17/" + std::to_string(levels) + "/" +
+                          std::to_string(k_base) + "/" +
+                          std::to_string(request_id++);
+        for (const auto algorithm :
+             {core::Algorithm::kRge, core::Algorithm::kRple}) {
+          request.algorithm = algorithm;
+          const auto result = anonymizer.Anonymize(request, keys);
+          if (!result.ok()) continue;
+          const double bytes = static_cast<double>(
+              core::EncodeArtifact(result->artifact).size());
+          const double per_seg =
+              bytes / static_cast<double>(
+                          result->artifact.region_segments.size());
+          if (algorithm == core::Algorithm::kRge) {
+            rge_bytes.Add(bytes);
+            rge_per_seg.Add(per_seg);
+          } else {
+            rple_bytes.Add(bytes);
+            rple_per_seg.Add(per_seg);
+          }
+        }
+      }
+      table.AddRow({TableWriter::Int(levels),
+                    TableWriter::Int(k_base * levels),
+                    TableWriter::Fixed(rge_bytes.Mean(), 0),
+                    TableWriter::Fixed(rple_bytes.Mean(), 0),
+                    TableWriter::Fixed(rge_per_seg.Mean(), 1),
+                    TableWriter::Fixed(rple_per_seg.Mean(), 1)});
+    }
+  }
+  table.PrintMarkdown(std::cout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// E18 — Anonymization-server throughput vs. worker count.
+// Expectation: near-linear scaling for the CPU-bound RGE workload until
+// core count; RPLE requests are so cheap that queue overhead dominates.
+#include "bench/common.h"
+#include "server/anonymization_server.h"
+
+using namespace rcloak;
+using namespace rcloak::bench;
+
+int main() {
+  PrintHeader("E18: server throughput vs workers",
+              "400 requests (delta_k=40, RGE) through the worker-pool "
+              "server on the atlanta workload; wall time and requests/s.");
+
+  Workload workload = MakeAtlantaWorkload(/*num_origins=*/40);
+
+  TableWriter table({"workers", "wall_ms", "req_per_s", "mean_latency_ms",
+                     "p95_latency_ms", "ok"});
+  for (const int workers : {1, 2, 4, 8}) {
+    core::Anonymizer engine(workload.net, workload.occupancy);
+    server::ServerOptions options;
+    options.num_workers = workers;
+    options.max_queue = 4096;
+    server::AnonymizationServer server(std::move(engine), options);
+
+    constexpr int kJobs = 400;
+    std::vector<std::future<StatusOr<core::AnonymizeResult>>> futures;
+    futures.reserve(kJobs);
+    Stopwatch wall;
+    for (int i = 0; i < kJobs; ++i) {
+      core::AnonymizeRequest request;
+      request.origin =
+          workload.origins[static_cast<std::size_t>(i) %
+                           workload.origins.size()];
+      request.profile = core::PrivacyProfile::SingleLevel({40, 3, 1e9});
+      request.algorithm = core::Algorithm::kRge;
+      request.context = "e18/" + std::to_string(workers) + "/" +
+                        std::to_string(i);
+      auto submitted = server.Submit(
+          std::move(request),
+          crypto::KeyChain::FromSeed(13000 + static_cast<std::uint64_t>(i),
+                                     1));
+      if (submitted.ok()) futures.push_back(std::move(*submitted));
+    }
+    server.Drain();
+    const double wall_ms = wall.ElapsedMillis();
+    int ok = 0;
+    for (auto& f : futures) {
+      if (f.get().ok()) ++ok;
+    }
+    const auto stats = server.stats();
+    table.AddRow({TableWriter::Int(workers), TableWriter::Fixed(wall_ms, 1),
+                  TableWriter::Fixed(kJobs / (wall_ms / 1000.0), 0),
+                  TableWriter::Fixed(stats.mean_latency_ms, 3),
+                  TableWriter::Fixed(stats.p95_latency_ms, 3),
+                  TableWriter::Int(ok) + "/" + TableWriter::Int(kJobs)});
+  }
+  table.PrintMarkdown(std::cout);
+  return 0;
+}

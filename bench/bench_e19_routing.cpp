@@ -1,0 +1,67 @@
+// E19 — Routing substrate ablation: Dijkstra vs A* (Euclidean) vs ALT
+// (landmarks) on the atlanta-scale map. The mobility simulator routes every
+// spawned car, so this bounds trace-generation cost.
+// Expectation: identical costs (all exact), strictly fewer settled nodes /
+// less time from Dijkstra -> A* -> ALT; ALT pays O(L*V) memory.
+#include "bench/common.h"
+#include "roadnet/alt_routing.h"
+
+using namespace rcloak;
+using namespace rcloak::bench;
+
+int main() {
+  PrintHeader("E19: routing ablation (Dijkstra / A* / ALT)",
+              "200 random routes on the atlanta-scale map; mean per-route "
+              "time; all three must agree on path cost.");
+
+  const auto net = roadnet::MakePerturbedGrid(roadnet::AtlantaNwProfile());
+  Xoshiro256 rng(3);
+  std::vector<std::pair<roadnet::JunctionId, roadnet::JunctionId>> queries;
+  for (int i = 0; i < 200; ++i) {
+    queries.emplace_back(
+        roadnet::JunctionId{static_cast<std::uint32_t>(
+            rng.NextBounded(net.junction_count()))},
+        roadnet::JunctionId{static_cast<std::uint32_t>(
+            rng.NextBounded(net.junction_count()))});
+  }
+
+  Stopwatch preprocess;
+  const roadnet::AltRouter alt(net, /*num_landmarks=*/8);
+  const double preprocess_ms = preprocess.ElapsedMillis();
+
+  Samples dijkstra_ms, astar_ms, alt_ms;
+  int mismatches = 0;
+  for (const auto& [s, t] : queries) {
+    Stopwatch t1;
+    const auto d = roadnet::ShortestPath(net, s, t);
+    dijkstra_ms.Add(t1.ElapsedMillis());
+    Stopwatch t2;
+    const auto a = roadnet::ShortestPathAStar(net, s, t);
+    astar_ms.Add(t2.ElapsedMillis());
+    Stopwatch t3;
+    const auto l = alt.Route(s, t);
+    alt_ms.Add(t3.ElapsedMillis());
+    const bool same =
+        d.has_value() == a.has_value() && a.has_value() == l.has_value() &&
+        (!d || (std::abs(d->cost - a->cost) < 1e-6 &&
+                std::abs(d->cost - l->cost) < 1e-6));
+    if (!same) ++mismatches;
+  }
+
+  TableWriter table({"router", "mean_ms", "p95_ms", "preprocess_ms",
+                     "memory_MB", "cost_mismatches"});
+  table.AddRow({"Dijkstra", TableWriter::Fixed(dijkstra_ms.Mean(), 3),
+                TableWriter::Fixed(dijkstra_ms.Percentile(95), 3), "0", "0",
+                TableWriter::Int(mismatches)});
+  table.AddRow({"A*-euclid", TableWriter::Fixed(astar_ms.Mean(), 3),
+                TableWriter::Fixed(astar_ms.Percentile(95), 3), "0", "0",
+                TableWriter::Int(mismatches)});
+  table.AddRow(
+      {"ALT-8", TableWriter::Fixed(alt_ms.Mean(), 3),
+       TableWriter::Fixed(alt_ms.Percentile(95), 3),
+       TableWriter::Fixed(preprocess_ms, 1),
+       TableWriter::Fixed(static_cast<double>(alt.MemoryBytes()) / 1e6, 2),
+       TableWriter::Int(mismatches)});
+  table.PrintMarkdown(std::cout);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared fixture for the experiment binaries (E1..E14): the calibrated
+// NW-Atlanta-scale map, the 10,000-car Gaussian population of §IV, and
+// sweep helpers. Every binary prints one Markdown table, mirroring one
+// figure/table of the evaluation (see DESIGN.md §4 and EXPERIMENTS.md).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "attack/adversary.h"
+#include "baseline/random_expand.h"
+#include "core/reversecloak.h"
+#include "mobility/simulator.h"
+#include "roadnet/generators.h"
+#include "roadnet/graph_stats.h"
+#include "roadnet/spatial_index.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table_writer.h"
+
+namespace rcloak::bench {
+
+struct Workload {
+  roadnet::RoadNetwork net;
+  mobility::OccupancySnapshot occupancy;
+  std::vector<roadnet::SegmentId> origins;
+
+  Workload(roadnet::RoadNetwork network,
+           mobility::OccupancySnapshot snapshot)
+      : net(std::move(network)), occupancy(std::move(snapshot)) {}
+};
+
+// The paper's setting: NW-Atlanta-scale map, 10k cars, Gaussian spawn.
+// `num_origins` query origins are drawn uniformly from occupied segments
+// (a cloaking request comes from a real user).
+inline Workload MakeAtlantaWorkload(std::size_t num_origins = 20,
+                                    std::uint32_t num_cars = 10000,
+                                    std::uint64_t seed = 42) {
+  roadnet::RoadNetwork net =
+      roadnet::MakePerturbedGrid(roadnet::AtlantaNwProfile(seed));
+  const roadnet::SpatialIndex index(net);
+  mobility::SpawnOptions spawn;
+  spawn.num_cars = num_cars;
+  spawn.seed = seed + 1;
+  const auto cars = mobility::SpawnCars(net, index, spawn);
+  auto occupancy = mobility::Occupancy(net, cars);
+  Workload workload(std::move(net), std::move(occupancy));
+  Xoshiro256 rng(seed + 2);
+  while (workload.origins.size() < num_origins) {
+    const roadnet::SegmentId candidate{static_cast<std::uint32_t>(
+        rng.NextBounded(workload.net.segment_count()))};
+    if (workload.occupancy.count(candidate) > 0) {
+      workload.origins.push_back(candidate);
+    }
+  }
+  return workload;
+}
+
+inline void PrintHeader(const std::string& title,
+                        const std::string& paper_axis) {
+  std::cout << "\n## " << title << "\n";
+  std::cout << paper_axis << "\n\n";
+}
+
+inline std::map<int, crypto::AccessKey> AllKeys(
+    const crypto::KeyChain& keys) {
+  std::map<int, crypto::AccessKey> granted;
+  for (int level = 1; level <= keys.num_levels(); ++level) {
+    granted.emplace(level, keys.LevelKey(level));
+  }
+  return granted;
+}
+
+}  // namespace rcloak::bench

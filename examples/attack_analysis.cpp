@@ -1,0 +1,70 @@
+// Attack analysis walkthrough: what different adversaries learn from one
+// cloaked artifact — the paper's central security claim made executable.
+#include <iostream>
+
+#include "attack/adversary.h"
+#include "core/reversecloak.h"
+#include "roadnet/generators.h"
+
+using namespace rcloak;
+
+int main() {
+  const auto net = roadnet::MakeGrid({16, 16, 100.0});
+  mobility::OccupancySnapshot occupancy(net.segment_count());
+  for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+    occupancy.Add(roadnet::SegmentId{i});
+  }
+  core::Anonymizer anonymizer(net, occupancy);
+  core::Deanonymizer deanonymizer(net);
+
+  core::AnonymizeRequest request;
+  request.origin = roadnet::SegmentId{240};
+  request.profile = core::PrivacyProfile::SingleLevel({16, 5, 1e9});
+  request.algorithm = core::Algorithm::kRge;
+  request.context = "attack-demo/1";
+  const auto keys = crypto::KeyChain::FromSeed(4242, 1);
+
+  const auto result = anonymizer.Anonymize(request, keys);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  const auto region = core::CloakRegion::FromSegments(
+      net, result->artifact.region_segments);
+  std::cout << "Cloaked region: " << region.size()
+            << " segments; true origin: segment "
+            << roadnet::Index(request.origin) << "\n\n";
+
+  std::cout << "-- Adversary 1: keyless, heuristic guesses --\n";
+  const auto heuristics = attack::RunHeuristicAttacks(
+      net, occupancy, region, request.origin);
+  std::cout << "  uniform guess success prob: "
+            << heuristics.uniform_success << "\n";
+  std::cout << "  centroid heuristic hit: "
+            << (heuristics.centroid_hit ? "yes" : "no") << "\n";
+  std::cout << "  max-degree heuristic hit: "
+            << (heuristics.degree_hit ? "yes" : "no") << "\n";
+  std::cout << "  max-occupancy heuristic hit: "
+            << (heuristics.occupancy_hit ? "yes" : "no") << "\n\n";
+
+  std::cout << "-- Adversary 2: keyless, knows the full algorithm "
+               "(Monte-Carlo posterior over keys) --\n";
+  const auto posterior = attack::EstimatePosterior(
+      anonymizer, request, region, /*trials_per_candidate=*/40, /*seed=*/5);
+  std::cout << "  posterior entropy: " << posterior.entropy_bits
+            << " bits (uniform over region would be "
+            << posterior.max_entropy_bits << ")\n";
+  std::cout << "  posterior mass on true origin: "
+            << posterior.true_origin_mass << " (uniform share: "
+            << posterior.uniform_mass << ")\n";
+  std::cout << "  region reproductions observed: "
+            << posterior.reproductions << "/" << posterior.trials
+            << " trials\n\n";
+
+  std::cout << "-- Requester with the access key --\n";
+  const bool recovered = attack::WithKeyRecovery(
+      deanonymizer, result->artifact, keys, request.origin);
+  std::cout << "  de-anonymization recovers the exact origin: "
+            << (recovered ? "yes" : "no") << "\n";
+  return recovered ? 0 : 1;
+}

@@ -1,0 +1,139 @@
+// De-anonymizer CLI — the command-line counterpart of the demo's
+// 'De-anonymizer' GUI. Reads a map file, an artifact file and hex access
+// keys, and reduces the cloaked region to the requested privacy level.
+//
+// Usage:
+//   deanonymizer_cli <map.rcmap> <artifact.bin> <target_level>
+//                    [<level>:<hexkey> ...]
+//
+// A companion mode generates the inputs first:
+//   deanonymizer_cli --make-demo <dir>
+// writes <dir>/demo.rcmap, <dir>/demo.artifact and prints the keys, so the
+// tool can be exercised standalone.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/artifact.h"
+#include "core/reversecloak.h"
+#include "mobility/simulator.h"
+#include "roadnet/generators.h"
+#include "roadnet/io.h"
+#include "roadnet/spatial_index.h"
+
+using namespace rcloak;
+
+namespace {
+
+int MakeDemo(const std::string& dir) {
+  const auto net = roadnet::MakeGrid({12, 12, 100.0});
+  const std::string map_path = dir + "/demo.rcmap";
+  if (const auto status = roadnet::SaveNetworkFile(map_path, net);
+      !status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  mobility::OccupancySnapshot occupancy(net.segment_count());
+  for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+    occupancy.Add(roadnet::SegmentId{i});
+  }
+  core::Anonymizer anonymizer(net, std::move(occupancy));
+  const auto keys = crypto::KeyChain::RandomKeys(2);
+  core::AnonymizeRequest request;
+  request.origin = roadnet::SegmentId{100};
+  request.profile = core::PrivacyProfile({{8, 3, 1e9}, {25, 8, 1e9}});
+  request.algorithm = core::Algorithm::kRge;
+  request.context = "cli-demo/1";
+  const auto result = anonymizer.Anonymize(request, keys);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  const Bytes wire = core::EncodeArtifact(result->artifact);
+  const std::string artifact_path = dir + "/demo.artifact";
+  std::ofstream os(artifact_path, std::ios::binary);
+  os.write(reinterpret_cast<const char*>(wire.data()),
+           static_cast<std::streamsize>(wire.size()));
+  if (!os.good()) {
+    std::cerr << "cannot write " << artifact_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << map_path << " and " << artifact_path << "\n";
+  std::cout << "true origin: segment " << roadnet::Index(request.origin)
+            << "\n";
+  std::cout << "try:\n  deanonymizer_cli " << map_path << " "
+            << artifact_path << " 0 1:" << keys.LevelKey(1).ToHex()
+            << " 2:" << keys.LevelKey(2).ToHex() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::string(argv[1]) == "--make-demo") {
+    return MakeDemo(argv[2]);
+  }
+  if (argc < 4) {
+    std::cerr << "usage: " << argv[0]
+              << " <map.rcmap> <artifact.bin> <target_level> "
+                 "[<level>:<hexkey> ...]\n"
+              << "       " << argv[0] << " --make-demo <dir>\n";
+    return 2;
+  }
+
+  const auto net = roadnet::LoadNetworkFile(argv[1]);
+  if (!net.ok()) {
+    std::cerr << "map: " << net.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::ifstream is(argv[2], std::ios::binary);
+  if (!is) {
+    std::cerr << "cannot open artifact " << argv[2] << "\n";
+    return 1;
+  }
+  Bytes wire((std::istreambuf_iterator<char>(is)),
+             std::istreambuf_iterator<char>());
+  const auto artifact = core::DecodeArtifact(wire);
+  if (!artifact.ok()) {
+    std::cerr << "artifact: " << artifact.status().ToString() << "\n";
+    return 1;
+  }
+
+  const int target_level = std::atoi(argv[3]);
+  std::map<int, crypto::AccessKey> granted;
+  for (int i = 4; i < argc; ++i) {
+    const std::string spec = argv[i];
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos) {
+      std::cerr << "bad key spec (want level:hexkey): " << spec << "\n";
+      return 2;
+    }
+    const int level = std::atoi(spec.substr(0, colon).c_str());
+    const auto key = crypto::AccessKey::FromHex(spec.substr(colon + 1));
+    if (!key || level < 1) {
+      std::cerr << "bad key spec: " << spec << "\n";
+      return 2;
+    }
+    granted.emplace(level, *key);
+  }
+
+  std::cout << "artifact: " << core::AlgorithmName(artifact->algorithm)
+            << ", " << artifact->num_levels() << " level(s), region "
+            << artifact->region_segments.size() << " segments, context '"
+            << artifact->context << "'\n";
+
+  core::Deanonymizer deanonymizer(*net);
+  const auto region = deanonymizer.Reduce(*artifact, granted, target_level);
+  if (!region.ok()) {
+    std::cerr << "reduce: " << region.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "L" << target_level << " region (" << region->size()
+            << " segments):";
+  for (const auto sid : region->segments_by_id()) {
+    std::cout << " s" << roadnet::Index(sid);
+  }
+  std::cout << "\n";
+  return 0;
+}

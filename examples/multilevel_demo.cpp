@@ -1,0 +1,70 @@
+// Multilevel demo (paper Fig. 1): one location cloaked under three privacy
+// levels, rendered as nested colored regions over the road network.
+// Produces multilevel_demo.svg next to the working directory, the SVG
+// stand-in for the Anonymizer GUI's map view.
+#include <iostream>
+
+#include "core/reversecloak.h"
+#include "mobility/simulator.h"
+#include "roadnet/generators.h"
+#include "roadnet/spatial_index.h"
+#include "viz/svg_renderer.h"
+
+using namespace rcloak;
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "multilevel_demo.svg";
+
+  roadnet::PerturbedGridOptions map_options;
+  map_options.rows = 40;
+  map_options.cols = 40;
+  map_options.seed = 11;
+  const auto net = roadnet::MakePerturbedGrid(map_options);
+  const roadnet::SpatialIndex index(net);
+  mobility::SpawnOptions spawn;
+  spawn.num_cars = 4000;
+  spawn.seed = 12;
+  const auto cars = mobility::SpawnCars(net, index, spawn);
+
+  core::Anonymizer anonymizer(net, mobility::Occupancy(net, cars));
+  core::Deanonymizer deanonymizer(net);
+  const auto keys = crypto::KeyChain::FromSeed(99, 3);
+
+  core::AnonymizeRequest request;
+  request.origin = index.NearestOne(net.bounds().Center());
+  request.profile = core::PrivacyProfile(
+      {{8, 3, 8000.0}, {25, 8, 12000.0}, {70, 20, 20000.0}});
+  request.algorithm = core::Algorithm::kRge;
+  request.context = "multilevel-demo/1";
+
+  const auto result = anonymizer.Anonymize(request, keys);
+  if (!result.ok()) {
+    std::cerr << "anonymize failed: " << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Recover each level's region through de-anonymization (what a requester
+  // at that privilege level would see).
+  std::map<int, crypto::AccessKey> granted{{1, keys.LevelKey(1)},
+                                           {2, keys.LevelKey(2)},
+                                           {3, keys.LevelKey(3)}};
+  viz::SvgRenderer renderer(net, 1100);
+  renderer.DrawNetwork();
+  for (int level = 3; level >= 1; --level) {  // outermost first
+    const auto region = deanonymizer.Reduce(result->artifact, granted, level);
+    if (!region.ok()) {
+      std::cerr << "reduce failed: " << region.status().ToString() << "\n";
+      return 1;
+    }
+    renderer.DrawRegion(*region, viz::SvgRenderer::LevelStyle(level));
+    std::cout << "L" << level << ": " << region->size() << " segments\n";
+  }
+  renderer.MarkSegment(request.origin, "#000000");
+  if (const auto status = renderer.WriteFile(out_path); !status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Rendered nested cloaking regions to " << out_path << "\n";
+  return 0;
+}

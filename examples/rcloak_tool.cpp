@@ -1,0 +1,303 @@
+// rcloak_tool — the batch CLI for the whole system. Subcommands:
+//
+//   gen-map   --kind grid|perturbed|atlanta|radial [--rows R --cols C]
+//             [--seed S] --out map.rcmap [--geojson map.json]
+//   map-stats --map map.rcmap
+//   gen-trace --map map.rcmap --cars N [--seed S] [--duration SECS]
+//             --out trace.txt
+//   keygen    --levels N --out keys.rcks --passphrase PW [--print]
+//   anonymize --map map.rcmap --trace trace.txt --origin SEG
+//             --keys keys.rcks --passphrase PW --algo rge|rple
+//             --k K1,K2,... --out artifact.bin [--svg region.svg]
+//   reduce    --map map.rcmap --artifact artifact.bin --keys keys.rcks
+//             --passphrase PW --level L
+//
+// Everything the Anonymizer / De-anonymizer GUIs do, scriptable.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/artifact_debug.h"
+#include "core/reversecloak.h"
+#include "crypto/keystore.h"
+#include "mobility/simulator.h"
+#include "mobility/trace_io.h"
+#include "roadnet/generators.h"
+#include "roadnet/geojson.h"
+#include "roadnet/graph_stats.h"
+#include "roadnet/io.h"
+#include "roadnet/spatial_index.h"
+#include "viz/svg_renderer.h"
+
+using namespace rcloak;
+
+namespace {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    // Flags without values.
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--print") == 0) values_["print"] = "1";
+    }
+  }
+  std::string Get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  long Int(const std::string& key, long fallback) const {
+    return Has(key) ? std::atol(Get(key).c_str()) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+int GenMap(const Args& args) {
+  const std::string kind = args.Get("kind", "perturbed");
+  roadnet::RoadNetwork net = [&] {
+    if (kind == "grid") {
+      return roadnet::MakeGrid({static_cast<int>(args.Int("rows", 30)),
+                                static_cast<int>(args.Int("cols", 30)),
+                                150.0});
+    }
+    if (kind == "atlanta") {
+      return roadnet::MakePerturbedGrid(roadnet::AtlantaNwProfile(
+          static_cast<std::uint64_t>(args.Int("seed", 42))));
+    }
+    if (kind == "radial") {
+      return roadnet::MakeRadial(
+          {static_cast<int>(args.Int("rows", 8)),
+           static_cast<int>(args.Int("cols", 16)), 200.0,
+           static_cast<std::uint64_t>(args.Int("seed", 7))});
+    }
+    roadnet::PerturbedGridOptions options;
+    options.rows = static_cast<int>(args.Int("rows", 40));
+    options.cols = static_cast<int>(args.Int("cols", 40));
+    options.seed = static_cast<std::uint64_t>(args.Int("seed", 42));
+    return roadnet::MakePerturbedGrid(options);
+  }();
+
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("gen-map: --out required");
+  if (const auto status = roadnet::SaveNetworkFile(out, net); !status.ok()) {
+    return Fail(status.ToString());
+  }
+  std::cout << "wrote " << out << " (" << net.junction_count()
+            << " junctions, " << net.segment_count() << " segments)\n";
+  if (args.Has("geojson")) {
+    std::ofstream os(args.Get("geojson"));
+    roadnet::WriteNetworkGeoJson(os, net);
+    std::cout << "wrote " << args.Get("geojson") << "\n";
+  }
+  return 0;
+}
+
+int MapStats(const Args& args) {
+  const auto net = roadnet::LoadNetworkFile(args.Get("map"));
+  if (!net.ok()) return Fail(net.status().ToString());
+  const auto stats = roadnet::ComputeStats(*net);
+  roadnet::PrintStats(std::cout, stats, args.Get("map").c_str());
+  std::cout << "degree histogram:";
+  for (std::size_t d = 0; d < stats.degree_histogram.size(); ++d) {
+    std::cout << " " << d << ":" << stats.degree_histogram[d];
+  }
+  std::cout << "\navg segment length: " << stats.avg_segment_length
+            << " m, bbox " << stats.bbox_area_km2 << " km^2\n";
+  return 0;
+}
+
+int GenTrace(const Args& args) {
+  const auto net = roadnet::LoadNetworkFile(args.Get("map"));
+  if (!net.ok()) return Fail(net.status().ToString());
+  const roadnet::SpatialIndex index(*net);
+  mobility::SpawnOptions spawn;
+  spawn.num_cars = static_cast<std::uint32_t>(args.Int("cars", 10000));
+  spawn.seed = static_cast<std::uint64_t>(args.Int("seed", 1));
+  auto cars = mobility::SpawnCars(*net, index, spawn);
+  mobility::SimulationOptions sim;
+  sim.tick_s = 1.0;
+  sim.duration_s = static_cast<double>(args.Int("duration", 30));
+  sim.record_every = 1;
+  mobility::TraceSimulator simulator(*net, std::move(cars), sim);
+  simulator.Run();
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("gen-trace: --out required");
+  if (const auto status = mobility::SaveTraceFile(out, simulator.trace());
+      !status.ok()) {
+    return Fail(status.ToString());
+  }
+  std::cout << "wrote " << out << " (" << simulator.trace().size()
+            << " records over " << simulator.now_s() << " s)\n";
+  return 0;
+}
+
+int KeyGen(const Args& args) {
+  const int levels = static_cast<int>(args.Int("levels", 3));
+  const auto chain = crypto::KeyChain::RandomKeys(levels);
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("keygen: --out required");
+  const std::string passphrase = args.Get("passphrase");
+  if (passphrase.empty()) return Fail("keygen: --passphrase required");
+  if (const auto status = crypto::SaveKeyChainFile(out, chain, passphrase);
+      !status.ok()) {
+    return Fail(status.ToString());
+  }
+  std::cout << "wrote " << out << " (" << levels << " level keys)\n";
+  if (args.Has("print")) {
+    for (int level = 1; level <= levels; ++level) {
+      std::cout << "  Key" << level << " = " << chain.LevelKey(level).ToHex()
+                << "\n";
+    }
+  }
+  return 0;
+}
+
+StatusOr<mobility::OccupancySnapshot> OccupancyFromTrace(
+    const std::string& path, std::size_t segment_count) {
+  RCLOAK_ASSIGN_OR_RETURN(const auto records,
+                          mobility::LoadTraceFile(path));
+  // Last position per car.
+  std::map<std::uint32_t, roadnet::SegmentId> last;
+  for (const auto& rec : records) last[rec.car_id] = rec.segment;
+  mobility::OccupancySnapshot snapshot(segment_count);
+  for (const auto& [car, segment] : last) snapshot.Add(segment);
+  return snapshot;
+}
+
+int Anonymize(const Args& args) {
+  const auto net = roadnet::LoadNetworkFile(args.Get("map"));
+  if (!net.ok()) return Fail(net.status().ToString());
+  auto occupancy = OccupancyFromTrace(args.Get("trace"),
+                                      net->segment_count());
+  if (!occupancy.ok()) return Fail(occupancy.status().ToString());
+  const auto keys =
+      crypto::LoadKeyChainFile(args.Get("keys"), args.Get("passphrase"));
+  if (!keys.ok()) return Fail(keys.status().ToString());
+
+  // Profile: --k "10,30,80" with derived l and sigma defaults, or
+  // explicit --l / --sigma lists of the same arity.
+  std::vector<core::LevelRequirement> levels;
+  std::istringstream k_list(args.Get("k", "10,30"));
+  std::string item;
+  while (std::getline(k_list, item, ',')) {
+    core::LevelRequirement req;
+    req.delta_k = static_cast<std::uint32_t>(std::atol(item.c_str()));
+    req.delta_l = std::max<std::uint32_t>(2, req.delta_k / 4);
+    req.sigma_s = static_cast<double>(args.Int("sigma", 100000));
+    levels.push_back(req);
+  }
+
+  core::Anonymizer anonymizer(*net, std::move(*occupancy));
+  core::AnonymizeRequest request;
+  request.origin = roadnet::SegmentId{
+      static_cast<std::uint32_t>(args.Int("origin", 0))};
+  request.profile = core::PrivacyProfile(levels);
+  request.algorithm =
+      args.Get("algo", "rge") == "rple" ? core::Algorithm::kRple
+                                        : core::Algorithm::kRge;
+  request.context = args.Get("context", "rcloak-tool/req");
+  const auto result = anonymizer.Anonymize(request, *keys);
+  if (!result.ok()) return Fail(result.status().ToString());
+
+  const Bytes wire = core::EncodeArtifact(result->artifact);
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("anonymize: --out required");
+  std::ofstream os(out, std::ios::binary);
+  os.write(reinterpret_cast<const char*>(wire.data()),
+           static_cast<std::streamsize>(wire.size()));
+  if (!os.good()) return Fail("cannot write " + out);
+  std::cout << "wrote " << out << " ("
+            << result->artifact.region_segments.size() << "-segment "
+            << core::AlgorithmName(result->artifact.algorithm)
+            << " region, " << wire.size() << " bytes)\n";
+
+  if (args.Has("svg")) {
+    viz::SvgRenderer renderer(*net);
+    renderer.DrawNetwork();
+    renderer.DrawRegion(core::CloakRegion::FromSegments(
+                            *net, result->artifact.region_segments),
+                        viz::SvgRenderer::LevelStyle(1));
+    renderer.MarkSegment(request.origin, "#000000");
+    (void)renderer.WriteFile(args.Get("svg"));
+    std::cout << "wrote " << args.Get("svg") << "\n";
+  }
+  return 0;
+}
+
+int Inspect(const Args& args) {
+  std::ifstream is(args.Get("artifact"), std::ios::binary);
+  if (!is) return Fail("cannot open artifact " + args.Get("artifact"));
+  Bytes wire((std::istreambuf_iterator<char>(is)),
+             std::istreambuf_iterator<char>());
+  const auto artifact = core::DecodeArtifact(wire);
+  if (!artifact.ok()) return Fail(artifact.status().ToString());
+  core::PrintArtifact(std::cout, *artifact);
+  std::cout << "wire size: " << wire.size() << " bytes\n";
+  return 0;
+}
+
+int Reduce(const Args& args) {
+  const auto net = roadnet::LoadNetworkFile(args.Get("map"));
+  if (!net.ok()) return Fail(net.status().ToString());
+  std::ifstream is(args.Get("artifact"), std::ios::binary);
+  if (!is) return Fail("cannot open artifact " + args.Get("artifact"));
+  Bytes wire((std::istreambuf_iterator<char>(is)),
+             std::istreambuf_iterator<char>());
+  const auto artifact = core::DecodeArtifact(wire);
+  if (!artifact.ok()) return Fail(artifact.status().ToString());
+  const auto keys =
+      crypto::LoadKeyChainFile(args.Get("keys"), args.Get("passphrase"));
+  if (!keys.ok()) return Fail(keys.status().ToString());
+
+  std::map<int, crypto::AccessKey> granted;
+  for (int level = 1; level <= keys->num_levels(); ++level) {
+    granted.emplace(level, keys->LevelKey(level));
+  }
+  core::Deanonymizer deanonymizer(*net);
+  const int target = static_cast<int>(args.Int("level", 0));
+  const auto region = deanonymizer.Reduce(*artifact, granted, target);
+  if (!region.ok()) return Fail(region.status().ToString());
+  std::cout << "L" << target << " region: " << region->size()
+            << " segment(s):";
+  for (const auto sid : region->segments_by_id()) {
+    std::cout << " s" << roadnet::Index(sid);
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: rcloak_tool "
+                 "<gen-map|map-stats|gen-trace|keygen|anonymize|inspect|"
+                 "reduce> [--flag value ...]\n";
+    return 2;
+  }
+  const Args args(argc, argv);
+  const std::string command = argv[1];
+  if (command == "gen-map") return GenMap(args);
+  if (command == "map-stats") return MapStats(args);
+  if (command == "gen-trace") return GenTrace(args);
+  if (command == "keygen") return KeyGen(args);
+  if (command == "anonymize") return Anonymize(args);
+  if (command == "inspect") return Inspect(args);
+  if (command == "reduce") return Reduce(args);
+  std::cerr << "unknown subcommand: " << command << "\n";
+  return 2;
+}

@@ -1,0 +1,120 @@
+#include "attack/adversary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace rcloak::attack {
+
+HeuristicResult RunHeuristicAttacks(
+    const roadnet::RoadNetwork& net,
+    const mobility::OccupancySnapshot& occupancy, const CloakRegion& region,
+    SegmentId true_origin) {
+  HeuristicResult result;
+  if (region.empty()) return result;
+  result.uniform_success = 1.0 / static_cast<double>(region.size());
+
+  const geo::Point centroid = region.Bounds().Center();
+  SegmentId best_centroid = region.segments_by_id().front();
+  double best_dist = std::numeric_limits<double>::infinity();
+  SegmentId best_degree = best_centroid;
+  std::size_t max_degree = 0;
+  SegmentId best_occupancy = best_centroid;
+  std::uint32_t max_occupancy = 0;
+
+  for (SegmentId sid : region.segments_by_id()) {
+    const double d = geo::Distance(net.SegmentMidpoint(sid), centroid);
+    if (d < best_dist) {
+      best_dist = d;
+      best_centroid = sid;
+    }
+    const std::size_t degree = net.AdjacentSegments(sid).size();
+    if (degree > max_degree) {
+      max_degree = degree;
+      best_degree = sid;
+    }
+    const std::uint32_t occ = occupancy.count(sid);
+    if (occ > max_occupancy) {
+      max_occupancy = occ;
+      best_occupancy = sid;
+    }
+  }
+  result.centroid_hit = best_centroid == true_origin;
+  result.degree_hit = best_degree == true_origin;
+  result.occupancy_hit = best_occupancy == true_origin;
+  return result;
+}
+
+PosteriorResult EstimatePosterior(core::Anonymizer& anonymizer,
+                                  const core::AnonymizeRequest& request,
+                                  const CloakRegion& observed_region,
+                                  std::uint64_t trials_per_candidate,
+                                  std::uint64_t seed) {
+  PosteriorResult result;
+  result.candidates = observed_region.segments_by_id();
+  result.posterior.assign(result.candidates.size(), 0.0);
+  if (result.candidates.empty()) return result;
+
+  SplitMix64 seeder(seed);
+  const auto& observed = observed_region.segments_by_id();
+  std::vector<double> counts(result.candidates.size(), 0.0);
+
+  for (std::size_t c = 0; c < result.candidates.size(); ++c) {
+    for (std::uint64_t trial = 0; trial < trials_per_candidate; ++trial) {
+      core::AnonymizeRequest candidate_request = request;
+      candidate_request.origin = result.candidates[c];
+      const auto keys = crypto::KeyChain::FromSeed(
+          seeder.Next(), candidate_request.profile.num_levels());
+      ++result.trials;
+      const auto attempt = anonymizer.Anonymize(candidate_request, keys);
+      if (!attempt.ok()) continue;
+      if (attempt->artifact.region_segments == observed) {
+        counts[c] += 1.0;
+        ++result.reproductions;
+      }
+    }
+  }
+
+  double total = 0.0;
+  for (double v : counts) total += v;
+  if (total > 0.0) {
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      result.posterior[c] = counts[c] / total;
+    }
+    result.entropy_bits = EntropyBits(counts);
+  } else {
+    // No trial reproduced the region: the adversary learned nothing beyond
+    // the region itself — posterior stays uniform.
+    const double u = 1.0 / static_cast<double>(counts.size());
+    std::fill(result.posterior.begin(), result.posterior.end(), u);
+    result.entropy_bits =
+        std::log2(static_cast<double>(counts.size()));
+  }
+  result.max_entropy_bits = std::log2(static_cast<double>(counts.size()));
+  result.uniform_mass = 1.0 / static_cast<double>(counts.size());
+  const auto it = std::find(result.candidates.begin(),
+                            result.candidates.end(), request.origin);
+  if (it != result.candidates.end()) {
+    result.true_origin_mass =
+        result.posterior[static_cast<std::size_t>(
+            it - result.candidates.begin())];
+  }
+  return result;
+}
+
+bool WithKeyRecovery(core::Deanonymizer& deanonymizer,
+                     const core::CloakedArtifact& artifact,
+                     const crypto::KeyChain& keys, SegmentId true_origin) {
+  std::map<int, crypto::AccessKey> granted;
+  for (int level = 1; level <= artifact.num_levels(); ++level) {
+    granted.emplace(level, keys.LevelKey(level));
+  }
+  const auto reduced = deanonymizer.Reduce(artifact, granted, 0);
+  if (!reduced.ok()) return false;
+  return reduced->size() == 1 &&
+         reduced->segments_by_id().front() == true_origin;
+}
+
+}  // namespace rcloak::attack

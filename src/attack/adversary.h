@@ -1,0 +1,69 @@
+// Keyless-adversary analysis (threat model of §I: "without the secret key,
+// the cloaked region preserves strong privacy properties, allowing no
+// additional information to be inferred even when the adversary has
+// complete knowledge about the location perturbation algorithm used").
+//
+// Metrics produced per cloaked artifact, given the true origin:
+//   * heuristic attacks that need no key: uniform guess, region-centroid
+//     proximity, highest segment degree, highest occupancy;
+//   * the posterior an adversary can actually form: Monte-Carlo over random
+//     keys, re-running the public algorithm from every candidate origin and
+//     counting how often the observed region is reproduced (ABC-style);
+//   * entropy of that posterior — ≈ log2(candidates) means the region
+//     reveals nothing beyond its own extent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/reversecloak.h"
+
+namespace rcloak::attack {
+
+using core::CloakRegion;
+using roadnet::SegmentId;
+
+struct HeuristicResult {
+  bool centroid_hit = false;   // nearest-to-centroid segment == origin
+  bool degree_hit = false;     // max-degree segment == origin
+  bool occupancy_hit = false;  // max-occupancy segment == origin
+  double uniform_success = 0;  // 1 / |region| (the floor)
+};
+
+HeuristicResult RunHeuristicAttacks(
+    const roadnet::RoadNetwork& net,
+    const mobility::OccupancySnapshot& occupancy, const CloakRegion& region,
+    SegmentId true_origin);
+
+struct PosteriorResult {
+  // Per-candidate normalized posterior mass, aligned with `candidates`.
+  std::vector<SegmentId> candidates;
+  std::vector<double> posterior;
+  double entropy_bits = 0.0;
+  double max_entropy_bits = 0.0;  // log2(|candidates|)
+  // Posterior mass on the true origin vs the uniform 1/|candidates|.
+  double true_origin_mass = 0.0;
+  double uniform_mass = 0.0;
+  std::uint64_t trials = 0;
+  std::uint64_t reproductions = 0;  // trials that reproduced the region
+};
+
+// Monte-Carlo posterior: for `trials_per_candidate` random keys per
+// candidate origin, re-run the published algorithm (same profile/context
+// conventions the adversary knows) and count exact region reproductions.
+// Keys are unknowable, so this is the best an algorithm-aware adversary can
+// do; near-uniform posteriors = resilience.
+PosteriorResult EstimatePosterior(core::Anonymizer& anonymizer,
+                                  const core::AnonymizeRequest& request,
+                                  const CloakRegion& observed_region,
+                                  std::uint64_t trials_per_candidate,
+                                  std::uint64_t seed);
+
+// With the proper keys the "attack" is exact: de-anonymize to L0. Returns
+// true iff the recovered segment equals the true origin (sanity baseline
+// for the with-key row of experiment E8).
+bool WithKeyRecovery(core::Deanonymizer& deanonymizer,
+                     const core::CloakedArtifact& artifact,
+                     const crypto::KeyChain& keys, SegmentId true_origin);
+
+}  // namespace rcloak::attack

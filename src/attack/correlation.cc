@@ -1,0 +1,58 @@
+#include "attack/correlation.h"
+
+#include <algorithm>
+
+namespace rcloak::attack {
+
+std::vector<roadnet::SegmentId> IntersectRegions(
+    const std::vector<roadnet::SegmentId>& a,
+    const std::vector<roadnet::SegmentId>& b) {
+  std::vector<roadnet::SegmentId> out;
+  std::set_intersection(
+      a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out),
+      [](roadnet::SegmentId x, roadnet::SegmentId y) {
+        return roadnet::Index(x) < roadnet::Index(y);
+      });
+  return out;
+}
+
+StatusOr<CorrelationCurve> MeasureRequestCorrelation(
+    core::Anonymizer& anonymizer, roadnet::SegmentId origin,
+    const core::PrivacyProfile& profile, core::Algorithm algorithm,
+    int num_requests, std::uint64_t seed) {
+  if (num_requests < 1) {
+    return Status::InvalidArgument("need at least one request");
+  }
+  CorrelationCurve curve;
+  std::vector<roadnet::SegmentId> intersection;
+  for (int r = 0; r < num_requests; ++r) {
+    core::AnonymizeRequest request;
+    request.origin = origin;
+    request.profile = profile;
+    request.algorithm = algorithm;
+    request.context = "corr/" + std::to_string(seed) + "/" +
+                      std::to_string(r);
+    const auto keys =
+        crypto::KeyChain::FromSeed(seed * 1000 + static_cast<std::uint64_t>(r),
+                                   profile.num_levels());
+    const auto result = anonymizer.Anonymize(request, keys);
+    if (!result.ok()) return result.status();
+    if (r == 0) {
+      intersection = result->artifact.region_segments;
+    } else {
+      intersection =
+          IntersectRegions(intersection, result->artifact.region_segments);
+    }
+    curve.candidate_set_size.push_back(intersection.size());
+    if (!std::binary_search(
+            intersection.begin(), intersection.end(), origin,
+            [](roadnet::SegmentId x, roadnet::SegmentId y) {
+              return roadnet::Index(x) < roadnet::Index(y);
+            })) {
+      curve.origin_always_in_intersection = false;
+    }
+  }
+  return curve;
+}
+
+}  // namespace rcloak::attack

@@ -1,0 +1,38 @@
+// Multi-request correlation analysis.
+//
+// ReverseCloak's uniformity guarantee is per artifact. A user who issues
+// many requests from the same origin (different contexts/keys) exposes
+// several independent regions that all contain the origin — intersecting
+// them shrinks the keyless adversary's candidate set. This module measures
+// that leakage curve; DESIGN.md lists it as the known limitation it is in
+// the cloaking literature, and the mitigation (stable per-user contexts /
+// region caching) implemented in core::RequestCache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/reversecloak.h"
+
+namespace rcloak::attack {
+
+struct CorrelationCurve {
+  // candidate_set_size[r] = |intersection of regions of requests 0..r|.
+  std::vector<std::size_t> candidate_set_size;
+  bool origin_always_in_intersection = true;
+};
+
+// Issues `num_requests` anonymization requests from the same origin with
+// fresh contexts and keys, intersecting the published regions as a keyless
+// adversary would. The profile's first level is used.
+StatusOr<CorrelationCurve> MeasureRequestCorrelation(
+    core::Anonymizer& anonymizer, roadnet::SegmentId origin,
+    const core::PrivacyProfile& profile, core::Algorithm algorithm,
+    int num_requests, std::uint64_t seed);
+
+// Set intersection over published segment lists (sorted by id).
+std::vector<roadnet::SegmentId> IntersectRegions(
+    const std::vector<roadnet::SegmentId>& a,
+    const std::vector<roadnet::SegmentId>& b);
+
+}  // namespace rcloak::attack

@@ -1,0 +1,157 @@
+#include "baseline/random_expand.h"
+
+#include "util/rng.h"
+
+namespace rcloak::baseline {
+
+namespace {
+bool Satisfied(const CloakRegion& region,
+               const mobility::OccupancySnapshot& occupancy,
+               const LevelRequirement& requirement) {
+  return region.size() >= requirement.delta_l &&
+         region.UserCount(occupancy) >= requirement.delta_k;
+}
+}  // namespace
+
+StatusOr<CloakRegion> RandomExpandCloak(
+    const roadnet::RoadNetwork& net,
+    const mobility::OccupancySnapshot& occupancy, SegmentId origin,
+    const LevelRequirement& requirement, std::uint64_t seed,
+    BaselineStats* stats) {
+  if (!net.IsValid(origin)) {
+    return Status::InvalidArgument("baseline: invalid origin segment");
+  }
+  Xoshiro256 rng(seed);
+  CloakRegion region(net);
+  region.Insert(origin);
+  while (!Satisfied(region, occupancy, requirement)) {
+    const auto frontier = region.Frontier();
+    if (frontier.empty()) {
+      return Status::ResourceExhausted("baseline: component exhausted");
+    }
+    const SegmentId pick =
+        frontier[static_cast<std::size_t>(rng.NextBounded(frontier.size()))];
+    region.Insert(pick);
+    if (stats != nullptr) ++stats->expansions;
+    if (region.Bounds().Diagonal() > requirement.sigma_s) {
+      return Status::ResourceExhausted("baseline: sigma_s exceeded");
+    }
+  }
+  return region;
+}
+
+StatusOr<CloakRegion> GridCloak(const roadnet::RoadNetwork& net,
+                                const mobility::OccupancySnapshot& occupancy,
+                                SegmentId origin,
+                                const LevelRequirement& requirement,
+                                double cell_m, BaselineStats* stats) {
+  if (!net.IsValid(origin)) {
+    return Status::InvalidArgument("baseline: invalid origin segment");
+  }
+  const geo::Point center = net.SegmentMidpoint(origin);
+  double half = cell_m / 2.0;
+  for (;;) {
+    geo::BoundingBox box;
+    box.Extend(geo::Point{center.x - half, center.y - half});
+    box.Extend(geo::Point{center.x + half, center.y + half});
+    CloakRegion region(net);
+    for (std::size_t i = 0; i < net.segment_count(); ++i) {
+      const SegmentId sid{static_cast<std::uint32_t>(i)};
+      if (box.Contains(net.SegmentMidpoint(sid))) region.Insert(sid);
+    }
+    if (stats != nullptr) ++stats->expansions;
+    if (!region.Contains(origin)) region.Insert(origin);
+    if (Satisfied(region, occupancy, requirement)) {
+      if (region.Bounds().Diagonal() > requirement.sigma_s) {
+        return Status::ResourceExhausted("grid baseline: sigma_s exceeded");
+      }
+      return region;
+    }
+    if (box.Diagonal() > requirement.sigma_s * 2.0) {
+      return Status::ResourceExhausted(
+          "grid baseline: sigma_s exceeded before reaching delta_k");
+    }
+    half += cell_m / 2.0;
+  }
+}
+
+StatusOr<CloakRegion> XStarCloak(const roadnet::RoadNetwork& net,
+                                 const mobility::OccupancySnapshot& occupancy,
+                                 SegmentId origin,
+                                 const LevelRequirement& requirement,
+                                 BaselineStats* stats) {
+  if (!net.IsValid(origin)) {
+    return Status::InvalidArgument("xstar: invalid origin segment");
+  }
+  using roadnet::Index;
+  using roadnet::JunctionId;
+
+  CloakRegion region(net);
+  std::vector<bool> star_taken(net.junction_count(), false);
+
+  auto add_star = [&](JunctionId junction) {
+    star_taken[Index(junction)] = true;
+    for (const SegmentId sid : net.junction(junction).incident) {
+      region.Insert(sid);
+    }
+    if (stats != nullptr) ++stats->expansions;
+  };
+
+  // Seed: the star of the origin's higher-degree endpoint (denser payload).
+  const auto& seg = net.segment(origin);
+  const JunctionId seed =
+      net.junction(seg.a).incident.size() >= net.junction(seg.b).incident.size()
+          ? seg.a
+          : seg.b;
+  add_star(seed);
+  region.Insert(origin);
+
+  auto satisfied = [&] {
+    return region.size() >= requirement.delta_l &&
+           region.UserCount(occupancy) >= requirement.delta_k;
+  };
+
+  while (!satisfied()) {
+    // Candidate stars: junctions touching the region that are not taken.
+    JunctionId best = roadnet::kInvalidJunction;
+    double best_score = -1.0;
+    for (const SegmentId sid : region.segments_by_id()) {
+      const auto& s = net.segment(sid);
+      for (const JunctionId j : {s.a, s.b}) {
+        if (star_taken[Index(j)]) continue;
+        // Payload of the star: users on its not-yet-covered segments per
+        // new segment (quality heuristic from the XStar family: grow where
+        // anonymity accrues fastest without inflating the region).
+        std::uint64_t users = 0;
+        std::uint32_t fresh = 0;
+        for (const SegmentId inc : net.junction(j).incident) {
+          if (region.Contains(inc)) continue;
+          ++fresh;
+          users += occupancy.count(inc);
+        }
+        if (fresh == 0) {
+          star_taken[Index(j)] = true;  // nothing to add; never revisit
+          continue;
+        }
+        const double score =
+            (static_cast<double>(users) + 0.1) / static_cast<double>(fresh);
+        if (score > best_score ||
+            (score == best_score && best != roadnet::kInvalidJunction &&
+             Index(j) < Index(best))) {
+          best_score = score;
+          best = j;
+        }
+      }
+    }
+    if (best == roadnet::kInvalidJunction) {
+      return Status::ResourceExhausted("xstar: component exhausted");
+    }
+    add_star(best);
+    if (region.Bounds().Diagonal() > requirement.sigma_s) {
+      return Status::ResourceExhausted("xstar: sigma_s exceeded");
+    }
+  }
+  return region;
+}
+
+}  // namespace rcloak::baseline

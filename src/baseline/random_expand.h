@@ -1,0 +1,60 @@
+// Non-reversible baselines the experiments compare against.
+//
+// RandomExpandCloak: classic single-level segment-set expansion in the
+// spirit of Gedik & Liu's customizable k-anonymity [2] / segment cloaking
+// [9]: grow the region by uniformly random frontier picks until (δk, δl)
+// hold. No keys, no reversibility — the performance floor reversibility is
+// paid against.
+//
+// GridCloak: PrivacyGrid-style [1] axis-aligned cell expansion around the
+// origin; region = all segments intersecting the grown rectangle. Coarser
+// regions, very fast.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cloak_region.h"
+#include "core/privacy_profile.h"
+#include "mobility/trace.h"
+#include "roadnet/road_network.h"
+#include "util/status.h"
+
+namespace rcloak::baseline {
+
+using core::CloakRegion;
+using core::LevelRequirement;
+using roadnet::SegmentId;
+
+struct BaselineStats {
+  std::uint64_t expansions = 0;
+};
+
+// Single-level non-reversible expansion; seed drives the (public,
+// non-cryptographic) RNG.
+StatusOr<CloakRegion> RandomExpandCloak(
+    const roadnet::RoadNetwork& net,
+    const mobility::OccupancySnapshot& occupancy, SegmentId origin,
+    const LevelRequirement& requirement, std::uint64_t seed,
+    BaselineStats* stats = nullptr);
+
+// Grid-based cloak: grows a square around the origin midpoint by
+// `cell_m` per step until the covered segments satisfy (δk, δl).
+StatusOr<CloakRegion> GridCloak(const roadnet::RoadNetwork& net,
+                                const mobility::OccupancySnapshot& occupancy,
+                                SegmentId origin,
+                                const LevelRequirement& requirement,
+                                double cell_m = 250.0,
+                                BaselineStats* stats = nullptr);
+
+// XStar-style cloak (Wang, Liu & Pesti [9]): the region is a union of road
+// "stars" (a junction plus all its incident segments). Expansion adds, per
+// step, the adjacent star with the best user-per-segment payload — the
+// quality-oriented, non-reversible comparator for segment l-diversity
+// cloaking. Deterministic given the inputs.
+StatusOr<CloakRegion> XStarCloak(const roadnet::RoadNetwork& net,
+                                 const mobility::OccupancySnapshot& occupancy,
+                                 SegmentId origin,
+                                 const LevelRequirement& requirement,
+                                 BaselineStats* stats = nullptr);
+
+}  // namespace rcloak::baseline

@@ -1,0 +1,46 @@
+#include "core/access_control.h"
+
+namespace rcloak::core {
+
+Status AccessControlProfile::RegisterRequester(const std::string& name,
+                                               int privilege) {
+  if (name.empty()) {
+    return Status::InvalidArgument("requester name must be non-empty");
+  }
+  if (privilege < 0 || privilege > num_levels()) {
+    return Status::InvalidArgument(
+        "privilege must be in [0, " + std::to_string(num_levels()) + "]");
+  }
+  privileges_[name] = privilege;
+  return Status::Ok();
+}
+
+Status AccessControlProfile::RevokeRequester(const std::string& name) {
+  if (privileges_.erase(name) == 0) {
+    return Status::NotFound("unknown requester: " + name);
+  }
+  return Status::Ok();
+}
+
+StatusOr<int> AccessControlProfile::PrivilegeOf(
+    const std::string& name) const {
+  const auto it = privileges_.find(name);
+  if (it == privileges_.end()) {
+    return Status::NotFound("unknown requester: " + name);
+  }
+  return it->second;
+}
+
+StatusOr<KeyGrant> AccessControlProfile::GrantKeys(const std::string& name) {
+  RCLOAK_ASSIGN_OR_RETURN(const int privilege, PrivilegeOf(name));
+  KeyGrant grant;
+  grant.target_level = num_levels() - privilege;
+  for (int level = num_levels(); level > grant.target_level; --level) {
+    grant.keys.emplace(level, keys_.LevelKey(level));
+  }
+  audit_log_.push_back(
+      {name, privilege, grant.target_level, next_sequence_++});
+  return grant;
+}
+
+}  // namespace rcloak::core

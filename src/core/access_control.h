@@ -1,0 +1,65 @@
+// Key management for data requesters (paper §IV): "The 'Anonymizer'
+// maintains a personal access control profile, which decides the assignment
+// of access keys based on trust degree and privileges of the location data
+// requesters."
+//
+// Model: the data owner registers requesters with a privilege level p in
+// [0, N]. A requester at privilege p may see the L^{N-p} region, so they
+// are granted the keys of levels N, N-1, ..., N-p+1 (outermost-first —
+// exactly the keys needed to peel down to their level, nothing more).
+// Every grant is recorded in an audit log.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/keyed_prng.h"
+#include "util/status.h"
+
+namespace rcloak::core {
+
+struct KeyGrant {
+  // Level index -> key, covering levels target_level+1 .. N.
+  std::map<int, crypto::AccessKey> keys;
+  // The most precise level this grant allows reducing to.
+  int target_level = 0;
+};
+
+struct GrantRecord {
+  std::string requester;
+  int privilege = 0;
+  int target_level = 0;
+  std::uint64_t sequence = 0;  // monotonically increasing
+};
+
+class AccessControlProfile {
+ public:
+  explicit AccessControlProfile(crypto::KeyChain keys)
+      : keys_(std::move(keys)) {}
+
+  int num_levels() const noexcept { return keys_.num_levels(); }
+
+  // Registers (or updates) a requester. Privilege must be in [0, N]:
+  // 0 = may only see the public L^N region (no keys), N = full access.
+  Status RegisterRequester(const std::string& name, int privilege);
+  Status RevokeRequester(const std::string& name);
+  StatusOr<int> PrivilegeOf(const std::string& name) const;
+
+  // Grants the requester exactly the keys their privilege entitles them
+  // to, and records the grant.
+  StatusOr<KeyGrant> GrantKeys(const std::string& name);
+
+  const std::vector<GrantRecord>& audit_log() const noexcept {
+    return audit_log_;
+  }
+
+ private:
+  crypto::KeyChain keys_;
+  std::map<std::string, int> privileges_;
+  std::vector<GrantRecord> audit_log_;
+  std::uint64_t next_sequence_ = 1;
+};
+
+}  // namespace rcloak::core

@@ -1,0 +1,43 @@
+#include "core/artifact_debug.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace rcloak::core {
+
+void PrintArtifact(std::ostream& os, const CloakedArtifact& artifact) {
+  os << "CloakedArtifact {\n";
+  os << "  algorithm: " << AlgorithmName(artifact.algorithm) << "\n";
+  os << "  context:   \"" << artifact.context << "\"\n";
+  os << "  map fingerprint: " << std::hex << artifact.map_fingerprint
+     << std::dec << "\n";
+  if (artifact.algorithm == Algorithm::kRple) {
+    os << "  RPLE T: " << artifact.rple_T << "\n";
+  }
+  os << "  levels: " << artifact.num_levels() << "\n";
+  std::uint32_t prev = 1;
+  for (int level = 1; level <= artifact.num_levels(); ++level) {
+    const auto& record =
+        artifact.levels[static_cast<std::size_t>(level - 1)];
+    os << "    L" << level << ": region " << record.region_size
+       << " segments (+" << (record.region_size - prev)
+       << "), seal <opaque u64>, walk metadata "
+       << record.step_bits_blinded.size() << " blinded bytes\n";
+    prev = record.region_size;
+  }
+  os << "  published region: " << artifact.region_segments.size()
+     << " segment ids";
+  if (!artifact.region_segments.empty()) {
+    os << " [" << roadnet::Index(artifact.region_segments.front()) << " .. "
+       << roadnet::Index(artifact.region_segments.back()) << "]";
+  }
+  os << "\n}\n";
+}
+
+std::string DescribeArtifact(const CloakedArtifact& artifact) {
+  std::ostringstream os;
+  PrintArtifact(os, artifact);
+  return os.str();
+}
+
+}  // namespace rcloak::core

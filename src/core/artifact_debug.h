@@ -1,0 +1,17 @@
+// Human-readable artifact inspection (what an operator can see WITHOUT any
+// keys — the dump deliberately shows only public fields and opaque blobs'
+// sizes, mirroring the adversary's view).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/artifact.h"
+
+namespace rcloak::core {
+
+// Multi-line description of the public artifact contents.
+std::string DescribeArtifact(const CloakedArtifact& artifact);
+void PrintArtifact(std::ostream& os, const CloakedArtifact& artifact);
+
+}  // namespace rcloak::core

@@ -1,0 +1,107 @@
+#include "core/cloak_region.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rcloak::core {
+
+namespace {
+struct IdLess {
+  bool operator()(SegmentId x, SegmentId y) const noexcept {
+    return roadnet::Index(x) < roadnet::Index(y);
+  }
+};
+}  // namespace
+
+CloakRegion CloakRegion::FromSegments(const roadnet::RoadNetwork& net,
+                                      const std::vector<SegmentId>& segments) {
+  CloakRegion region(net);
+  region.segments_ = segments;
+  std::sort(region.segments_.begin(), region.segments_.end(), IdLess{});
+  region.segments_.erase(
+      std::unique(region.segments_.begin(), region.segments_.end()),
+      region.segments_.end());
+  return region;
+}
+
+bool CloakRegion::Contains(SegmentId id) const {
+  return std::binary_search(segments_.begin(), segments_.end(), id, IdLess{});
+}
+
+void CloakRegion::Insert(SegmentId id) {
+  const auto it =
+      std::lower_bound(segments_.begin(), segments_.end(), id, IdLess{});
+  if (it != segments_.end() && *it == id) return;
+  segments_.insert(it, id);
+}
+
+void CloakRegion::Erase(SegmentId id) {
+  const auto it =
+      std::lower_bound(segments_.begin(), segments_.end(), id, IdLess{});
+  if (it != segments_.end() && *it == id) segments_.erase(it);
+}
+
+std::vector<SegmentId> CloakRegion::SortedByLength() const {
+  std::vector<SegmentId> sorted = segments_;
+  std::sort(sorted.begin(), sorted.end(), LengthOrder{net_});
+  return sorted;
+}
+
+std::vector<SegmentId> CloakRegion::Frontier() const {
+  return FrontierAtLeast(0, nullptr);
+}
+
+std::vector<SegmentId> CloakRegion::FrontierAtLeast(std::size_t min_size,
+                                                    int* rings_used) const {
+  assert(!segments_.empty() && "frontier of empty region");
+  // Ring-by-ring BFS from the region. `collected` holds all frontier
+  // segments found so far (outside the region).
+  std::vector<SegmentId> collected;
+  std::vector<SegmentId> current_ring = segments_;  // ring 0 = region
+  // Membership test helper over region + collected.
+  auto seen = [&](SegmentId id) {
+    if (Contains(id)) return true;
+    return std::find(collected.begin(), collected.end(), id) !=
+           collected.end();
+  };
+
+  int rings = 0;
+  while (true) {
+    std::vector<SegmentId> next_ring;
+    for (SegmentId sid : current_ring) {
+      for (SegmentId adj : net_->AdjacentSegments(sid)) {
+        if (seen(adj)) continue;
+        if (std::find(next_ring.begin(), next_ring.end(), adj) !=
+            next_ring.end()) {
+          continue;
+        }
+        next_ring.push_back(adj);
+      }
+    }
+    if (next_ring.empty()) break;  // component exhausted
+    ++rings;
+    collected.insert(collected.end(), next_ring.begin(), next_ring.end());
+    if (rings >= 1 && collected.size() >= std::max<std::size_t>(min_size, 1)) {
+      break;
+    }
+    current_ring = std::move(next_ring);
+  }
+  if (rings_used != nullptr) *rings_used = rings;
+  std::sort(collected.begin(), collected.end(), LengthOrder{net_});
+  return collected;
+}
+
+std::uint64_t CloakRegion::UserCount(
+    const mobility::OccupancySnapshot& occupancy) const {
+  std::uint64_t users = 0;
+  for (SegmentId sid : segments_) users += occupancy.count(sid);
+  return users;
+}
+
+geo::BoundingBox CloakRegion::Bounds() const {
+  geo::BoundingBox box;
+  for (SegmentId sid : segments_) box.Extend(net_->SegmentBounds(sid));
+  return box;
+}
+
+}  // namespace rcloak::core

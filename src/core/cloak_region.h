@@ -1,0 +1,79 @@
+// Cloaking region over a road network: a set of road segments, with the
+// derived views both ReverseCloak algorithms need — canonical length-sorted
+// ordering (the paper sorts transition-table rows/columns by segment
+// length) and the candidate frontier CanA.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/trace.h"
+#include "roadnet/road_network.h"
+
+namespace rcloak::core {
+
+using roadnet::SegmentId;
+
+// Canonical segment ordering used for every table row/column: ascending
+// (length, id). The id tiebreak makes the order total and deterministic on
+// maps with equal-length segments (e.g. perfect grids).
+struct LengthOrder {
+  const roadnet::RoadNetwork* net;
+  bool operator()(SegmentId x, SegmentId y) const {
+    const double lx = net->segment(x).length;
+    const double ly = net->segment(y).length;
+    if (lx != ly) return lx < ly;
+    return roadnet::Index(x) < roadnet::Index(y);
+  }
+};
+
+class CloakRegion {
+ public:
+  explicit CloakRegion(const roadnet::RoadNetwork& net) : net_(&net) {}
+
+  static CloakRegion FromSegments(const roadnet::RoadNetwork& net,
+                                  const std::vector<SegmentId>& segments);
+
+  bool Contains(SegmentId id) const;
+  void Insert(SegmentId id);
+  void Erase(SegmentId id);
+  std::size_t size() const noexcept { return segments_.size(); }
+  bool empty() const noexcept { return segments_.empty(); }
+
+  // Members sorted ascending by id (the canonical published form — id order
+  // carries no information about insertion order).
+  const std::vector<SegmentId>& segments_by_id() const noexcept {
+    return segments_;
+  }
+
+  // Members sorted by the canonical (length, id) order: the table's rows.
+  std::vector<SegmentId> SortedByLength() const;
+
+  // Ring-1 frontier: segments adjacent to the region but outside it,
+  // sorted by (length, id): the table's columns.
+  std::vector<SegmentId> Frontier() const;
+
+  // Frontier for the RGE transition table. Starts from ring-1; while the
+  // candidate set is smaller than `min_size`, deterministically expands by
+  // one more adjacency ring ("links rebuilt on the fly", DESIGN.md §3).
+  // `rings_used` (optional) reports how many rings were taken.
+  std::vector<SegmentId> FrontierAtLeast(std::size_t min_size,
+                                         int* rings_used = nullptr) const;
+
+  // Users covered by the region under the given occupancy snapshot.
+  std::uint64_t UserCount(const mobility::OccupancySnapshot& occupancy) const;
+
+  // Bounding box of all member segments.
+  geo::BoundingBox Bounds() const;
+
+  const roadnet::RoadNetwork& network() const noexcept { return *net_; }
+
+ private:
+  const roadnet::RoadNetwork* net_;
+  // Sorted-by-id vector; regions stay small (≤ a few thousand segments),
+  // so ordered-vector insert/erase beats hash sets on locality and gives a
+  // deterministic canonical form for free.
+  std::vector<SegmentId> segments_;
+};
+
+}  // namespace rcloak::core

@@ -1,0 +1,76 @@
+#include "core/continuous.h"
+
+namespace rcloak::core {
+
+ContinuousCloak::ContinuousCloak(Anonymizer& anonymizer,
+                                 Deanonymizer& deanonymizer,
+                                 PrivacyProfile profile, Algorithm algorithm,
+                                 std::string user_id,
+                                 KeyProvider key_provider,
+                                 const ContinuousOptions& options)
+    : anonymizer_(&anonymizer),
+      deanonymizer_(&deanonymizer),
+      profile_(std::move(profile)),
+      algorithm_(algorithm),
+      user_id_(std::move(user_id)),
+      key_provider_(std::move(key_provider)),
+      options_(options) {}
+
+Status ContinuousCloak::Recloak(double now_s, roadnet::SegmentId origin) {
+  const std::uint64_t epoch = epoch_ + 1;
+  const crypto::KeyChain keys = key_provider_(epoch);
+
+  AnonymizeRequest request;
+  request.origin = origin;
+  request.profile = profile_;
+  request.algorithm = algorithm_;
+  request.context = user_id_ + "/epoch-" + std::to_string(epoch);
+  auto result = anonymizer_->Anonymize(request, keys);
+  if (!result.ok()) return result.status();
+
+  // Validity region = the chosen level's region, computed once via the
+  // de-anonymizer (the owner holds all keys).
+  const int validity =
+      std::min(options_.validity_level, profile_.num_levels());
+  std::map<int, crypto::AccessKey> granted;
+  for (int level = validity + 1; level <= profile_.num_levels(); ++level) {
+    granted.emplace(level, keys.LevelKey(level));
+  }
+  auto region = deanonymizer_->Reduce(result->artifact, granted, validity);
+  if (!region.ok()) return region.status();
+
+  if (artifact_) {
+    stats_.validity_duration_s.Add(now_s - artifact_created_s_);
+  }
+  epoch_ = epoch;
+  artifact_ = std::move(result).value().artifact;
+  validity_region_ = std::move(region).value();
+  artifact_created_s_ = now_s;
+  stats_.last_recloak_time_s = now_s;
+  ++stats_.recloaks;
+  return Status::Ok();
+}
+
+StatusOr<CloakedArtifact> ContinuousCloak::Update(
+    double now_s, roadnet::SegmentId current_segment) {
+  ++stats_.updates;
+  const bool have = artifact_.has_value();
+  const bool inside =
+      have && validity_region_ && validity_region_->Contains(current_segment);
+  if (!inside) {
+    const bool throttled =
+        have && (now_s - stats_.last_recloak_time_s <
+                 options_.min_recloak_interval_s);
+    if (throttled) {
+      // Keep serving the stale artifact inside the throttle window (the
+      // region still k-anonymizes the *previous* position; position lag is
+      // the documented cost of throttling).
+      ++stats_.throttled_stale;
+      return *artifact_;
+    }
+    RCLOAK_RETURN_IF_ERROR(Recloak(now_s, current_segment));
+  }
+  return *artifact_;
+}
+
+}  // namespace rcloak::core

@@ -1,0 +1,76 @@
+// Continuous cloaking for moving users.
+//
+// A cloaked artifact describes the origin segment at request time; once the
+// user drives out of the cloaked region the artifact is stale. The standard
+// policy (region validity) keeps one artifact alive while the user's
+// current segment stays inside a chosen privacy level's region and
+// re-cloaks on exit — trading update cost against how precisely an observer
+// can track region changes. A fresh key chain per epoch keeps epochs
+// unlinkable at the key level.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "core/reversecloak.h"
+#include "util/stats.h"
+
+namespace rcloak::core {
+
+struct ContinuousOptions {
+  // The artifact stays valid while the user is inside this level's region
+  // (1 = innermost). Higher levels re-cloak less often but expose stale
+  // positions for longer.
+  int validity_level = 1;
+  // Throttle: never re-cloak more often than this (seconds).
+  double min_recloak_interval_s = 1.0;
+};
+
+struct ContinuousStats {
+  std::uint64_t updates = 0;
+  std::uint64_t recloaks = 0;
+  std::uint64_t throttled_stale = 0;  // stale but within throttle window
+  double last_recloak_time_s = 0.0;
+  Samples validity_duration_s;
+};
+
+class ContinuousCloak {
+ public:
+  // `key_provider` supplies the key chain for each epoch (e.g. derive from
+  // a master via the epoch counter, or RandomKeys).
+  using KeyProvider = std::function<crypto::KeyChain(std::uint64_t epoch)>;
+
+  ContinuousCloak(Anonymizer& anonymizer, Deanonymizer& deanonymizer,
+                  PrivacyProfile profile, Algorithm algorithm,
+                  std::string user_id, KeyProvider key_provider,
+                  const ContinuousOptions& options = {});
+
+  // Feeds a position update. Returns the artifact currently in force
+  // (re-cloaked if the user left the validity region), or the
+  // anonymization error.
+  StatusOr<CloakedArtifact> Update(double now_s,
+                                   roadnet::SegmentId current_segment);
+
+  const ContinuousStats& stats() const noexcept { return stats_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+ private:
+  Status Recloak(double now_s, roadnet::SegmentId origin);
+
+  Anonymizer* anonymizer_;
+  Deanonymizer* deanonymizer_;
+  PrivacyProfile profile_;
+  Algorithm algorithm_;
+  std::string user_id_;
+  KeyProvider key_provider_;
+  ContinuousOptions options_;
+
+  std::uint64_t epoch_ = 0;
+  std::optional<CloakedArtifact> artifact_;
+  std::optional<CloakRegion> validity_region_;
+  double artifact_created_s_ = 0.0;
+  ContinuousStats stats_;
+};
+
+}  // namespace rcloak::core

@@ -1,0 +1,54 @@
+#include "core/privacy_profile.h"
+
+#include <string>
+
+namespace rcloak::core {
+
+PrivacyProfile PrivacyProfile::DefaultLadder(int num_levels, std::uint32_t k1,
+                                             std::uint32_t l1, double sigma1) {
+  std::vector<LevelRequirement> levels;
+  levels.reserve(static_cast<std::size_t>(num_levels));
+  std::uint32_t k = k1;
+  std::uint32_t l = l1;
+  double sigma = sigma1;
+  for (int i = 0; i < num_levels; ++i) {
+    levels.push_back({k, l, sigma});
+    k *= 2;
+    l += 2;
+    sigma *= 1.5;
+  }
+  return PrivacyProfile(std::move(levels));
+}
+
+Status PrivacyProfile::Validate() const {
+  if (levels_.empty()) {
+    return Status::InvalidArgument("profile needs at least one level");
+  }
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const auto& req = levels_[i];
+    if (req.delta_k < 1) {
+      return Status::InvalidArgument("level " + std::to_string(i + 1) +
+                                     ": delta_k must be >= 1");
+    }
+    if (req.delta_l < 1) {
+      return Status::InvalidArgument("level " + std::to_string(i + 1) +
+                                     ": delta_l must be >= 1");
+    }
+    if (!(req.sigma_s > 0.0)) {
+      return Status::InvalidArgument("level " + std::to_string(i + 1) +
+                                     ": sigma_s must be positive");
+    }
+    if (i > 0) {
+      const auto& prev = levels_[i - 1];
+      if (req.delta_k < prev.delta_k || req.delta_l < prev.delta_l ||
+          req.sigma_s < prev.sigma_s) {
+        return Status::InvalidArgument(
+            "level " + std::to_string(i + 1) +
+            ": requirements must be non-decreasing across levels");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace rcloak::core

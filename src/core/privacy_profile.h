@@ -1,0 +1,58 @@
+// User-defined privacy profiles.
+//
+// Per the paper (§II): the single-level profile is (δk, σs); the
+// multi-level profile is (δk^i, σs^i) for levels 1..N-1 plus L0 = the
+// user's own segment. ReverseCloak additionally guarantees segment
+// l-diversity [9], so each level carries δl as well.
+#pragma once
+
+#include <vector>
+
+#include "util/status.h"
+
+namespace rcloak::core {
+
+// Requirement for one privacy level L^i (i >= 1).
+struct LevelRequirement {
+  // Location k-anonymity: the level's region must cover >= delta_k users.
+  std::uint32_t delta_k = 10;
+  // Segment l-diversity: the region must span >= delta_l road segments.
+  std::uint32_t delta_l = 3;
+  // Maximum spatial resolution: the region's bounding-box diagonal must not
+  // exceed sigma_s meters. Expansion aborts (request fails) otherwise.
+  double sigma_s = 5000.0;
+};
+
+// Profile across all privacy levels, ordered L^1 .. L^N (monotonically
+// stronger privacy: requirements must be non-decreasing level to level).
+class PrivacyProfile {
+ public:
+  PrivacyProfile() = default;
+  explicit PrivacyProfile(std::vector<LevelRequirement> levels)
+      : levels_(std::move(levels)) {}
+
+  static PrivacyProfile SingleLevel(LevelRequirement requirement) {
+    return PrivacyProfile({requirement});
+  }
+
+  // Convenience ladder: N levels with k doubling from k1 (l and sigma scale
+  // similarly), mirroring the demo GUI's "Default setting".
+  static PrivacyProfile DefaultLadder(int num_levels, std::uint32_t k1 = 5,
+                                      std::uint32_t l1 = 2,
+                                      double sigma1 = 3000.0);
+
+  int num_levels() const noexcept { return static_cast<int>(levels_.size()); }
+  // 1-based level accessor, matching the paper's L^i notation.
+  const LevelRequirement& level(int i) const {
+    return levels_[static_cast<std::size_t>(i - 1)];
+  }
+
+  // Checks N >= 1, per-level sanity (k >= 1, l >= 1, sigma > 0) and
+  // monotonicity across levels.
+  Status Validate() const;
+
+ private:
+  std::vector<LevelRequirement> levels_;
+};
+
+}  // namespace rcloak::core

@@ -1,0 +1,53 @@
+// Request cache: the standard mitigation for multi-request correlation
+// (attack/correlation.h). Repeated requests by the same user from the same
+// origin within a TTL are answered with the *same* artifact instead of a
+// fresh keyed expansion, so a keyless observer sees one region, not an
+// intersectable family. The data owner keeps the epoch's key chain stable;
+// when the TTL lapses (or the user moves), a fresh artifact is cut.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/reversecloak.h"
+
+namespace rcloak::core {
+
+class RequestCache {
+ public:
+  explicit RequestCache(double ttl_s) : ttl_s_(ttl_s) {}
+
+  // Returns the cached artifact for (user, origin, algorithm, profile) if
+  // fresh, otherwise anonymizes through `anonymizer` (with
+  // request.context = "<user>/<epoch counter>") and caches the result.
+  StatusOr<AnonymizeResult> GetOrAnonymize(Anonymizer& anonymizer,
+                                           const std::string& user,
+                                           const AnonymizeRequest& request,
+                                           const crypto::KeyChain& keys,
+                                           double now_s);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+  // Drops expired entries (call opportunistically).
+  void EvictExpired(double now_s);
+
+ private:
+  static std::string CacheKey(const std::string& user,
+                              const AnonymizeRequest& request);
+
+  struct Entry {
+    AnonymizeResult result;
+    double expires_at = 0.0;
+  };
+
+  double ttl_s_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t epoch_counter_ = 0;
+};
+
+}  // namespace rcloak::core

@@ -1,0 +1,151 @@
+#include "core/reversecloak.h"
+
+#include <string>
+
+namespace rcloak::core {
+
+Anonymizer::Anonymizer(const roadnet::RoadNetwork& net,
+                       mobility::OccupancySnapshot occupancy,
+                       std::uint32_t rple_T)
+    : net_(&net),
+      occupancy_(std::move(occupancy)),
+      index_(net),
+      rple_T_(rple_T),
+      fingerprint_(FingerprintNetwork(net)) {}
+
+Status Anonymizer::EnsurePreassigned() {
+  if (tables_) return Status::Ok();
+  auto built = BuildTransitionTables(*net_, index_, rple_T_);
+  if (!built.ok()) return built.status();
+  tables_ = std::move(built).value();
+  return Status::Ok();
+}
+
+StatusOr<AnonymizeResult> Anonymizer::Anonymize(
+    const AnonymizeRequest& request, const crypto::KeyChain& keys) {
+  RCLOAK_RETURN_IF_ERROR(request.profile.Validate());
+  if (!net_->IsValid(request.origin)) {
+    return Status::InvalidArgument("anonymize: invalid origin segment");
+  }
+  if (request.context.empty()) {
+    return Status::InvalidArgument(
+        "anonymize: request context must be non-empty (it binds the PRNG "
+        "streams and must be unique per request)");
+  }
+  const int num_levels = request.profile.num_levels();
+  if (keys.num_levels() < num_levels) {
+    return Status::InvalidArgument(
+        "anonymize: key chain has fewer keys than profile levels");
+  }
+  if (occupancy_.segment_count() != net_->segment_count()) {
+    return Status::FailedPrecondition(
+        "anonymize: occupancy snapshot does not match network");
+  }
+  if (request.algorithm == Algorithm::kRple) {
+    RCLOAK_RETURN_IF_ERROR(EnsurePreassigned());
+  }
+
+  AnonymizeResult result;
+  CloakRegion region(*net_);
+  region.Insert(request.origin);  // L0: only the actual user's segment
+  SegmentId chain = request.origin;
+
+  const SnapshotCounter snapshot_counter(occupancy_);
+  const UserCounter& users =
+      external_counter_ != nullptr
+          ? *external_counter_
+          : static_cast<const UserCounter&>(snapshot_counter);
+
+  for (int level = 1; level <= num_levels; ++level) {
+    const LevelRequirement& requirement = request.profile.level(level);
+    StatusOr<LevelRecord> record =
+        request.algorithm == Algorithm::kRge
+            ? RgeAnonymizeLevel(users, region, chain, keys.LevelKey(level),
+                                request.context, level, requirement,
+                                &result.rge_stats)
+            : RpleAnonymizeLevel(*tables_, users, region, chain,
+                                 keys.LevelKey(level), request.context, level,
+                                 requirement, &result.rple_stats);
+    if (!record.ok()) return record.status();
+    result.artifact.levels.push_back(std::move(record).value());
+  }
+
+  result.artifact.algorithm = request.algorithm;
+  result.artifact.context = request.context;
+  result.artifact.map_fingerprint = fingerprint_;
+  result.artifact.rple_T =
+      request.algorithm == Algorithm::kRple ? rple_T_ : 0;
+  result.artifact.region_segments = region.segments_by_id();
+  return result;
+}
+
+Deanonymizer::Deanonymizer(const roadnet::RoadNetwork& net)
+    : net_(&net), index_(net), fingerprint_(FingerprintNetwork(net)) {}
+
+Status Deanonymizer::EnsureTables(std::uint32_t T) {
+  if (tables_ && tables_T_ == T) return Status::Ok();
+  auto built = BuildTransitionTables(*net_, index_, T);
+  if (!built.ok()) return built.status();
+  tables_ = std::move(built).value();
+  tables_T_ = T;
+  return Status::Ok();
+}
+
+StatusOr<CloakRegion> Deanonymizer::FullRegion(
+    const CloakedArtifact& artifact) const {
+  if (artifact.map_fingerprint != fingerprint_) {
+    return Status::FailedPrecondition(
+        "artifact was built on a different road network");
+  }
+  for (SegmentId sid : artifact.region_segments) {
+    if (!net_->IsValid(sid)) {
+      return Status::DataLoss("artifact references unknown segment");
+    }
+  }
+  return CloakRegion::FromSegments(*net_, artifact.region_segments);
+}
+
+StatusOr<CloakRegion> Deanonymizer::Reduce(
+    const CloakedArtifact& artifact,
+    const std::map<int, crypto::AccessKey>& granted_keys, int target_level) {
+  const int num_levels = artifact.num_levels();
+  if (target_level < 0 || target_level > num_levels) {
+    return Status::InvalidArgument("target level out of range");
+  }
+  RCLOAK_ASSIGN_OR_RETURN(CloakRegion region, FullRegion(artifact));
+  if (artifact.algorithm == Algorithm::kRple) {
+    RCLOAK_RETURN_IF_ERROR(EnsureTables(artifact.rple_T));
+  }
+
+  // Peel levels outermost-first: L^N, L^{N-1}, ..., down to the target.
+  for (int level = num_levels; level > target_level; --level) {
+    const auto key_it = granted_keys.find(level);
+    if (key_it == granted_keys.end()) {
+      return Status::FailedPrecondition(
+          "missing access key for level " + std::to_string(level) +
+          "; levels must be de-anonymized outermost-first");
+    }
+    const LevelRecord& record =
+        artifact.levels[static_cast<std::size_t>(level - 1)];
+    const std::uint32_t prev_size =
+        level >= 2
+            ? artifact.levels[static_cast<std::size_t>(level - 2)].region_size
+            : 1;  // L0 is always the single origin segment
+    if (artifact.algorithm == Algorithm::kRge) {
+      RCLOAK_RETURN_IF_ERROR(RgeDeanonymizeLevel(region, key_it->second,
+                                                 artifact.context, level,
+                                                 record, prev_size));
+    } else {
+      RCLOAK_RETURN_IF_ERROR(RpleDeanonymizeLevel(
+          *tables_, region, key_it->second, artifact.context, level, record));
+      if (region.size() != prev_size) {
+        return Status::DataLoss(
+            "RPLE de-anonymize: reduced region size mismatch (wrong key or "
+            "corrupt artifact)");
+      }
+    }
+  }
+  return region;
+}
+
+}  // namespace rcloak::core

@@ -1,0 +1,114 @@
+// Public facade of the ReverseCloak library.
+//
+// Anonymizer — the trusted anonymization server of §IV: owns the road
+// network, an occupancy snapshot and (for RPLE) the pre-assigned transition
+// tables; turns (origin segment, PrivacyProfile, KeyChain) into a
+// CloakedArtifact whose outermost region goes to the LBS provider.
+//
+// Deanonymizer — the data requester side: holds whichever level keys were
+// granted and reduces a CloakedArtifact down to the corresponding level;
+// with all keys, down to L0 = the user's exact segment.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/artifact.h"
+#include "core/cloak_region.h"
+#include "core/privacy_profile.h"
+#include "core/rge.h"
+#include "core/rple.h"
+#include "crypto/keyed_prng.h"
+#include "mobility/trace.h"
+#include "roadnet/spatial_index.h"
+
+namespace rcloak::core {
+
+struct AnonymizeRequest {
+  SegmentId origin = roadnet::kInvalidSegment;
+  PrivacyProfile profile;
+  Algorithm algorithm = Algorithm::kRge;
+  // Public request context (binds the PRNG streams; must be unique per
+  // request, e.g. "user42/2017-03-02T10:11:12/7").
+  std::string context;
+};
+
+struct AnonymizeResult {
+  CloakedArtifact artifact;
+  RgeStats rge_stats;
+  RpleStats rple_stats;
+};
+
+class Anonymizer {
+ public:
+  // `rple_T` is the transition-list length used when requests pick RPLE.
+  // RPLE pre-assignment runs lazily on first use and is cached.
+  Anonymizer(const roadnet::RoadNetwork& net,
+             mobility::OccupancySnapshot occupancy, std::uint32_t rple_T = 6);
+
+  StatusOr<AnonymizeResult> Anonymize(const AnonymizeRequest& request,
+                                      const crypto::KeyChain& keys);
+
+  // Refreshes the user-position snapshot (cars move).
+  void SetOccupancy(mobility::OccupancySnapshot occupancy) {
+    occupancy_ = std::move(occupancy);
+  }
+
+  // Overrides the k-anonymity user counting for subsequent requests (e.g.
+  // a trace-window distinct counter for spatio-temporal cloaking). Pass
+  // nullptr to return to the internal occupancy snapshot. The counter must
+  // outlive its use; the anonymizer does not take ownership.
+  void SetUserCounter(const UserCounter* counter) noexcept {
+    external_counter_ = counter;
+  }
+
+  // Forces pre-assignment now (e.g. to measure it); otherwise lazy.
+  Status EnsurePreassigned();
+  const TransitionTables* tables() const noexcept {
+    return tables_ ? &*tables_ : nullptr;
+  }
+
+  const roadnet::RoadNetwork& network() const noexcept { return *net_; }
+  const mobility::OccupancySnapshot& occupancy() const noexcept {
+    return occupancy_;
+  }
+
+ private:
+  const roadnet::RoadNetwork* net_;
+  mobility::OccupancySnapshot occupancy_;
+  roadnet::SpatialIndex index_;
+  std::uint32_t rple_T_;
+  std::optional<TransitionTables> tables_;
+  std::uint64_t fingerprint_;
+  const UserCounter* external_counter_ = nullptr;
+};
+
+class Deanonymizer {
+ public:
+  // The de-anonymizer needs the same map; RPLE additionally re-derives the
+  // pre-assigned tables from it (they are a pure function of map and T).
+  explicit Deanonymizer(const roadnet::RoadNetwork& net);
+
+  // Reduces the artifact from level N down to `target_level` (0 =>
+  // exact segment). `granted_keys` maps level index -> key; all keys for
+  // levels target_level+1 .. N must be present.
+  StatusOr<CloakRegion> Reduce(
+      const CloakedArtifact& artifact,
+      const std::map<int, crypto::AccessKey>& granted_keys, int target_level);
+
+  // The region exposed with no keys at all (level N as published).
+  StatusOr<CloakRegion> FullRegion(const CloakedArtifact& artifact) const;
+
+ private:
+  Status EnsureTables(std::uint32_t T);
+
+  const roadnet::RoadNetwork* net_;
+  roadnet::SpatialIndex index_;
+  std::optional<TransitionTables> tables_;
+  std::uint32_t tables_T_ = 0;
+  std::uint64_t fingerprint_;
+};
+
+}  // namespace rcloak::core

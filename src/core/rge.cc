@@ -1,0 +1,135 @@
+#include "core/rge.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/transition_table.h"
+
+namespace rcloak::core {
+
+namespace {
+
+std::string LevelContext(const std::string& context, int level_index) {
+  return context + "/L" + std::to_string(level_index);
+}
+
+bool Satisfied(const CloakRegion& region, const UserCounter& users,
+               const LevelRequirement& requirement) {
+  return region.size() >= requirement.delta_l &&
+         users.Count(region) >= requirement.delta_k;
+}
+
+}  // namespace
+
+std::uint64_t SealRank(const CloakRegion& region, SegmentId member,
+                       const crypto::KeyedPrng& prng) {
+  const auto sorted = region.SortedByLength();
+  const auto it = std::find(sorted.begin(), sorted.end(), member);
+  assert(it != sorted.end() && "seal member not in region");
+  const std::uint64_t rank = static_cast<std::uint64_t>(it - sorted.begin());
+  return (rank + prng.Prf("seal")) % sorted.size();
+}
+
+StatusOr<SegmentId> OpenSeal(const CloakRegion& region, std::uint64_t seal,
+                             const crypto::KeyedPrng& prng) {
+  if (region.empty()) return Status::DataLoss("seal over empty region");
+  const std::uint64_t n = region.size();
+  if (seal >= n) return Status::DataLoss("seal out of range");
+  const std::uint64_t blind = prng.Prf("seal") % n;
+  const std::uint64_t rank = (seal + n - blind) % n;
+  return region.SortedByLength()[static_cast<std::size_t>(rank)];
+}
+
+StatusOr<LevelRecord> RgeAnonymizeLevel(
+    const UserCounter& users, CloakRegion& region, SegmentId& last_added,
+    const crypto::AccessKey& key, const std::string& context,
+    int level_index, const LevelRequirement& requirement, RgeStats* stats) {
+  if (region.empty()) {
+    return Status::FailedPrecondition("RGE level expansion on empty region");
+  }
+  const crypto::KeyedPrng prng(key, LevelContext(context, level_index));
+
+  // Snapshot for rollback on failure.
+  const std::vector<SegmentId> region_before = region.segments_by_id();
+  const SegmentId last_added_before = last_added;
+  auto rollback = [&] {
+    region = CloakRegion::FromSegments(region.network(), region_before);
+    last_added = last_added_before;
+  };
+
+  std::uint64_t transition = 0;
+  while (!Satisfied(region, users, requirement)) {
+    int rings = 0;
+    const auto candidates = region.FrontierAtLeast(region.size(), &rings);
+    if (candidates.size() < region.size()) {
+      rollback();
+      return Status::ResourceExhausted(
+          "RGE: candidate set cannot reach region size (component too "
+          "small for collision-free expansion)");
+    }
+    if (stats != nullptr) {
+      ++stats->transitions;
+      if (rings > 1) ++stats->ring_fallbacks;
+      stats->max_rings = std::max(stats->max_rings, rings);
+    }
+    const TransitionTable table(region.SortedByLength(), candidates);
+    const auto next = table.Forward(last_added, prng.Draw(transition));
+    if (!next.ok()) {
+      rollback();
+      return next.status();
+    }
+    region.Insert(*next);
+    last_added = *next;
+    ++transition;
+    if (region.Bounds().Diagonal() > requirement.sigma_s) {
+      rollback();
+      return Status::ResourceExhausted(
+          "RGE: spatial tolerance sigma_s exceeded before reaching "
+          "(delta_k, delta_l)");
+    }
+  }
+
+  LevelRecord record;
+  record.region_size = static_cast<std::uint32_t>(region.size());
+  record.seal = SealRank(region, last_added, prng);
+  return record;
+}
+
+Status RgeDeanonymizeLevel(CloakRegion& region, const crypto::AccessKey& key,
+                           const std::string& context, int level_index,
+                           const LevelRecord& record,
+                           std::uint32_t prev_region_size) {
+  if (region.size() != record.region_size) {
+    return Status::FailedPrecondition(
+        "RGE de-anonymize: region size does not match level record");
+  }
+  if (prev_region_size > record.region_size) {
+    return Status::DataLoss("RGE de-anonymize: level sizes not monotone");
+  }
+  const std::uint64_t to_remove = record.region_size - prev_region_size;
+  if (to_remove == 0) return Status::Ok();
+
+  const crypto::KeyedPrng prng(key, LevelContext(context, level_index));
+  RCLOAK_ASSIGN_OR_RETURN(SegmentId current, OpenSeal(region, record.seal, prng));
+
+  // Remove λ_n .. λ_1; transition j (1-based) used draw j-1.
+  for (std::uint64_t j = to_remove; j >= 1; --j) {
+    if (!region.Contains(current)) {
+      return Status::DataLoss(
+          "RGE de-anonymize: chain left the region (wrong key or corrupt "
+          "artifact)");
+    }
+    region.Erase(current);
+    if (j == 1) break;  // λ_0 (the lower level's chain seed) is not needed
+    const auto candidates = region.FrontierAtLeast(region.size(), nullptr);
+    if (candidates.size() < region.size()) {
+      return Status::DataLoss(
+          "RGE de-anonymize: candidate set shrank below region size");
+    }
+    const TransitionTable table(region.SortedByLength(), candidates);
+    RCLOAK_ASSIGN_OR_RETURN(current, table.Backward(current, prng.Draw(j - 1)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace rcloak::core

@@ -1,0 +1,80 @@
+// Reversible Global Expansion (RGE), paper §III-A.
+//
+// Anonymization is a sequence of keyed forward transitions: at each step a
+// transition table over (current region, candidate frontier) is built and
+// the pseudo-random pick value selects the next segment from the last-added
+// segment's row. De-anonymization replays the identical tables backwards:
+// after removing the last-added segment, the table at the *resulting* state
+// maps the removed segment's column back to the previously added segment —
+// exactly the two directions of Fig. 2.
+//
+// Collision handling: the table is collision-free iff |CloakA| <= |CanA|;
+// when the ring-1 frontier is too small the candidate set is
+// deterministically expanded ring by ring ("links rebuilt on the fly"),
+// which both directions recompute identically from the region state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/artifact.h"
+#include "core/cloak_region.h"
+#include "core/privacy_profile.h"
+#include "core/user_counter.h"
+#include "crypto/keyed_prng.h"
+#include "mobility/trace.h"
+
+namespace rcloak::core {
+
+// Instrumentation of one anonymization run (ablation E11).
+struct RgeStats {
+  std::uint64_t transitions = 0;
+  // Transitions whose candidate set needed more than ring 1.
+  std::uint64_t ring_fallbacks = 0;
+  int max_rings = 0;
+};
+
+// Expands `region` in place until `requirement` holds (>= delta_k users,
+// >= delta_l segments, bounding-box diagonal <= sigma_s).
+//
+// `last_added` is the chain seed: the origin segment for level 1, or the
+// previous level's last-added segment; on success it is updated to this
+// level's last-added segment. `level_index` is the 1-based level, used to
+// derive the per-level PRNG stream from (key, context).
+//
+// Returns the level record (size + seal) on success; the region and
+// last_added are rolled back on failure.
+StatusOr<LevelRecord> RgeAnonymizeLevel(
+    const UserCounter& users, CloakRegion& region, SegmentId& last_added,
+    const crypto::AccessKey& key, const std::string& context,
+    int level_index, const LevelRequirement& requirement,
+    RgeStats* stats = nullptr);
+
+// Convenience overload for the common instantaneous-snapshot case.
+inline StatusOr<LevelRecord> RgeAnonymizeLevel(
+    const mobility::OccupancySnapshot& occupancy, CloakRegion& region,
+    SegmentId& last_added, const crypto::AccessKey& key,
+    const std::string& context, int level_index,
+    const LevelRequirement& requirement, RgeStats* stats = nullptr) {
+  const SnapshotCounter counter(occupancy);
+  return RgeAnonymizeLevel(counter, region, last_added, key, context,
+                           level_index, requirement, stats);
+}
+
+// Removes this level's segments from `region` (which must currently be the
+// level-`level_index` region). `prev_region_size` is the size of the next
+// lower level (1 for L0). On success the region equals the lower level's
+// region. Purely structural: needs no occupancy data.
+Status RgeDeanonymizeLevel(CloakRegion& region, const crypto::AccessKey& key,
+                           const std::string& context, int level_index,
+                           const LevelRecord& record,
+                           std::uint32_t prev_region_size);
+
+// Seal helpers shared with RPLE (blinded rank within the length-sorted
+// region).
+std::uint64_t SealRank(const CloakRegion& region, SegmentId member,
+                       const crypto::KeyedPrng& prng);
+StatusOr<SegmentId> OpenSeal(const CloakRegion& region, std::uint64_t seal,
+                             const crypto::KeyedPrng& prng);
+
+}  // namespace rcloak::core

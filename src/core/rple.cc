@@ -1,0 +1,464 @@
+#include "core/rple.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/rge.h"  // SealRank / OpenSeal / level context conventions
+
+namespace rcloak::core {
+
+namespace {
+
+using roadnet::Index;
+using roadnet::kInvalidSegment;
+using roadnet::RoadNetwork;
+using roadnet::SpatialIndex;
+
+std::string LevelContext(const std::string& context, int level_index) {
+  return context + "/L" + std::to_string(level_index);
+}
+std::string MetaContext(const std::string& context, int level_index) {
+  return LevelContext(context, level_index) + "/meta";
+}
+
+bool Satisfied(const CloakRegion& region, const UserCounter& users,
+               const LevelRequirement& requirement) {
+  return region.size() >= requirement.delta_l &&
+         users.Count(region) >= requirement.delta_k;
+}
+
+// Per-segment link candidates: graph-adjacent segments first (cloaking
+// should stay road-continuous), then spatially nearest others; both groups
+// ordered by midpoint distance with id tiebreak.
+std::vector<SegmentId> LinkCandidates(const RoadNetwork& net,
+                                      const SpatialIndex& index, SegmentId s,
+                                      std::size_t want) {
+  const geo::Point mid = net.SegmentMidpoint(s);
+  auto by_distance = [&](SegmentId x, SegmentId y) {
+    const double dx = geo::DistanceSquared(net.SegmentMidpoint(x), mid);
+    const double dy = geo::DistanceSquared(net.SegmentMidpoint(y), mid);
+    if (dx != dy) return dx < dy;
+    return Index(x) < Index(y);
+  };
+
+  std::vector<SegmentId> out = net.AdjacentSegments(s);
+  std::sort(out.begin(), out.end(), by_distance);
+  if (out.size() < want) {
+    // Over-fetch: nearest() includes s itself and the adjacent ones.
+    const auto near = index.Nearest(mid, want + out.size() + 1);
+    for (SegmentId cand : near) {
+      if (cand == s) continue;
+      if (std::find(out.begin(), out.end(), cand) != out.end()) continue;
+      out.push_back(cand);
+      if (out.size() >= want) break;
+    }
+  }
+  if (out.size() > want) out.resize(want);
+  return out;
+}
+
+}  // namespace
+
+Status TransitionTables::ValidatePairing() const {
+  const std::size_t count = segment_count();
+  for (std::size_t s = 0; s < count; ++s) {
+    for (std::uint32_t j = 0; j < t_; ++j) {
+      const SegmentId target = ft_[s * t_ + j];
+      if (target == kInvalidSegment) {
+        return Status::Internal("FT hole at segment " + std::to_string(s));
+      }
+      if (Index(target) == s) {
+        return Status::Internal("FT self-link at segment " +
+                                std::to_string(s));
+      }
+      if (bt_[Index(target) * t_ + j] !=
+          SegmentId{static_cast<std::uint32_t>(s)}) {
+        return Status::Internal("FT/BT pairing violated at segment " +
+                                std::to_string(s) + " slot " +
+                                std::to_string(j));
+      }
+    }
+  }
+  for (std::size_t s = 0; s < count; ++s) {
+    for (std::uint32_t j = 0; j < t_; ++j) {
+      if (bt_[s * t_ + j] == kInvalidSegment) {
+        return Status::Internal("BT hole at segment " + std::to_string(s));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<TransitionTables> BuildTransitionTables(const RoadNetwork& net,
+                                                 const SpatialIndex& index,
+                                                 std::uint32_t T) {
+  const std::size_t count = net.segment_count();
+  if (T < 2) return Status::InvalidArgument("RPLE requires T >= 2");
+  if (count <= 2 * static_cast<std::size_t>(T) + 1) {
+    return Status::InvalidArgument(
+        "RPLE pre-assignment requires segment count > 2T + 1");
+  }
+
+  // ---- Step 1: T-regular link digraph ----------------------------------
+  // Greedy rounds over preference ranks, capped in/out degrees, then a
+  // deficit-fill pass. Total capacity equals total demand (count * T each
+  // side), so completion always succeeds on any graph with count > 2T+1.
+  std::vector<std::vector<SegmentId>> targets(count);
+  std::vector<std::uint32_t> out_deg(count, 0), in_deg(count, 0);
+  const std::size_t preference_width = 4 * static_cast<std::size_t>(T);
+  std::vector<std::vector<SegmentId>> preferences(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    preferences[s] = LinkCandidates(
+        net, index, SegmentId{static_cast<std::uint32_t>(s)},
+        preference_width);
+    targets[s].reserve(T);
+  }
+
+  auto has_arc = [&](std::size_t s, SegmentId t) {
+    return std::find(targets[s].begin(), targets[s].end(), t) !=
+           targets[s].end();
+  };
+  auto add_arc = [&](std::size_t s, SegmentId t) {
+    targets[s].push_back(t);
+    ++out_deg[s];
+    ++in_deg[Index(t)];
+  };
+
+  for (std::size_t rank = 0; rank < preference_width; ++rank) {
+    for (std::size_t s = 0; s < count; ++s) {
+      if (out_deg[s] >= T) continue;
+      if (rank >= preferences[s].size()) continue;
+      const SegmentId t = preferences[s][rank];
+      if (in_deg[Index(t)] >= T || has_arc(s, t)) continue;
+      add_arc(s, t);
+    }
+  }
+
+  // Deficit fill: spare head capacity is matched to deficient tails.
+  // Spare heads are searched nearest-first (expanding k-NN) so completion
+  // links stay local — a long-range link would let the cloaking walk
+  // "teleport" and blow the spatial tolerance. Global scan is the last
+  // resort that guarantees completion (capacity equals demand).
+  for (std::size_t s = 0; s < count; ++s) {
+    if (out_deg[s] >= T) continue;
+    const geo::Point mid =
+        net.SegmentMidpoint(SegmentId{static_cast<std::uint32_t>(s)});
+    std::size_t want = preference_width;
+    while (out_deg[s] < T) {
+      bool placed = false;
+      for (const SegmentId t : index.Nearest(mid, want)) {
+        if (Index(t) == s || in_deg[Index(t)] >= T || has_arc(s, t)) {
+          continue;
+        }
+        add_arc(s, t);
+        placed = true;
+        if (out_deg[s] >= T) break;
+      }
+      if (out_deg[s] >= T) break;
+      if (!placed && want >= count) {
+        // Nearest search exhausted the whole map: global scan by id.
+        for (std::size_t h = 0; h < count && out_deg[s] < T; ++h) {
+          const SegmentId t{static_cast<std::uint32_t>(h)};
+          if (h == s || in_deg[h] >= T || has_arc(s, t)) continue;
+          add_arc(s, t);
+        }
+        // Exchange repair: every remaining spare head is s itself or
+        // already a target of s. Rewire some arc (u -> v) with v fresh for
+        // s onto a spare head t*, freeing v's in-slot for s:
+        //   u -> v  becomes  u -> t*,   plus new  s -> v.
+        // All degree constraints are preserved by construction.
+        while (out_deg[s] < T) {
+          std::size_t spare_head = count;
+          for (std::size_t h = 0; h < count; ++h) {
+            if (in_deg[h] < T) {
+              spare_head = h;
+              break;
+            }
+          }
+          bool repaired = false;
+          for (std::size_t u = 0; u < count && !repaired; ++u) {
+            if (u == spare_head) continue;
+            if (has_arc(u, SegmentId{static_cast<std::uint32_t>(
+                               spare_head)})) {
+              continue;
+            }
+            for (auto& v : targets[u]) {
+              if (Index(v) == s || Index(v) == spare_head) continue;
+              if (has_arc(s, v)) continue;
+              const SegmentId freed = v;
+              v = SegmentId{static_cast<std::uint32_t>(spare_head)};
+              ++in_deg[spare_head];
+              --in_deg[Index(freed)];
+              add_arc(s, freed);
+              repaired = true;
+              break;
+            }
+          }
+          if (!repaired) {
+            return Status::Internal(
+                "RPLE pre-assignment: could not regularize link digraph");
+          }
+        }
+        break;
+      }
+      want = std::min(want * 2, count);
+    }
+  }
+
+  // ---- Step 2: arc coloring (Kempe chains on the bipartite tail/head
+  // incidence) ------------------------------------------------------------
+  TransitionTables tables;
+  tables.t_ = T;
+  tables.ft_.assign(count * T, kInvalidSegment);
+  tables.bt_.assign(count * T, kInvalidSegment);
+  auto ft = [&](std::size_t s, std::uint32_t c) -> SegmentId& {
+    return tables.ft_[s * T + c];
+  };
+  auto bt = [&](std::size_t t, std::uint32_t c) -> SegmentId& {
+    return tables.bt_[t * T + c];
+  };
+  auto free_ft_color = [&](std::size_t s) -> std::uint32_t {
+    for (std::uint32_t c = 0; c < T; ++c) {
+      if (ft(s, c) == kInvalidSegment) return c;
+    }
+    return T;
+  };
+  auto free_bt_color = [&](std::size_t t) -> std::uint32_t {
+    for (std::uint32_t c = 0; c < T; ++c) {
+      if (bt(t, c) == kInvalidSegment) return c;
+    }
+    return T;
+  };
+
+  for (std::size_t s = 0; s < count; ++s) {
+    for (const SegmentId t : targets[s]) {
+      // Common free color?
+      std::uint32_t common = T;
+      for (std::uint32_t c = 0; c < T; ++c) {
+        if (ft(s, c) == kInvalidSegment &&
+            bt(Index(t), c) == kInvalidSegment) {
+          common = c;
+          break;
+        }
+      }
+      if (common < T) {
+        ft(s, common) = t;
+        bt(Index(t), common) = SegmentId{static_cast<std::uint32_t>(s)};
+        continue;
+      }
+      // Kempe chain: a free at tail s, b free at head t; swap colors a/b
+      // along the maximal alternating path starting at t with color a.
+      const std::uint32_t a = free_ft_color(s);
+      const std::uint32_t b = free_bt_color(Index(t));
+      if (a >= T || b >= T) {
+        return Status::Internal("RPLE coloring: no free color (degree bug)");
+      }
+      struct PathEdge {
+        std::uint32_t tail;
+        std::uint32_t head;
+        std::uint32_t color;
+      };
+      std::vector<PathEdge> path;
+      bool head_side = true;
+      std::uint32_t node = Index(t);
+      std::uint32_t color = a;
+      while (true) {
+        if (head_side) {
+          const SegmentId tail = bt(node, color);
+          if (tail == kInvalidSegment) break;
+          path.push_back({Index(tail), node, color});
+          node = Index(tail);
+        } else {
+          const SegmentId head = ft(node, color);
+          if (head == kInvalidSegment) break;
+          path.push_back({node, Index(head), color});
+          node = Index(head);
+        }
+        head_side = !head_side;
+        color = (color == a) ? b : a;
+      }
+      for (const auto& edge : path) {  // clear, then re-place swapped
+        ft(edge.tail, edge.color) = kInvalidSegment;
+        bt(edge.head, edge.color) = kInvalidSegment;
+      }
+      for (const auto& edge : path) {
+        const std::uint32_t swapped = (edge.color == a) ? b : a;
+        ft(edge.tail, swapped) = SegmentId{edge.head};
+        bt(edge.head, swapped) = SegmentId{edge.tail};
+      }
+      ft(s, a) = t;
+      bt(Index(t), a) = SegmentId{static_cast<std::uint32_t>(s)};
+    }
+  }
+
+  RCLOAK_RETURN_IF_ERROR(tables.ValidatePairing());
+  return tables;
+}
+
+GreedyPreassignResult PreassignGreedy(const RoadNetwork& net,
+                                      const SpatialIndex& index,
+                                      std::uint32_t T,
+                                      std::size_t neighbor_list_cap) {
+  const std::size_t count = net.segment_count();
+  GreedyPreassignResult result;
+  result.T = T;
+  result.ft.assign(count * T, kInvalidSegment);
+  result.bt.assign(count * T, kInvalidSegment);
+  result.total_slots = count * T;
+  if (neighbor_list_cap == 0) {
+    neighbor_list_cap = 8 * static_cast<std::size_t>(T);
+  }
+
+  // Algorithm 1: for each segment, walk its neighbour list; for each
+  // potential target sp take the first position empty in both FT[s] and
+  // BT[sp]; skip the pair when the intersection is empty (this is exactly
+  // the hole-forming case).
+  for (std::size_t s = 0; s < count; ++s) {
+    const auto nl = LinkCandidates(
+        net, index, SegmentId{static_cast<std::uint32_t>(s)},
+        neighbor_list_cap);
+    for (const SegmentId sp : nl) {
+      std::uint32_t sel = T;
+      for (std::uint32_t j = 0; j < T; ++j) {
+        if (result.ft[s * T + j] == kInvalidSegment &&
+            result.bt[Index(sp) * T + j] == kInvalidSegment) {
+          sel = j;
+          break;
+        }
+      }
+      if (sel == T) continue;
+      result.ft[s * T + sel] = sp;
+      result.bt[Index(sp) * T + sel] = SegmentId{static_cast<std::uint32_t>(s)};
+      result.filled_slots += 1;
+    }
+  }
+  return result;
+}
+
+StatusOr<LevelRecord> RpleAnonymizeLevel(
+    const TransitionTables& tables, const UserCounter& users,
+    CloakRegion& region, SegmentId& walk_position,
+    const crypto::AccessKey& key, const std::string& context,
+    int level_index, const LevelRequirement& requirement,
+    RpleStats* stats) {
+  if (region.empty()) {
+    return Status::FailedPrecondition("RPLE level expansion on empty region");
+  }
+  const crypto::KeyedPrng prng(key, LevelContext(context, level_index));
+  const crypto::KeyedPrng meta_prng(key, MetaContext(context, level_index));
+  const std::uint32_t T = tables.T();
+
+  const std::vector<SegmentId> region_before = region.segments_by_id();
+  const SegmentId position_before = walk_position;
+  auto rollback = [&] {
+    region = CloakRegion::FromSegments(region.network(), region_before);
+    walk_position = position_before;
+  };
+
+  std::vector<bool> added_bits;
+  std::uint64_t step = 0;
+  const std::uint64_t max_steps =
+      4096 + 512ULL * (requirement.delta_k + requirement.delta_l);
+  while (!Satisfied(region, users, requirement)) {
+    if (step >= max_steps) {
+      rollback();
+      return Status::ResourceExhausted(
+          "RPLE: walk budget exhausted before reaching (delta_k, delta_l)");
+    }
+    const SegmentId next =
+        tables.Forward(walk_position,
+                       static_cast<std::uint32_t>(prng.Draw(step) % T));
+    const bool is_new = !region.Contains(next);
+    if (is_new) {
+      region.Insert(next);
+    } else if (stats != nullptr) {
+      ++stats->revisits;
+    }
+    added_bits.push_back(is_new);
+    walk_position = next;
+    ++step;
+    if (stats != nullptr) ++stats->walk_steps;
+    if (is_new && region.Bounds().Diagonal() > requirement.sigma_s) {
+      rollback();
+      return Status::ResourceExhausted(
+          "RPLE: spatial tolerance sigma_s exceeded before reaching "
+          "(delta_k, delta_l)");
+    }
+  }
+
+  LevelRecord record;
+  record.region_size = static_cast<std::uint32_t>(region.size());
+  record.seal = SealRank(region, walk_position, prng);
+  record.walk_len_blinded =
+      static_cast<std::uint32_t>(step) ^
+      static_cast<std::uint32_t>(prng.Prf("walklen"));
+
+  // Pack step bits, pad to a 16-byte multiple (blurs the exact walk length
+  // without a key), blind everything with the meta keystream.
+  const std::size_t packed = (added_bits.size() + 7) / 8;
+  const std::size_t padded = ((packed + 15) / 16) * 16;
+  record.step_bits_blinded.assign(std::max<std::size_t>(padded, 16), 0);
+  for (std::size_t i = 0; i < added_bits.size(); ++i) {
+    if (added_bits[i]) {
+      record.step_bits_blinded[i / 8] |=
+          static_cast<std::uint8_t>(1u << (i % 8));
+    }
+  }
+  for (std::size_t i = 0; i < record.step_bits_blinded.size(); ++i) {
+    record.step_bits_blinded[i] ^=
+        static_cast<std::uint8_t>(meta_prng.Draw(i) & 0xFF);
+  }
+  return record;
+}
+
+Status RpleDeanonymizeLevel(const TransitionTables& tables,
+                            CloakRegion& region, const crypto::AccessKey& key,
+                            const std::string& context, int level_index,
+                            const LevelRecord& record) {
+  if (region.size() != record.region_size) {
+    return Status::FailedPrecondition(
+        "RPLE de-anonymize: region size does not match level record");
+  }
+  const crypto::KeyedPrng prng(key, LevelContext(context, level_index));
+  const crypto::KeyedPrng meta_prng(key, MetaContext(context, level_index));
+  const std::uint32_t T = tables.T();
+
+  const std::uint32_t walk_len =
+      record.walk_len_blinded ^
+      static_cast<std::uint32_t>(prng.Prf("walklen"));
+  if (walk_len == 0) return Status::Ok();
+
+  // Bits-capacity check doubles as a wrong-key detector: a bad key decodes
+  // walk_len to a near-uniform 32-bit value that cannot fit the bit array.
+  const std::size_t needed = (static_cast<std::size_t>(walk_len) + 7) / 8;
+  if (needed > record.step_bits_blinded.size()) {
+    return Status::DataLoss(
+        "RPLE de-anonymize: walk length exceeds step-bit payload (wrong key "
+        "or corrupt artifact)");
+  }
+  Bytes bits = record.step_bits_blinded;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    bits[i] ^= static_cast<std::uint8_t>(meta_prng.Draw(i) & 0xFF);
+  }
+  auto bit_at = [&](std::uint64_t j) {
+    return (bits[static_cast<std::size_t>(j / 8)] >> (j % 8)) & 1u;
+  };
+
+  RCLOAK_ASSIGN_OR_RETURN(SegmentId walk,
+                          OpenSeal(region, record.seal, prng));
+  for (std::uint64_t j = walk_len; j-- > 0;) {
+    if (bit_at(j)) {
+      if (!region.Contains(walk)) {
+        return Status::DataLoss(
+            "RPLE de-anonymize: walk erased a non-member segment (wrong key "
+            "or corrupt artifact)");
+      }
+      region.Erase(walk);
+    }
+    walk = tables.Backward(walk,
+                           static_cast<std::uint32_t>(prng.Draw(j) % T));
+  }
+  return Status::Ok();
+}
+
+}  // namespace rcloak::core

@@ -1,0 +1,103 @@
+#include "core/temporal.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rcloak::core {
+
+TraceTimeline::TraceTimeline(std::vector<mobility::TraceRecord> records,
+                             std::size_t segment_count)
+    : records_(std::move(records)), segment_count_(segment_count) {
+  // Defensive: callers should pass ordered traces, but the window query
+  // depends on it, so enforce.
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const mobility::TraceRecord& a,
+                      const mobility::TraceRecord& b) {
+                     return a.time_s < b.time_s;
+                   });
+  if (!records_.empty()) {
+    earliest_ = records_.front().time_s;
+    latest_ = records_.back().time_s;
+  }
+}
+
+mobility::OccupancySnapshot TraceTimeline::WindowOccupancy(
+    double t_begin, double t_end) const {
+  mobility::OccupancySnapshot snapshot(segment_count_);
+  std::unordered_set<std::uint32_t> seen_cars;
+  const auto first = std::lower_bound(
+      records_.begin(), records_.end(), t_begin,
+      [](const mobility::TraceRecord& rec, double t) {
+        return rec.time_s < t;
+      });
+  for (auto it = first; it != records_.end() && it->time_s <= t_end; ++it) {
+    if (seen_cars.insert(it->car_id).second) {
+      snapshot.Add(it->segment);
+    }
+  }
+  return snapshot;
+}
+
+std::vector<std::vector<std::uint32_t>> TraceTimeline::WindowPresence(
+    double t_begin, double t_end) const {
+  std::vector<std::vector<std::uint32_t>> presence(segment_count_);
+  const auto first = std::lower_bound(
+      records_.begin(), records_.end(), t_begin,
+      [](const mobility::TraceRecord& rec, double t) {
+        return rec.time_s < t;
+      });
+  for (auto it = first; it != records_.end() && it->time_s <= t_end; ++it) {
+    presence[roadnet::Index(it->segment)].push_back(it->car_id);
+  }
+  for (auto& cars : presence) {
+    std::sort(cars.begin(), cars.end());
+    cars.erase(std::unique(cars.begin(), cars.end()), cars.end());
+  }
+  return presence;
+}
+
+std::uint64_t WindowCounter::Count(const CloakRegion& region) const {
+  std::unordered_set<std::uint32_t> distinct;
+  for (const auto sid : region.segments_by_id()) {
+    const auto& cars = presence_[roadnet::Index(sid)];
+    distinct.insert(cars.begin(), cars.end());
+  }
+  return distinct.size();
+}
+
+StatusOr<TemporalCloakResult> TemporalCloak(Anonymizer& anonymizer,
+                                            const TraceTimeline& timeline,
+                                            const AnonymizeRequest& request,
+                                            const crypto::KeyChain& keys,
+                                            double request_time,
+                                            double sigma_t, double step_s) {
+  if (!(step_s > 0.0) || sigma_t < 0.0) {
+    return Status::InvalidArgument(
+        "temporal cloak: step_s must be positive, sigma_t non-negative");
+  }
+  TemporalCloakResult result;
+  Status last_failure = Status::Internal("temporal cloak: no attempt ran");
+  for (double deferral = 0.0; deferral <= sigma_t + 1e-9;
+       deferral += step_s) {
+    // Region-level distinct users over [t, t + deferral].
+    const WindowCounter counter(timeline, request_time,
+                                request_time + deferral);
+    anonymizer.SetUserCounter(&counter);
+    ++result.attempts;
+    auto attempt = anonymizer.Anonymize(request, keys);
+    anonymizer.SetUserCounter(nullptr);
+    if (attempt.ok()) {
+      result.spatial = std::move(attempt).value();
+      result.deferral_s = deferral;
+      return result;
+    }
+    if (attempt.status().code() != ErrorCode::kResourceExhausted) {
+      return attempt.status();  // not a "wait for more users" failure
+    }
+    last_failure = attempt.status();
+  }
+  return Status::ResourceExhausted(
+      "temporal cloak: sigma_t exhausted (" + last_failure.message() + ")");
+}
+
+}  // namespace rcloak::core

@@ -1,0 +1,86 @@
+// Spatio-temporal cloaking: the temporal-tolerance dimension.
+//
+// The paper's Algorithm 1 takes a temporal key Kt and the user profile
+// carries a temporal tolerance (σt) alongside the spatial one — the classic
+// Gruteser/Grunwald axis: if not enough users are around *now*, the
+// anonymizer may defer the release up to σt and count users observed during
+// the deferral window.
+//
+// Correct counting: location k-anonymity needs >= δk *distinct* users in
+// the region over the window. Summing per-tick snapshots would double-count
+// cars that cross several segments. WindowOccupancy therefore credits each
+// car to the segment of its *first* appearance in the window: per-segment
+// counts then sum to distinct cars, and any region's sum lower-bounds the
+// true distinct-user count — the k-anonymity guarantee stays sound
+// (conservative). See DESIGN.md §3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/reversecloak.h"
+#include "mobility/trace.h"
+
+namespace rcloak::core {
+
+// Time-indexed trace store for window queries.
+class TraceTimeline {
+ public:
+  // Records must be time-ordered (TraceSimulator emits them ordered).
+  explicit TraceTimeline(std::vector<mobility::TraceRecord> records,
+                         std::size_t segment_count);
+
+  // Occupancy over [t_begin, t_end]: each distinct car counted once, on the
+  // segment of its first appearance within the window. Suitable for
+  // population overviews; for the k-anonymity check use WindowCounter,
+  // which credits cars *passing through* a region later in the window.
+  mobility::OccupancySnapshot WindowOccupancy(double t_begin,
+                                              double t_end) const;
+
+  // All (segment, car) presences within the window, deduplicated:
+  // per-segment sorted lists of distinct car ids.
+  std::vector<std::vector<std::uint32_t>> WindowPresence(double t_begin,
+                                                         double t_end) const;
+
+  double earliest() const noexcept { return earliest_; }
+  double latest() const noexcept { return latest_; }
+  std::size_t record_count() const noexcept { return records_.size(); }
+  std::size_t segment_count() const noexcept { return segment_count_; }
+
+ private:
+  std::vector<mobility::TraceRecord> records_;  // time-ordered
+  std::size_t segment_count_;
+  double earliest_ = 0.0;
+  double latest_ = 0.0;
+};
+
+// Region-level distinct-user counter over a trace window: a car counts
+// toward a region if it was observed on ANY region segment at ANY time in
+// the window — the sound spatio-temporal k-anonymity semantics (cars
+// traversing several region segments are counted once).
+class WindowCounter final : public UserCounter {
+ public:
+  WindowCounter(const TraceTimeline& timeline, double t_begin, double t_end)
+      : presence_(timeline.WindowPresence(t_begin, t_end)) {}
+
+  std::uint64_t Count(const CloakRegion& region) const override;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> presence_;
+};
+
+struct TemporalCloakResult {
+  AnonymizeResult spatial;   // the artifact, as from Anonymizer::Anonymize
+  double deferral_s = 0.0;   // how long the release was delayed
+  std::uint32_t attempts = 0;
+};
+
+// Tries to anonymize at request_time; on RESOURCE_EXHAUSTED (not enough
+// users within σs), extends the observation window by `step_s` and retries,
+// up to sigma_t seconds of deferral. Other errors propagate immediately.
+StatusOr<TemporalCloakResult> TemporalCloak(
+    Anonymizer& anonymizer, const TraceTimeline& timeline,
+    const AnonymizeRequest& request, const crypto::KeyChain& keys,
+    double request_time, double sigma_t, double step_s);
+
+}  // namespace rcloak::core

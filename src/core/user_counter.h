@@ -1,0 +1,38 @@
+// User counting behind the location k-anonymity check.
+//
+// The expansion algorithms only ask one question — "how many distinct
+// users does this region cover?" — but the right answer depends on the
+// time model:
+//   * SnapshotCounter: instantaneous occupancy; per-segment counts are
+//     disjoint (each car is on exactly one segment), so summation is exact.
+//   * WindowCounter (core/temporal.h): users observed over a deferral
+//     window; a car can traverse several region segments, so the count
+//     must be the *distinct* union, not a sum.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cloak_region.h"
+#include "mobility/trace.h"
+
+namespace rcloak::core {
+
+class UserCounter {
+ public:
+  virtual ~UserCounter() = default;
+  virtual std::uint64_t Count(const CloakRegion& region) const = 0;
+};
+
+class SnapshotCounter final : public UserCounter {
+ public:
+  explicit SnapshotCounter(const mobility::OccupancySnapshot& snapshot)
+      : snapshot_(&snapshot) {}
+  std::uint64_t Count(const CloakRegion& region) const override {
+    return region.UserCount(*snapshot_);
+  }
+
+ private:
+  const mobility::OccupancySnapshot* snapshot_;
+};
+
+}  // namespace rcloak::core

@@ -1,0 +1,81 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+
+namespace rcloak::crypto {
+
+namespace {
+
+inline std::uint32_t Rotl(std::uint32_t x, int n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void QuarterRound(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                         std::uint32_t& d) noexcept {
+  a += b; d ^= a; d = Rotl(d, 16);
+  c += d; b ^= c; b = Rotl(b, 12);
+  a += b; d ^= a; d = Rotl(d, 8);
+  c += d; b ^= c; b = Rotl(b, 7);
+}
+
+inline std::uint32_t LoadLe32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void StoreLe32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, ChaCha20::kBlockSize> ChaCha20::Block(
+    const std::array<std::uint8_t, kKeySize>& key,
+    const std::array<std::uint8_t, kNonceSize>& nonce,
+    std::uint32_t counter) noexcept {
+  std::uint32_t state[16];
+  state[0] = 0x61707865;  // "expa"
+  state[1] = 0x3320646e;  // "nd 3"
+  state[2] = 0x79622d32;  // "2-by"
+  state[3] = 0x6b206574;  // "te k"
+  for (int i = 0; i < 8; ++i) state[4 + i] = LoadLe32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = LoadLe32(nonce.data() + 4 * i);
+
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+
+  std::array<std::uint8_t, kBlockSize> out{};
+  for (int i = 0; i < 16; ++i) StoreLe32(out.data() + 4 * i, x[i] + state[i]);
+  return out;
+}
+
+void ChaCha20::XorStream(const std::array<std::uint8_t, kKeySize>& key,
+                         const std::array<std::uint8_t, kNonceSize>& nonce,
+                         std::uint32_t initial_counter, Bytes& data) noexcept {
+  std::uint32_t counter = initial_counter;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const auto block = Block(key, nonce, counter++);
+    const std::size_t take = std::min(kBlockSize, data.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) data[offset + i] ^= block[i];
+    offset += take;
+  }
+}
+
+}  // namespace rcloak::crypto

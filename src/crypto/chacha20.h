@@ -1,0 +1,31 @@
+// ChaCha20 block function (RFC 8439) used as the keystream behind
+// crypto::KeyedPrng. Only the block function and a convenience XOR cipher
+// are exposed; the cloaking layer never touches raw keystream directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace rcloak::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  // Produces the 64-byte keystream block for (key, nonce, counter).
+  static std::array<std::uint8_t, kBlockSize> Block(
+      const std::array<std::uint8_t, kKeySize>& key,
+      const std::array<std::uint8_t, kNonceSize>& nonce,
+      std::uint32_t counter) noexcept;
+
+  // In-place XOR stream cipher starting at block counter `initial_counter`.
+  static void XorStream(const std::array<std::uint8_t, kKeySize>& key,
+                        const std::array<std::uint8_t, kNonceSize>& nonce,
+                        std::uint32_t initial_counter, Bytes& data) noexcept;
+};
+
+}  // namespace rcloak::crypto

@@ -1,0 +1,92 @@
+// Keyed pseudo-random number source driving the reversible cloaking
+// transitions.
+//
+// Reversibility requirement: the anonymizer consumes draws R_1..R_n in
+// forward order while the de-anonymizer needs them starting from R_n. The
+// PRNG is therefore *indexed* (random access) rather than streaming: draw i
+// is word (i mod 8) of ChaCha20 block (i / 8) under the level key and a
+// per-request nonce. Both sides address the identical sequence without
+// replaying it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "crypto/siphash.h"
+#include "util/bytes.h"
+
+namespace rcloak::crypto {
+
+// A 256-bit shared secret access key for one privacy level.
+struct AccessKey {
+  std::array<std::uint8_t, 32> bytes{};
+
+  // Deterministic key from a 64-bit seed (tests, reproducible experiments).
+  static AccessKey FromSeed(std::uint64_t seed) noexcept;
+  // Key from OS entropy ("Auto key generation" in the Anonymizer GUI).
+  static AccessKey Random();
+  // Hex codec for key files handed to data requesters.
+  std::string ToHex() const;
+  static std::optional<AccessKey> FromHex(std::string_view hex);
+
+  friend bool operator==(const AccessKey& a, const AccessKey& b) noexcept {
+    return a.bytes == b.bytes;
+  }
+};
+
+class KeyedPrng {
+ public:
+  // `context` binds the draw sequence to one anonymization request (user id,
+  // timestamp, level index...). Different contexts give independent
+  // sequences under the same key.
+  KeyedPrng(const AccessKey& key, std::string_view context) noexcept;
+
+  // i-th 64-bit draw, random access. Deterministic in (key, context, i).
+  std::uint64_t Draw(std::uint64_t index) const noexcept;
+
+  // Paper-faithful pick value: R_i mod bound (bound > 0).
+  std::uint64_t DrawMod(std::uint64_t index, std::uint64_t bound) const noexcept {
+    return Draw(index) % bound;
+  }
+
+  // Keyed PRF over a label, for seals / metadata blinding.
+  std::uint64_t Prf(std::string_view label) const noexcept;
+
+ private:
+  std::array<std::uint8_t, ChaCha20::kKeySize> key_{};
+  std::array<std::uint8_t, ChaCha20::kNonceSize> nonce_{};
+  SipKey sip_key_{};
+  // Single-block cache: transitions consume draws almost sequentially.
+  mutable std::uint32_t cached_counter_ = 0xFFFFFFFFu;
+  mutable std::array<std::uint8_t, ChaCha20::kBlockSize> cached_block_{};
+};
+
+// Key hierarchy: a master secret expands into one AccessKey per privacy
+// level via HKDF-SHA256, so the data owner stores a single secret while
+// handing out per-level keys independently.
+class KeyChain {
+ public:
+  static KeyChain DeriveFromMaster(const AccessKey& master, int num_levels);
+  // Wraps explicit per-level keys (keystore deserialization, imports).
+  static KeyChain FromKeys(std::vector<AccessKey> keys) {
+    return KeyChain(std::move(keys));
+  }
+  // Independent random keys per level (the GUI's explicit-key mode).
+  static KeyChain RandomKeys(int num_levels);
+  static KeyChain FromSeed(std::uint64_t seed, int num_levels);
+
+  int num_levels() const noexcept { return static_cast<int>(keys_.size()); }
+  // Key for privacy level i (1-based per the paper; level 0 has no key).
+  const AccessKey& LevelKey(int level) const;
+
+ private:
+  explicit KeyChain(std::vector<AccessKey> keys) : keys_(std::move(keys)) {}
+  std::vector<AccessKey> keys_;
+};
+
+}  // namespace rcloak::crypto

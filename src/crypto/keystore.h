@@ -1,0 +1,35 @@
+// Encrypted key file ("keystore"): how the data owner persists the level
+// keys of the Anonymizer's "Auto key generation" and ships single keys to
+// requesters. Format: passphrase -> HKDF-SHA256 -> ChaCha20 encryption of
+// the concatenated level keys, authenticated with HMAC-SHA256
+// (encrypt-then-MAC).
+//
+// Layout (binary):
+//   magic "RCKS" | version u8 | salt[16] | nonce[12] |
+//   varint num_keys | ciphertext (32 * num_keys) | hmac[32]
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "crypto/keyed_prng.h"
+#include "util/status.h"
+
+namespace rcloak::crypto {
+
+// Serializes and encrypts the chain under `passphrase`. `salt_seed` makes
+// the salt deterministic for tests; pass 0 to draw from OS entropy.
+Bytes SealKeyChain(const KeyChain& chain, std::string_view passphrase,
+                   std::uint64_t salt_seed = 0);
+
+// Decrypts and authenticates. Fails with DATA_LOSS on a wrong passphrase
+// or tampered file.
+StatusOr<KeyChain> OpenKeyChain(const Bytes& sealed,
+                                std::string_view passphrase);
+
+Status SaveKeyChainFile(const std::string& path, const KeyChain& chain,
+                        std::string_view passphrase);
+StatusOr<KeyChain> LoadKeyChainFile(const std::string& path,
+                                    std::string_view passphrase);
+
+}  // namespace rcloak::crypto

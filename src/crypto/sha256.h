@@ -1,0 +1,63 @@
+// SHA-256 (FIPS 180-4), implemented from scratch — the reproduction has no
+// external crypto dependency. Used by HMAC/HKDF for the ReverseCloak key
+// hierarchy.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace rcloak::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256() noexcept { Reset(); }
+
+  void Reset() noexcept;
+  void Update(const std::uint8_t* data, std::size_t len) noexcept;
+  void Update(const Bytes& data) noexcept {
+    Update(data.data(), data.size());
+  }
+  void Update(std::string_view data) noexcept {
+    Update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+  Digest Finish() noexcept;
+
+  static Digest Hash(const Bytes& data) noexcept {
+    Sha256 h;
+    h.Update(data);
+    return h.Finish();
+  }
+  static Digest Hash(std::string_view data) noexcept {
+    Sha256 h;
+    h.Update(data);
+    return h.Finish();
+  }
+
+ private:
+  void ProcessBlock(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::uint64_t bit_count_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+// HMAC-SHA256 (RFC 2104).
+Sha256::Digest HmacSha256(const Bytes& key, const Bytes& message) noexcept;
+
+// HKDF-SHA256 (RFC 5869). `out_len` up to 255*32 bytes.
+Bytes HkdfSha256(const Bytes& ikm, const Bytes& salt, const Bytes& info,
+                 std::size_t out_len);
+
+// Constant-time equality for MAC/digest comparison.
+bool ConstantTimeEqual(const Bytes& a, const Bytes& b) noexcept;
+
+}  // namespace rcloak::crypto

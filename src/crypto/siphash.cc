@@ -1,0 +1,64 @@
+#include "crypto/siphash.h"
+
+namespace rcloak::crypto {
+
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+inline std::uint64_t LoadLe64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline void SipRound(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) noexcept {
+  v0 += v1; v1 = Rotl(v1, 13); v1 ^= v0; v0 = Rotl(v0, 32);
+  v2 += v3; v3 = Rotl(v3, 16); v3 ^= v2;
+  v0 += v3; v3 = Rotl(v3, 21); v3 ^= v0;
+  v2 += v1; v1 = Rotl(v1, 17); v1 ^= v2; v2 = Rotl(v2, 32);
+}
+
+}  // namespace
+
+std::uint64_t SipHash24(const SipKey& key, const std::uint8_t* data,
+                        std::size_t len) noexcept {
+  const std::uint64_t k0 = LoadLe64(key.data());
+  const std::uint64_t k1 = LoadLe64(key.data() + 8);
+
+  std::uint64_t v0 = 0x736f6d6570736575ULL ^ k0;
+  std::uint64_t v1 = 0x646f72616e646f6dULL ^ k1;
+  std::uint64_t v2 = 0x6c7967656e657261ULL ^ k0;
+  std::uint64_t v3 = 0x7465646279746573ULL ^ k1;
+
+  const std::size_t full = len & ~std::size_t{7};
+  for (std::size_t i = 0; i < full; i += 8) {
+    const std::uint64_t m = LoadLe64(data + i);
+    v3 ^= m;
+    SipRound(v0, v1, v2, v3);
+    SipRound(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t b = static_cast<std::uint64_t>(len & 0xff) << 56;
+  for (std::size_t i = 0; i < (len & 7); ++i) {
+    b |= static_cast<std::uint64_t>(data[full + i]) << (8 * i);
+  }
+  v3 ^= b;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  v0 ^= b;
+
+  v2 ^= 0xff;
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+  SipRound(v0, v1, v2, v3);
+
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+}  // namespace rcloak::crypto

@@ -1,0 +1,21 @@
+// SipHash-2-4 (Aumasson & Bernstein): short-input keyed PRF, used for the
+// per-level region seals and metadata blinding in the cloaked artifact.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace rcloak::crypto {
+
+using SipKey = std::array<std::uint8_t, 16>;
+
+std::uint64_t SipHash24(const SipKey& key, const std::uint8_t* data,
+                        std::size_t len) noexcept;
+
+inline std::uint64_t SipHash24(const SipKey& key, const Bytes& data) noexcept {
+  return SipHash24(key, data.data(), data.size());
+}
+
+}  // namespace rcloak::crypto

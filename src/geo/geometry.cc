@@ -1,0 +1,14 @@
+#include "geo/geometry.h"
+
+namespace rcloak::geo {
+
+double PointSegmentDistance(Point p, Point a, Point b) noexcept {
+  const Point ab = b - a;
+  const double len_sq = Dot(ab, ab);
+  if (len_sq == 0.0) return Distance(p, a);
+  double t = Dot(p - a, ab) / len_sq;
+  t = std::clamp(t, 0.0, 1.0);
+  return Distance(p, Lerp(a, b, t));
+}
+
+}  // namespace rcloak::geo

@@ -1,0 +1,96 @@
+// Planar geometry primitives. Coordinates are meters in a local projected
+// frame (the USGS map the paper uses is small enough that a flat frame is
+// exact for cloaking purposes).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace rcloak::geo {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend Point operator-(Point a, Point b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend Point operator*(Point a, double s) noexcept {
+    return {a.x * s, a.y * s};
+  }
+  friend bool operator==(Point a, Point b) noexcept {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+inline double Dot(Point a, Point b) noexcept { return a.x * b.x + a.y * b.y; }
+
+inline double DistanceSquared(Point a, Point b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(Point a, Point b) noexcept {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+inline Point Midpoint(Point a, Point b) noexcept {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+// Interpolate along segment a->b; t in [0,1].
+inline Point Lerp(Point a, Point b, double t) noexcept {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+// Axis-aligned bounding box. Default-constructed box is empty.
+struct BoundingBox {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  bool empty() const noexcept { return min_x > max_x; }
+
+  void Extend(Point p) noexcept {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  void Extend(const BoundingBox& other) noexcept {
+    if (other.empty()) return;
+    Extend(Point{other.min_x, other.min_y});
+    Extend(Point{other.max_x, other.max_y});
+  }
+
+  double width() const noexcept { return empty() ? 0.0 : max_x - min_x; }
+  double height() const noexcept { return empty() ? 0.0 : max_y - min_y; }
+  double Area() const noexcept { return width() * height(); }
+  double Diagonal() const noexcept {
+    return std::sqrt(width() * width() + height() * height());
+  }
+  Point Center() const noexcept {
+    return {(min_x + max_x) * 0.5, (min_y + max_y) * 0.5};
+  }
+
+  bool Contains(Point p) const noexcept {
+    return !empty() && p.x >= min_x && p.x <= max_x && p.y >= min_y &&
+           p.y <= max_y;
+  }
+  bool Intersects(const BoundingBox& o) const noexcept {
+    return !empty() && !o.empty() && min_x <= o.max_x && o.min_x <= max_x &&
+           min_y <= o.max_y && o.min_y <= max_y;
+  }
+};
+
+// Distance from point p to segment [a, b].
+double PointSegmentDistance(Point p, Point a, Point b) noexcept;
+
+}  // namespace rcloak::geo

@@ -1,0 +1,163 @@
+#include "mobility/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "roadnet/shortest_path.h"
+
+namespace rcloak::mobility {
+
+using roadnet::Index;
+using roadnet::JunctionId;
+using roadnet::RoadNetwork;
+using roadnet::Segment;
+
+std::vector<CarState> SpawnCars(const RoadNetwork& net,
+                                const roadnet::SpatialIndex& index,
+                                const SpawnOptions& options) {
+  Xoshiro256 rng(options.seed);
+
+  std::vector<SpawnOptions::Hotspot> hotspots = options.hotspots;
+  if (hotspots.empty()) {
+    hotspots.push_back({net.bounds().Center(), net.bounds().Diagonal() / 4.0,
+                        1.0});
+  }
+  double weight_total = 0.0;
+  for (const auto& h : hotspots) weight_total += h.weight;
+
+  std::vector<CarState> cars;
+  cars.reserve(options.num_cars);
+  for (std::uint32_t i = 0; i < options.num_cars; ++i) {
+    // Pick a hotspot proportionally to weight.
+    double pick = rng.NextDouble() * weight_total;
+    const SpawnOptions::Hotspot* hotspot = &hotspots.back();
+    for (const auto& h : hotspots) {
+      pick -= h.weight;
+      if (pick <= 0) {
+        hotspot = &h;
+        break;
+      }
+    }
+    const geo::Point sample{
+        hotspot->center.x + rng.NextGaussian() * hotspot->sigma_m,
+        hotspot->center.y + rng.NextGaussian() * hotspot->sigma_m};
+    const SegmentId segment = index.NearestOne(sample);
+    CarState car;
+    car.car_id = i;
+    car.segment = segment;
+    car.offset_m = rng.NextDouble() * net.segment(segment).length;
+    car.speed_mps =
+        roadnet::DefaultSpeedMps(net.segment(segment).road_class);
+    cars.push_back(car);
+  }
+  return cars;
+}
+
+OccupancySnapshot Occupancy(const RoadNetwork& net,
+                            const std::vector<CarState>& cars) {
+  OccupancySnapshot snapshot(net.segment_count());
+  for (const auto& car : cars) snapshot.Add(car.segment);
+  return snapshot;
+}
+
+TraceSimulator::TraceSimulator(const RoadNetwork& net,
+                               std::vector<CarState> cars,
+                               const SimulationOptions& options)
+    : net_(&net), options_(options), cars_(std::move(cars)) {
+  routes_.resize(cars_.size());
+  Xoshiro256 rng(options_.seed);
+  for (std::size_t i = 0; i < cars_.size(); ++i) PlanRoute(i, rng);
+}
+
+void TraceSimulator::PlanRoute(std::size_t car_index, Xoshiro256& rng) {
+  CarState& car = cars_[car_index];
+  Route& route = routes_[car_index];
+  const Segment& spawn_segment = net_->segment(car.segment);
+
+  // Destination: uniformly random junction (demo: "destination is randomly
+  // chosen"). Route from the spawn segment's nearer endpoint.
+  const JunctionId dest{static_cast<std::uint32_t>(
+      rng.NextBounded(net_->junction_count()))};
+  const bool start_from_b =
+      car.offset_m > spawn_segment.length / 2.0;
+  const JunctionId start = start_from_b ? spawn_segment.b : spawn_segment.a;
+
+  const auto path = roadnet::ShortestPathAStar(
+      *net_, start, dest, roadnet::PathMetric::kTravelTime);
+  if (!path || path->segments.empty()) {
+    car.arrived = true;
+    ++arrived_count_;
+    return;
+  }
+  route.segments = path->segments;
+  route.next_index = 0;
+  route.entry_junction = start;
+  // The car first travels to `start` along its spawn segment.
+  route.forward = !start_from_b;
+}
+
+void TraceSimulator::AdvanceCar(std::size_t car_index, double dt) {
+  CarState& car = cars_[car_index];
+  if (car.arrived) return;
+  Route& route = routes_[car_index];
+
+  double budget = car.speed_mps * dt;
+  while (budget > 0.0 && !car.arrived) {
+    const Segment& current = net_->segment(car.segment);
+    // Distance to the end of the current segment in travel direction.
+    const double to_end =
+        route.forward ? current.length - car.offset_m : car.offset_m;
+    if (budget < to_end) {
+      car.offset_m += route.forward ? budget : -budget;
+      return;
+    }
+    budget -= to_end;
+    // Crossed a junction; enter the next route segment.
+    const JunctionId reached = route.forward ? current.b : current.a;
+    if (route.next_index >= route.segments.size()) {
+      car.arrived = true;
+      ++arrived_count_;
+      car.offset_m = route.forward ? current.length : 0.0;
+      return;
+    }
+    const SegmentId next_id = route.segments[route.next_index++];
+    const Segment& next = net_->segment(next_id);
+    car.segment = next_id;
+    car.speed_mps = roadnet::DefaultSpeedMps(next.road_class);
+    route.forward = (next.a == reached);
+    car.offset_m = route.forward ? 0.0 : next.length;
+    route.entry_junction = reached;
+  }
+}
+
+bool TraceSimulator::Step() {
+  if (arrived_count_ == cars_.size()) return false;
+  for (std::size_t i = 0; i < cars_.size(); ++i) {
+    AdvanceCar(i, options_.tick_s);
+  }
+  now_s_ += options_.tick_s;
+  ++tick_;
+  if (options_.record_every != 0 && tick_ % options_.record_every == 0) {
+    for (const auto& car : cars_) {
+      trace_.push_back({now_s_, car.car_id, car.segment, car.offset_m});
+    }
+  }
+  return arrived_count_ < cars_.size();
+}
+
+std::uint32_t TraceSimulator::Run() {
+  const auto max_ticks =
+      static_cast<std::uint32_t>(options_.duration_s / options_.tick_s);
+  std::uint32_t executed = 0;
+  while (executed < max_ticks) {
+    ++executed;
+    if (!Step()) break;
+  }
+  return executed;
+}
+
+OccupancySnapshot TraceSimulator::SnapshotNow() const {
+  return Occupancy(*net_, cars_);
+}
+
+}  // namespace rcloak::mobility

@@ -1,0 +1,61 @@
+// Mobile-trace model (GTMobiSim-style, per reference [8] of the paper):
+// cars are generated along road segments with a Gaussian spatial
+// distribution, each gets a random destination, routes follow shortest
+// paths, and movement is simulated in fixed time steps.
+//
+// The cloaking layer consumes only OccupancySnapshot (how many users are on
+// each segment at a point in time), which is what location k-anonymity over
+// road networks needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace rcloak::mobility {
+
+using roadnet::SegmentId;
+
+struct CarState {
+  std::uint32_t car_id = 0;
+  SegmentId segment = roadnet::kInvalidSegment;
+  // Position along the segment from junction `a`, in [0, length].
+  double offset_m = 0.0;
+  double speed_mps = 0.0;
+  bool arrived = false;
+};
+
+// A (time, position) sample of one car; traces are dense (one record per
+// car per tick).
+struct TraceRecord {
+  double time_s = 0.0;
+  std::uint32_t car_id = 0;
+  SegmentId segment = roadnet::kInvalidSegment;
+  double offset_m = 0.0;
+};
+
+// Per-segment user counts at one instant.
+class OccupancySnapshot {
+ public:
+  explicit OccupancySnapshot(std::size_t segment_count)
+      : counts_(segment_count, 0) {}
+
+  void Add(SegmentId segment) { ++counts_[roadnet::Index(segment)]; }
+
+  std::uint32_t count(SegmentId segment) const {
+    return counts_[roadnet::Index(segment)];
+  }
+  std::uint64_t total() const noexcept {
+    std::uint64_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+  std::size_t segment_count() const noexcept { return counts_.size(); }
+  const std::vector<std::uint32_t>& counts() const noexcept { return counts_; }
+
+ private:
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace rcloak::mobility

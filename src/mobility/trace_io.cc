@@ -1,0 +1,62 @@
+#include "mobility/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rcloak::mobility {
+
+void WriteTrace(std::ostream& os, const std::vector<TraceRecord>& records) {
+  os << "rcloak-trace 1\n";
+  os << "records " << records.size() << "\n";
+  os.precision(17);
+  for (const auto& rec : records) {
+    os << rec.time_s << " " << rec.car_id << " "
+       << roadnet::Index(rec.segment) << " " << rec.offset_m << "\n";
+  }
+}
+
+StatusOr<std::vector<TraceRecord>> ReadTrace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "rcloak-trace 1") {
+    return Status::DataLoss("bad trace header");
+  }
+  if (!std::getline(is, line)) return Status::DataLoss("missing count");
+  std::size_t count = 0;
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag >> count;
+    if (tag != "records" || ls.fail()) {
+      return Status::DataLoss("bad record count: " + line);
+    }
+  }
+  std::vector<TraceRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(is, line)) return Status::DataLoss("truncated trace");
+    std::istringstream ls(line);
+    TraceRecord rec;
+    std::uint32_t segment = 0;
+    ls >> rec.time_s >> rec.car_id >> segment >> rec.offset_m;
+    if (ls.fail()) return Status::DataLoss("bad trace line: " + line);
+    rec.segment = roadnet::SegmentId{segment};
+    records.push_back(rec);
+  }
+  return records;
+}
+
+Status SaveTraceFile(const std::string& path,
+                     const std::vector<TraceRecord>& records) {
+  std::ofstream os(path);
+  if (!os) return Status::NotFound("cannot open for write: " + path);
+  WriteTrace(os, records);
+  return os.good() ? Status::Ok() : Status::DataLoss("write failed: " + path);
+}
+
+StatusOr<std::vector<TraceRecord>> LoadTraceFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::NotFound("cannot open: " + path);
+  return ReadTrace(is);
+}
+
+}  // namespace rcloak::mobility

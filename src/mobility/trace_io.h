@@ -1,0 +1,23 @@
+// Trace file IO — the GTMobiSim interchange role: simulated traces can be
+// written once and replayed by experiments (and the temporal cloaker)
+// without re-simulation. Line format after the header: "t car segment
+// offset".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mobility/trace.h"
+#include "util/status.h"
+
+namespace rcloak::mobility {
+
+void WriteTrace(std::ostream& os, const std::vector<TraceRecord>& records);
+StatusOr<std::vector<TraceRecord>> ReadTrace(std::istream& is);
+
+Status SaveTraceFile(const std::string& path,
+                     const std::vector<TraceRecord>& records);
+StatusOr<std::vector<TraceRecord>> LoadTraceFile(const std::string& path);
+
+}  // namespace rcloak::mobility

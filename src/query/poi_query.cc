@@ -1,0 +1,94 @@
+#include "query/poi_query.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rcloak::query {
+
+PoiStore PoiStore::Random(const roadnet::RoadNetwork& net, std::size_t count,
+                          std::uint32_t categories, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const auto box = net.bounds();
+  PoiStore store;
+  store.pois_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Poi poi;
+    poi.position = {rng.NextDouble(box.min_x, box.max_x),
+                    rng.NextDouble(box.min_y, box.max_y)};
+    poi.category = static_cast<std::uint32_t>(
+        rng.NextBounded(std::max<std::uint64_t>(categories, 1)));
+    store.pois_.push_back(poi);
+  }
+  return store;
+}
+
+namespace {
+// Distance from a point to the region (min over member segments).
+double DistanceToRegion(const roadnet::RoadNetwork& net,
+                        const CloakRegion& region, geo::Point p) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto sid : region.segments_by_id()) {
+    const auto& s = net.segment(sid);
+    best = std::min(best, geo::PointSegmentDistance(
+                              p, net.junction(s.a).position,
+                              net.junction(s.b).position));
+  }
+  return best;
+}
+}  // namespace
+
+RangeQueryResult AnonymousRangeQuery(const roadnet::RoadNetwork& net,
+                                     const CloakRegion& region,
+                                     const PoiStore& store,
+                                     geo::Point true_position,
+                                     double radius) {
+  RangeQueryResult result;
+  for (std::uint32_t i = 0; i < store.size(); ++i) {
+    const geo::Point p = store.pois()[i].position;
+    if (DistanceToRegion(net, region, p) <= radius) {
+      result.candidate_indices.push_back(i);
+    }
+    if (geo::Distance(p, true_position) <= radius) {
+      result.exact_indices.push_back(i);
+    }
+  }
+  return result;
+}
+
+NearestQueryResult AnonymousNearestQuery(const roadnet::RoadNetwork& net,
+                                         const CloakRegion& region,
+                                         const PoiStore& store,
+                                         geo::Point true_position) {
+  NearestQueryResult result;
+  // Upper bound: for each region segment, the distance to its closest POI;
+  // any POI whose distance-to-region is within the *max* such bound can be
+  // the answer for some point of the region.
+  double worst_best = 0.0;
+  for (const auto sid : region.segments_by_id()) {
+    const geo::Point mid = net.SegmentMidpoint(sid);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& poi : store.pois()) {
+      best = std::min(best, geo::Distance(mid, poi.position));
+    }
+    worst_best = std::max(worst_best, best);
+  }
+  double exact_best = std::numeric_limits<double>::infinity();
+  for (std::uint32_t i = 0; i < store.size(); ++i) {
+    const geo::Point p = store.pois()[i].position;
+    if (DistanceToRegion(net, region, p) <= worst_best) {
+      result.candidate_indices.push_back(i);
+    }
+    const double d = geo::Distance(p, true_position);
+    if (d < exact_best) {
+      exact_best = d;
+      result.exact_index = i;
+    }
+  }
+  result.candidates_cover_exact =
+      std::find(result.candidate_indices.begin(),
+                result.candidate_indices.end(),
+                result.exact_index) != result.candidate_indices.end();
+  return result;
+}
+
+}  // namespace rcloak::query

@@ -1,0 +1,72 @@
+// Anonymous query processing over cloaked regions (Casper [7] /
+// PrivacyGrid-style filter step): the LBS provider cannot see the exact
+// location, so it answers for the whole region and the client refines.
+// The experiment axis (E14) is candidate-set size / filter cost vs.
+// privacy level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cloak_region.h"
+#include "roadnet/road_network.h"
+#include "util/rng.h"
+
+namespace rcloak::query {
+
+using core::CloakRegion;
+
+struct Poi {
+  geo::Point position;
+  std::uint32_t category = 0;
+};
+
+class PoiStore {
+ public:
+  // Uniform random POIs over the network bounding box.
+  static PoiStore Random(const roadnet::RoadNetwork& net, std::size_t count,
+                         std::uint32_t categories, std::uint64_t seed);
+
+  std::size_t size() const noexcept { return pois_.size(); }
+  const std::vector<Poi>& pois() const noexcept { return pois_; }
+
+ private:
+  std::vector<Poi> pois_;
+};
+
+struct RangeQueryResult {
+  // POIs within `radius` of *any point of the region* (the superset the
+  // LBS must return so the client can refine).
+  std::vector<std::uint32_t> candidate_indices;
+  // POIs within `radius` of the exact location (ground truth).
+  std::vector<std::uint32_t> exact_indices;
+  // Candidate/exact ratio: the communication+compute overhead of privacy.
+  double OverheadFactor() const noexcept {
+    return exact_indices.empty()
+               ? static_cast<double>(candidate_indices.size())
+               : static_cast<double>(candidate_indices.size()) /
+                     static_cast<double>(exact_indices.size());
+  }
+};
+
+// Range query "POIs within radius of the user" evaluated anonymously over
+// the cloaked region vs. exactly at `true_position`.
+RangeQueryResult AnonymousRangeQuery(const roadnet::RoadNetwork& net,
+                                     const CloakRegion& region,
+                                     const PoiStore& store,
+                                     geo::Point true_position, double radius);
+
+// Nearest-POI query: candidates = POIs that could be nearest for *some*
+// point in the region (distance to region bbox <= min over bbox of max
+// distance bound); exact = nearest to the true position.
+struct NearestQueryResult {
+  std::vector<std::uint32_t> candidate_indices;
+  std::uint32_t exact_index = 0;
+  bool candidates_cover_exact = false;
+};
+NearestQueryResult AnonymousNearestQuery(const roadnet::RoadNetwork& net,
+                                         const CloakRegion& region,
+                                         const PoiStore& store,
+                                         geo::Point true_position);
+
+}  // namespace rcloak::query

@@ -1,0 +1,120 @@
+#include "roadnet/alt_routing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace rcloak::roadnet {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double EdgeCost(const RoadNetwork& net, SegmentId sid, PathMetric metric) {
+  const Segment& s = net.segment(sid);
+  return metric == PathMetric::kTravelTime
+             ? s.length / DefaultSpeedMps(s.road_class)
+             : s.length;
+}
+}  // namespace
+
+AltRouter::AltRouter(const RoadNetwork& net, int num_landmarks,
+                     PathMetric metric)
+    : net_(&net), metric_(metric) {
+  assert(num_landmarks >= 1);
+  const std::size_t v_count = net.junction_count();
+  num_landmarks =
+      std::min<int>(num_landmarks, static_cast<int>(v_count));
+  landmarks_.reserve(static_cast<std::size_t>(num_landmarks));
+  landmark_dist_.reserve(static_cast<std::size_t>(num_landmarks) * v_count);
+
+  // Farthest-point landmark selection: start at junction 0, then repeatedly
+  // take the junction farthest from all chosen landmarks.
+  std::vector<double> min_dist(v_count, kInf);
+  JunctionId next{0};
+  for (int l = 0; l < num_landmarks; ++l) {
+    landmarks_.push_back(next);
+    const auto dist = ShortestPathTree(net, next, metric_);
+    landmark_dist_.insert(landmark_dist_.end(), dist.begin(), dist.end());
+    double best = -1.0;
+    for (std::size_t v = 0; v < v_count; ++v) {
+      if (dist[v] < min_dist[v]) min_dist[v] = dist[v];
+      // Unreachable junctions (inf) never become landmarks.
+      if (min_dist[v] != kInf && min_dist[v] > best) {
+        best = min_dist[v];
+        next = JunctionId{static_cast<std::uint32_t>(v)};
+      }
+    }
+  }
+}
+
+double AltRouter::Heuristic(std::uint32_t v,
+                            std::uint32_t target) const noexcept {
+  const std::size_t v_count = net_->junction_count();
+  double best = 0.0;
+  for (std::size_t l = 0; l < landmarks_.size(); ++l) {
+    const double dl_t = landmark_dist_[l * v_count + target];
+    const double dl_v = landmark_dist_[l * v_count + v];
+    if (dl_t == kInf || dl_v == kInf) continue;
+    best = std::max(best, std::fabs(dl_t - dl_v));
+  }
+  return best;
+}
+
+std::optional<Path> AltRouter::Route(JunctionId source,
+                                     JunctionId target) const {
+  ++stats_.queries;
+  const std::size_t v_count = net_->junction_count();
+  std::vector<double> dist(v_count, kInf);
+  std::vector<SegmentId> via(v_count, kInvalidSegment);
+
+  struct Entry {
+    double priority;
+    double g;
+    std::uint32_t junction;
+  };
+  struct EntryGreater {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.priority > b.priority;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, EntryGreater> pq;
+  dist[Index(source)] = 0.0;
+  pq.push({Heuristic(Index(source), Index(target)), 0.0, Index(source)});
+
+  while (!pq.empty()) {
+    const auto [priority, g, u_raw] = pq.top();
+    pq.pop();
+    if (u_raw == Index(target)) break;
+    if (g > dist[u_raw]) continue;
+    ++stats_.nodes_settled;
+    const JunctionId u{u_raw};
+    for (const SegmentId sid : net_->junction(u).incident) {
+      const JunctionId v = net_->segment(sid).Other(u);
+      const double cand = dist[u_raw] + EdgeCost(*net_, sid, metric_);
+      if (cand < dist[Index(v)]) {
+        dist[Index(v)] = cand;
+        via[Index(v)] = sid;
+        pq.push({cand + Heuristic(Index(v), Index(target)), cand, Index(v)});
+      }
+    }
+  }
+
+  if (dist[Index(target)] == kInf) return std::nullopt;
+  Path path;
+  path.cost = dist[Index(target)];
+  JunctionId cur = target;
+  while (cur != source) {
+    const SegmentId sid = via[Index(cur)];
+    path.segments.push_back(sid);
+    path.junctions.push_back(cur);
+    cur = net_->segment(sid).Other(cur);
+  }
+  path.junctions.push_back(source);
+  std::reverse(path.junctions.begin(), path.junctions.end());
+  std::reverse(path.segments.begin(), path.segments.end());
+  return path;
+}
+
+}  // namespace rcloak::roadnet

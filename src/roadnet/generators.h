@@ -1,0 +1,68 @@
+// Synthetic road-network generators.
+//
+// The demo runs on a USGS map of NW Atlanta (6,979 junctions, 9,187
+// segments). That extract is not redistributable, so the perturbed-grid
+// generator is calibrated to reproduce its scale and sparsity (average
+// junction degree 2 * 9187 / 6979 ≈ 2.63) — see DESIGN.md §1.
+#pragma once
+
+#include <cstdint>
+
+#include "roadnet/road_network.h"
+
+namespace rcloak::roadnet {
+
+struct GridOptions {
+  int rows = 20;
+  int cols = 20;
+  double spacing_m = 150.0;  // block edge length
+};
+
+// Perfect grid: rows*cols junctions, full lattice edges.
+RoadNetwork MakeGrid(const GridOptions& options);
+
+struct PerturbedGridOptions {
+  int rows = 60;
+  int cols = 60;
+  double spacing_m = 150.0;
+  // Fraction of lattice edges removed (creates the sparse, irregular look
+  // of a real street map and lowers average degree).
+  double edge_drop_fraction = 0.25;
+  // Max junction jitter as a fraction of spacing.
+  double jitter_fraction = 0.3;
+  // Fraction of edges upgraded to arterial/highway classes.
+  double arterial_fraction = 0.1;
+  std::uint64_t seed = 42;
+  // Keep only the largest connected component (real maps are connected).
+  bool keep_largest_component = true;
+};
+
+RoadNetwork MakePerturbedGrid(const PerturbedGridOptions& options);
+
+// Profile calibrated to the paper's NW-Atlanta extract: ~6,979 junctions
+// and ~9,187 segments after component pruning.
+PerturbedGridOptions AtlantaNwProfile(std::uint64_t seed = 42);
+
+struct RadialOptions {
+  int rings = 8;
+  int spokes = 16;
+  double ring_spacing_m = 200.0;
+  std::uint64_t seed = 7;
+};
+
+// Ring-and-spoke city (dense center, sparse periphery).
+RoadNetwork MakeRadial(const RadialOptions& options);
+
+// Tiny fixture graphs used across tests and the worked examples.
+RoadNetwork MakeTriangleFixture();   // 3 junctions, 3 segments
+RoadNetwork MakePaperFigure1Like(); // ~5x5 grid, matches Fig.1 scale
+
+// Path graph: n junctions in a row, n-1 segments. The adversarial case for
+// frontier-based expansion — the ring-1 frontier never exceeds 2 segments,
+// so RGE's collision-avoidance ring fallback fires on almost every step.
+RoadNetwork MakeLine(int junctions, double spacing_m = 100.0);
+
+// Single cycle: n junctions, n segments, frontier always exactly 2.
+RoadNetwork MakeCycle(int junctions, double radius_m = 500.0);
+
+}  // namespace rcloak::roadnet

@@ -1,0 +1,56 @@
+#include "roadnet/geojson.h"
+
+#include <fstream>
+#include <ostream>
+
+namespace rcloak::roadnet {
+
+namespace {
+
+void WriteSegmentFeature(std::ostream& os, const RoadNetwork& net,
+                         SegmentId sid, int level, bool first) {
+  const Segment& segment = net.segment(sid);
+  const geo::Point a = net.junction(segment.a).position;
+  const geo::Point b = net.junction(segment.b).position;
+  if (!first) os << ",\n";
+  os << "    {\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\","
+     << "\"coordinates\":[[" << a.x << "," << a.y << "],[" << b.x << ","
+     << b.y << "]]},\"properties\":{\"segment\":" << Index(sid)
+     << ",\"class\":" << static_cast<int>(segment.road_class)
+     << ",\"length_m\":" << segment.length;
+  if (level >= 0) os << ",\"level\":" << level;
+  os << "}}";
+}
+
+}  // namespace
+
+void WriteNetworkGeoJson(std::ostream& os, const RoadNetwork& net) {
+  os.precision(10);
+  os << "{\"type\":\"FeatureCollection\",\"features\":[\n";
+  for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+    WriteSegmentFeature(os, net, SegmentId{i}, /*level=*/-1, i == 0);
+  }
+  os << "\n]}\n";
+}
+
+void WriteSegmentsGeoJson(std::ostream& os, const RoadNetwork& net,
+                          const std::vector<SegmentId>& segments,
+                          int level) {
+  os.precision(10);
+  os << "{\"type\":\"FeatureCollection\",\"features\":[\n";
+  bool first = true;
+  for (const SegmentId sid : segments) {
+    WriteSegmentFeature(os, net, sid, level, first);
+    first = false;
+  }
+  os << "\n]}\n";
+}
+
+Status SaveNetworkGeoJson(const std::string& path, const RoadNetwork& net) {
+  std::ofstream os(path);
+  if (!os) return Status::NotFound("cannot open for write: " + path);
+  WriteNetworkGeoJson(os, net);
+  return os.good() ? Status::Ok() : Status::DataLoss("write failed: " + path);
+}
+
+}  // namespace rcloak::roadnet

@@ -1,0 +1,27 @@
+// GeoJSON export: road networks and cloaking regions as FeatureCollections
+// so results can be inspected in standard GIS tooling (QGIS, geojson.io,
+// kepler.gl). Coordinates are emitted in the local metric frame; a real
+// deployment would reproject, which is orthogonal to cloaking.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "util/status.h"
+
+namespace rcloak::roadnet {
+
+// Whole network: one LineString feature per segment with id/class/length
+// properties.
+void WriteNetworkGeoJson(std::ostream& os, const RoadNetwork& net);
+
+// A set of segments (e.g. a cloaking region) as a FeatureCollection with a
+// "level" property on every feature.
+void WriteSegmentsGeoJson(std::ostream& os, const RoadNetwork& net,
+                          const std::vector<SegmentId>& segments, int level);
+
+Status SaveNetworkGeoJson(const std::string& path, const RoadNetwork& net);
+
+}  // namespace rcloak::roadnet

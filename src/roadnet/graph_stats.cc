@@ -1,0 +1,56 @@
+#include "roadnet/graph_stats.h"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+
+#include "roadnet/shortest_path.h"
+
+namespace rcloak::roadnet {
+
+GraphStats ComputeStats(const RoadNetwork& net) {
+  GraphStats stats;
+  stats.junctions = net.junction_count();
+  stats.segments = net.segment_count();
+  if (stats.junctions == 0) return stats;
+
+  std::size_t degree_sum = 0;
+  for (const auto& junction : net.junctions()) {
+    const std::size_t degree = junction.incident.size();
+    degree_sum += degree;
+    stats.max_degree = std::max(stats.max_degree, degree);
+    if (stats.degree_histogram.size() <= degree) {
+      stats.degree_histogram.resize(degree + 1, 0);
+    }
+    ++stats.degree_histogram[degree];
+  }
+  stats.avg_degree =
+      static_cast<double>(degree_sum) / static_cast<double>(stats.junctions);
+
+  double min_len = std::numeric_limits<double>::infinity();
+  double max_len = 0.0;
+  double sum_len = 0.0;
+  for (const auto& segment : net.segments()) {
+    min_len = std::min(min_len, segment.length);
+    max_len = std::max(max_len, segment.length);
+    sum_len += segment.length;
+  }
+  if (stats.segments > 0) {
+    stats.avg_segment_length = sum_len / static_cast<double>(stats.segments);
+    stats.min_segment_length = min_len;
+    stats.max_segment_length = max_len;
+  }
+  stats.total_length_km = sum_len / 1000.0;
+  stats.bbox_area_km2 = net.bounds().Area() / 1e6;
+  stats.connected_components = ConnectedComponents(net).count;
+  return stats;
+}
+
+void PrintStats(std::ostream& os, const GraphStats& stats, const char* name) {
+  os << name << ": " << stats.junctions << " junctions, " << stats.segments
+     << " segments, avg degree " << stats.avg_degree << ", components "
+     << stats.connected_components << ", total length "
+     << stats.total_length_km << " km\n";
+}
+
+}  // namespace rcloak::roadnet

@@ -1,0 +1,30 @@
+// Descriptive statistics of a road network; backs the dataset table (E9).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace rcloak::roadnet {
+
+struct GraphStats {
+  std::size_t junctions = 0;
+  std::size_t segments = 0;
+  double avg_degree = 0.0;
+  std::size_t max_degree = 0;
+  std::vector<std::size_t> degree_histogram;  // index = degree
+  double avg_segment_length = 0.0;
+  double min_segment_length = 0.0;
+  double max_segment_length = 0.0;
+  double total_length_km = 0.0;
+  double bbox_area_km2 = 0.0;
+  std::uint32_t connected_components = 0;
+};
+
+GraphStats ComputeStats(const RoadNetwork& net);
+
+void PrintStats(std::ostream& os, const GraphStats& stats,
+                const char* name);
+
+}  // namespace rcloak::roadnet

@@ -1,0 +1,121 @@
+#include "roadnet/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rcloak::roadnet {
+
+void WriteNetwork(std::ostream& os, const RoadNetwork& net) {
+  os << "rcloak-map 1\n";
+  os << "junctions " << net.junction_count() << "\n";
+  // max_digits10: doubles survive the text round trip bit-exactly, which
+  // the map fingerprint (and thus de-anonymization) depends on.
+  os.precision(17);
+  for (const auto& junction : net.junctions()) {
+    os << "j " << junction.position.x << " " << junction.position.y << "\n";
+  }
+  os << "segments " << net.segment_count() << "\n";
+  for (const auto& segment : net.segments()) {
+    os << "s " << Index(segment.a) << " " << Index(segment.b) << " "
+       << static_cast<int>(segment.road_class) << " " << segment.length
+       << "\n";
+  }
+}
+
+StatusOr<RoadNetwork> ReadNetwork(std::istream& is) {
+  std::string line;
+  auto next_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  if (!next_line()) return Status::DataLoss("empty map stream");
+  {
+    std::istringstream header(line);
+    std::string magic;
+    int version = 0;
+    header >> magic >> version;
+    if (magic != "rcloak-map" || version != 1) {
+      return Status::DataLoss("bad map header: " + line);
+    }
+  }
+
+  if (!next_line()) return Status::DataLoss("missing junction count");
+  std::size_t junction_count = 0;
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag >> junction_count;
+    if (tag != "junctions" || ls.fail()) {
+      return Status::DataLoss("bad junction count line: " + line);
+    }
+  }
+
+  RoadNetwork::Builder builder;
+  for (std::size_t i = 0; i < junction_count; ++i) {
+    if (!next_line()) return Status::DataLoss("truncated junction list");
+    std::istringstream ls(line);
+    std::string tag;
+    double x = 0, y = 0;
+    ls >> tag >> x >> y;
+    if (tag != "j" || ls.fail()) {
+      return Status::DataLoss("bad junction line: " + line);
+    }
+    builder.AddJunction({x, y});
+  }
+
+  if (!next_line()) return Status::DataLoss("missing segment count");
+  std::size_t segment_count = 0;
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag >> segment_count;
+    if (tag != "segments" || ls.fail()) {
+      return Status::DataLoss("bad segment count line: " + line);
+    }
+  }
+
+  for (std::size_t i = 0; i < segment_count; ++i) {
+    if (!next_line()) return Status::DataLoss("truncated segment list");
+    std::istringstream ls(line);
+    std::string tag;
+    std::uint32_t a = 0, b = 0;
+    int road_class = 0;
+    double length = -1.0;
+    ls >> tag >> a >> b >> road_class >> length;
+    if (tag != "s" || ls.fail()) {
+      return Status::DataLoss("bad segment line: " + line);
+    }
+    if (road_class < 0 || road_class > 3) {
+      return Status::DataLoss("bad road class in line: " + line);
+    }
+    const auto added =
+        builder.AddSegment(JunctionId{a}, JunctionId{b},
+                           static_cast<RoadClass>(road_class), length);
+    if (!added.ok()) return added.status();
+  }
+
+  RoadNetwork net = builder.Build();
+  RCLOAK_RETURN_IF_ERROR(net.Validate());
+  return net;
+}
+
+Status SaveNetworkFile(const std::string& path, const RoadNetwork& net) {
+  std::ofstream os(path);
+  if (!os) return Status::NotFound("cannot open for write: " + path);
+  WriteNetwork(os, net);
+  if (!os.good()) return Status::DataLoss("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<RoadNetwork> LoadNetworkFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::NotFound("cannot open: " + path);
+  return ReadNetwork(is);
+}
+
+}  // namespace rcloak::roadnet

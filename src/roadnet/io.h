@@ -1,0 +1,28 @@
+// Plain-text road network serialization. Format (line-oriented, '#'
+// comments):
+//
+//   rcloak-map 1
+//   junctions <N>
+//   j <x> <y>                 (N lines, id = line order)
+//   segments <M>
+//   s <a> <b> <class> <length>
+//
+// This doubles as the import path for externally converted maps (e.g. a
+// USGS/TIGER extract preprocessed into this format).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "roadnet/road_network.h"
+#include "util/status.h"
+
+namespace rcloak::roadnet {
+
+void WriteNetwork(std::ostream& os, const RoadNetwork& net);
+StatusOr<RoadNetwork> ReadNetwork(std::istream& is);
+
+Status SaveNetworkFile(const std::string& path, const RoadNetwork& net);
+StatusOr<RoadNetwork> LoadNetworkFile(const std::string& path);
+
+}  // namespace rcloak::roadnet

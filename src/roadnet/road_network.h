@@ -1,0 +1,133 @@
+// Road network model: junctions (intersections) joined by segments, per the
+// paper's road-network cloaking setting ("a set of segments as the
+// connections of adjacent junctions and a set of junctions as the
+// intersections of segments").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "util/status.h"
+
+namespace rcloak::roadnet {
+
+// Strong index types. 32-bit indices are plenty (the paper's largest map is
+// ~9.2k segments; scaling benches go to ~100k).
+enum class JunctionId : std::uint32_t {};
+enum class SegmentId : std::uint32_t {};
+
+constexpr std::uint32_t Index(JunctionId id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
+constexpr std::uint32_t Index(SegmentId id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
+
+inline constexpr SegmentId kInvalidSegment{0xFFFFFFFFu};
+inline constexpr JunctionId kInvalidJunction{0xFFFFFFFFu};
+
+// Road category; affects default travel speed in the mobility simulator.
+enum class RoadClass : std::uint8_t {
+  kResidential = 0,
+  kCollector = 1,
+  kArterial = 2,
+  kHighway = 3,
+};
+
+double DefaultSpeedMps(RoadClass road_class) noexcept;
+
+struct Junction {
+  geo::Point position;
+  // Incident segment ids, sorted ascending (canonical form).
+  std::vector<SegmentId> incident;
+};
+
+struct Segment {
+  JunctionId a = kInvalidJunction;
+  JunctionId b = kInvalidJunction;
+  double length = 0.0;  // meters; >= Euclidean distance of endpoints
+  RoadClass road_class = RoadClass::kResidential;
+
+  JunctionId Other(JunctionId j) const noexcept { return j == a ? b : a; }
+  bool Touches(JunctionId j) const noexcept { return j == a || j == b; }
+};
+
+// Immutable after Build(); cheap shared reads from many threads.
+class RoadNetwork {
+ public:
+  class Builder;
+
+  std::size_t junction_count() const noexcept { return junctions_.size(); }
+  std::size_t segment_count() const noexcept { return segments_.size(); }
+
+  const Junction& junction(JunctionId id) const {
+    return junctions_[Index(id)];
+  }
+  const Segment& segment(SegmentId id) const { return segments_[Index(id)]; }
+
+  bool IsValid(SegmentId id) const noexcept {
+    return Index(id) < segments_.size();
+  }
+  bool IsValid(JunctionId id) const noexcept {
+    return Index(id) < junctions_.size();
+  }
+
+  geo::Point SegmentMidpoint(SegmentId id) const {
+    const Segment& s = segment(id);
+    return geo::Midpoint(junction(s.a).position, junction(s.b).position);
+  }
+  geo::BoundingBox SegmentBounds(SegmentId id) const {
+    const Segment& s = segment(id);
+    geo::BoundingBox box;
+    box.Extend(junction(s.a).position);
+    box.Extend(junction(s.b).position);
+    return box;
+  }
+
+  // Segments sharing a junction with `id`, excluding `id` itself.
+  // Deterministic order (ascending segment id), duplicates removed.
+  std::vector<SegmentId> AdjacentSegments(SegmentId id) const;
+
+  // True if the two distinct segments share at least one junction.
+  bool AreAdjacent(SegmentId x, SegmentId y) const;
+
+  geo::BoundingBox bounds() const noexcept { return bounds_; }
+  double total_length() const noexcept { return total_length_; }
+
+  // Structural invariants: endpoint validity, incident-list symmetry,
+  // positive lengths. Used by tests and after deserialization.
+  Status Validate() const;
+
+  std::span<const Junction> junctions() const noexcept { return junctions_; }
+  std::span<const Segment> segments() const noexcept { return segments_; }
+
+ private:
+  friend class Builder;
+  std::vector<Junction> junctions_;
+  std::vector<Segment> segments_;
+  geo::BoundingBox bounds_;
+  double total_length_ = 0.0;
+};
+
+class RoadNetwork::Builder {
+ public:
+  JunctionId AddJunction(geo::Point position);
+  // Length defaults to the Euclidean endpoint distance.
+  StatusOr<SegmentId> AddSegment(JunctionId a, JunctionId b,
+                                 RoadClass road_class = RoadClass::kResidential,
+                                 double length = -1.0);
+  std::size_t junction_count() const noexcept { return junctions_.size(); }
+  std::size_t segment_count() const noexcept { return segments_.size(); }
+
+  // Finalizes incident lists and summary fields. Builder is left empty.
+  RoadNetwork Build();
+
+ private:
+  std::vector<Junction> junctions_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace rcloak::roadnet

@@ -1,0 +1,156 @@
+#include "roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace rcloak::roadnet {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double EdgeCost(const RoadNetwork& net, SegmentId sid, PathMetric metric) {
+  const Segment& s = net.segment(sid);
+  switch (metric) {
+    case PathMetric::kDistance:
+      return s.length;
+    case PathMetric::kTravelTime:
+      return s.length / DefaultSpeedMps(s.road_class);
+  }
+  return s.length;
+}
+
+struct QueueEntry {
+  double priority;  // g + h (ordering)
+  double g;         // exact g at push time (staleness check)
+  std::uint32_t junction;
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) noexcept {
+    return a.priority > b.priority;
+  }
+};
+
+std::optional<Path> ReconstructPath(const RoadNetwork& net,
+                                    const std::vector<SegmentId>& via_segment,
+                                    const std::vector<double>& dist,
+                                    JunctionId source, JunctionId target) {
+  if (dist[Index(target)] == kInf) return std::nullopt;
+  Path path;
+  path.cost = dist[Index(target)];
+  JunctionId cur = target;
+  while (cur != source) {
+    const SegmentId sid = via_segment[Index(cur)];
+    path.segments.push_back(sid);
+    path.junctions.push_back(cur);
+    cur = net.segment(sid).Other(cur);
+  }
+  path.junctions.push_back(source);
+  std::reverse(path.junctions.begin(), path.junctions.end());
+  std::reverse(path.segments.begin(), path.segments.end());
+  return path;
+}
+
+// Shared Dijkstra/A* core. `heuristic` returns 0 for plain Dijkstra.
+std::optional<Path> Search(
+    const RoadNetwork& net, JunctionId source, JunctionId target,
+    PathMetric metric, const std::function<double(JunctionId)>& heuristic) {
+  const std::size_t n = net.junction_count();
+  std::vector<double> dist(n, kInf);
+  std::vector<SegmentId> via_segment(n, kInvalidSegment);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+
+  dist[Index(source)] = 0.0;
+  pq.push({heuristic(source), 0.0, Index(source)});
+
+  while (!pq.empty()) {
+    const auto [priority, g, u_raw] = pq.top();
+    pq.pop();
+    const JunctionId u{u_raw};
+    if (u == target) break;
+    if (g > dist[u_raw]) continue;  // stale entry
+    for (SegmentId sid : net.junction(u).incident) {
+      const JunctionId v = net.segment(sid).Other(u);
+      const double cand = dist[u_raw] + EdgeCost(net, sid, metric);
+      if (cand < dist[Index(v)]) {
+        dist[Index(v)] = cand;
+        via_segment[Index(v)] = sid;
+        pq.push({cand + heuristic(v), cand, Index(v)});
+      }
+    }
+  }
+  return ReconstructPath(net, via_segment, dist, source, target);
+}
+
+}  // namespace
+
+std::optional<Path> ShortestPath(const RoadNetwork& net, JunctionId source,
+                                 JunctionId target, PathMetric metric) {
+  return Search(net, source, target, metric,
+                [](JunctionId) { return 0.0; });
+}
+
+std::optional<Path> ShortestPathAStar(const RoadNetwork& net,
+                                      JunctionId source, JunctionId target,
+                                      PathMetric metric) {
+  const geo::Point goal = net.junction(target).position;
+  // For travel time, divide by the global max speed to stay admissible.
+  const double speed_divisor =
+      metric == PathMetric::kTravelTime
+          ? DefaultSpeedMps(RoadClass::kHighway)
+          : 1.0;
+  return Search(net, source, target, metric, [&](JunctionId j) {
+    return geo::Distance(net.junction(j).position, goal) / speed_divisor;
+  });
+}
+
+std::vector<double> ShortestPathTree(const RoadNetwork& net,
+                                     JunctionId source, PathMetric metric) {
+  const std::size_t n = net.junction_count();
+  std::vector<double> dist(n, kInf);
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  dist[Index(source)] = 0.0;
+  pq.push({0.0, 0.0, Index(source)});
+  while (!pq.empty()) {
+    const auto [d, g, u_raw] = pq.top();
+    pq.pop();
+    if (d > dist[u_raw]) continue;
+    const JunctionId u{u_raw};
+    for (SegmentId sid : net.junction(u).incident) {
+      const JunctionId v = net.segment(sid).Other(u);
+      const double cand = d + EdgeCost(net, sid, metric);
+      if (cand < dist[Index(v)]) {
+        dist[Index(v)] = cand;
+        pq.push({cand, cand, Index(v)});
+      }
+    }
+  }
+  return dist;
+}
+
+Components ConnectedComponents(const RoadNetwork& net) {
+  Components result;
+  const std::size_t n = net.junction_count();
+  constexpr std::uint32_t kUnassigned = 0xFFFFFFFFu;
+  result.component_of_junction.assign(n, kUnassigned);
+  std::vector<std::uint32_t> stack;
+  for (std::size_t start = 0; start < n; ++start) {
+    if (result.component_of_junction[start] != kUnassigned) continue;
+    const std::uint32_t comp = result.count++;
+    stack.push_back(static_cast<std::uint32_t>(start));
+    result.component_of_junction[start] = comp;
+    while (!stack.empty()) {
+      const std::uint32_t u = stack.back();
+      stack.pop_back();
+      for (SegmentId sid : net.junction(JunctionId{u}).incident) {
+        const JunctionId v = net.segment(sid).Other(JunctionId{u});
+        if (result.component_of_junction[Index(v)] == kUnassigned) {
+          result.component_of_junction[Index(v)] = comp;
+          stack.push_back(Index(v));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rcloak::roadnet

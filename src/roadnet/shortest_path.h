@@ -1,0 +1,47 @@
+// Shortest-path routing over the road network (Dijkstra and A*). The
+// mobility simulator routes every generated car with these, matching the
+// demo's "route selection is based on shortest path routing".
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace rcloak::roadnet {
+
+enum class PathMetric {
+  kDistance,    // segment length
+  kTravelTime,  // length / class speed
+};
+
+struct Path {
+  std::vector<JunctionId> junctions;  // from source to target inclusive
+  std::vector<SegmentId> segments;    // junctions.size() - 1 entries
+  double cost = 0.0;                  // in the chosen metric
+};
+
+// Dijkstra. Returns nullopt when target is unreachable.
+std::optional<Path> ShortestPath(const RoadNetwork& net, JunctionId source,
+                                 JunctionId target,
+                                 PathMetric metric = PathMetric::kDistance);
+
+// A* with the admissible Euclidean heuristic (distance metric) or
+// Euclidean/absolute-max-speed (travel-time metric).
+std::optional<Path> ShortestPathAStar(
+    const RoadNetwork& net, JunctionId source, JunctionId target,
+    PathMetric metric = PathMetric::kDistance);
+
+// Single-source distances to every junction (unreachable = +inf).
+std::vector<double> ShortestPathTree(const RoadNetwork& net, JunctionId source,
+                                     PathMetric metric = PathMetric::kDistance);
+
+// Connected component id per junction (0-based) and the component count.
+struct Components {
+  std::vector<std::uint32_t> component_of_junction;
+  std::uint32_t count = 0;
+};
+Components ConnectedComponents(const RoadNetwork& net);
+
+}  // namespace rcloak::roadnet

@@ -1,0 +1,113 @@
+#include "roadnet/spatial_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rcloak::roadnet {
+
+SpatialIndex::SpatialIndex(const RoadNetwork& net, double cell_size)
+    : net_(&net), bounds_(net.bounds()) {
+  assert(net.segment_count() > 0 && "index over empty network");
+  if (cell_size > 0.0) {
+    cell_size_ = cell_size;
+  } else {
+    const double area = std::max(bounds_.Area(), 1.0);
+    cell_size_ = std::max(
+        1.0, std::sqrt(area / static_cast<double>(net.segment_count())));
+  }
+  grid_w_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(bounds_.width() / cell_size_) + 1);
+  grid_h_ = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(bounds_.height() / cell_size_) + 1);
+
+  const std::size_t cells = static_cast<std::size_t>(grid_w_ * grid_h_);
+  std::vector<std::uint32_t> counts(cells, 0);
+  std::vector<std::size_t> cell_of(net.segment_count());
+  for (std::size_t i = 0; i < net.segment_count(); ++i) {
+    const auto c = CellOf(net.SegmentMidpoint(SegmentId{
+        static_cast<std::uint32_t>(i)}));
+    cell_of[i] = CellIndex(c.cx, c.cy);
+    ++counts[cell_of[i]];
+  }
+  bucket_start_.assign(cells + 1, 0);
+  for (std::size_t c = 0; c < cells; ++c) {
+    bucket_start_[c + 1] = bucket_start_[c] + counts[c];
+  }
+  bucket_items_.assign(net.segment_count(), kInvalidSegment);
+  std::vector<std::uint32_t> cursor(bucket_start_.begin(),
+                                    bucket_start_.end() - 1);
+  for (std::size_t i = 0; i < net.segment_count(); ++i) {
+    bucket_items_[cursor[cell_of[i]]++] =
+        SegmentId{static_cast<std::uint32_t>(i)};
+  }
+}
+
+SpatialIndex::CellCoord SpatialIndex::CellOf(geo::Point p) const noexcept {
+  auto clamp_cell = [](double v, std::int64_t hi) {
+    const auto c = static_cast<std::int64_t>(v);
+    return std::clamp<std::int64_t>(c, 0, hi - 1);
+  };
+  return {clamp_cell((p.x - bounds_.min_x) / cell_size_, grid_w_),
+          clamp_cell((p.y - bounds_.min_y) / cell_size_, grid_h_)};
+}
+
+std::size_t SpatialIndex::CellIndex(std::int64_t cx,
+                                    std::int64_t cy) const noexcept {
+  return static_cast<std::size_t>(cy * grid_w_ + cx);
+}
+
+std::vector<SegmentId> SpatialIndex::WithinRadius(geo::Point query,
+                                                  double radius) const {
+  std::vector<std::pair<double, SegmentId>> hits;
+  const auto lo = CellOf({query.x - radius, query.y - radius});
+  const auto hi = CellOf({query.x + radius, query.y + radius});
+  const double radius_sq = radius * radius;
+  for (std::int64_t cy = lo.cy; cy <= hi.cy; ++cy) {
+    for (std::int64_t cx = lo.cx; cx <= hi.cx; ++cx) {
+      const std::size_t cell = CellIndex(cx, cy);
+      for (std::uint32_t i = bucket_start_[cell]; i < bucket_start_[cell + 1];
+           ++i) {
+        const SegmentId sid = bucket_items_[i];
+        const double d_sq =
+            geo::DistanceSquared(net_->SegmentMidpoint(sid), query);
+        if (d_sq <= radius_sq) hits.emplace_back(d_sq, sid);
+      }
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first < b.first
+                              : Index(a.second) < Index(b.second);
+  });
+  std::vector<SegmentId> out;
+  out.reserve(hits.size());
+  for (const auto& [d, sid] : hits) out.push_back(sid);
+  return out;
+}
+
+std::vector<SegmentId> SpatialIndex::Nearest(geo::Point query,
+                                             std::size_t k) const {
+  k = std::min(k, net_->segment_count());
+  if (k == 0) return {};
+  // Expanding-ring search: grow the radius until at least k midpoints are
+  // inside AND the k-th distance is covered by the scanned square (a hit
+  // can't be closer than a cell we haven't scanned).
+  double radius = cell_size_;
+  const double max_radius = bounds_.Diagonal() + cell_size_;
+  for (;;) {
+    auto hits = WithinRadius(query, radius);
+    if (hits.size() >= k || radius > max_radius) {
+      if (hits.size() > k) hits.resize(k);
+      return hits;
+    }
+    radius *= 2.0;
+  }
+}
+
+SegmentId SpatialIndex::NearestOne(geo::Point query) const {
+  const auto nearest = Nearest(query, 1);
+  assert(!nearest.empty());
+  return nearest[0];
+}
+
+}  // namespace rcloak::roadnet

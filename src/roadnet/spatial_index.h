@@ -1,0 +1,50 @@
+// Uniform-grid spatial index over segment midpoints. Used by the RPLE link
+// builder (nearest-neighbour link candidates) and the mobility spawner
+// (snapping Gaussian samples to segments).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "roadnet/road_network.h"
+
+namespace rcloak::roadnet {
+
+class SpatialIndex {
+ public:
+  // cell_size <= 0 picks a heuristic (~sqrt(area / segments) so cells hold
+  // O(1) segments each).
+  explicit SpatialIndex(const RoadNetwork& net, double cell_size = -1.0);
+
+  // Segments whose midpoint lies within `radius` of `query`, sorted by
+  // distance ascending (ties by id).
+  std::vector<SegmentId> WithinRadius(geo::Point query, double radius) const;
+
+  // The k segments with nearest midpoints (expanding-ring search); fewer if
+  // the network has fewer than k segments.
+  std::vector<SegmentId> Nearest(geo::Point query, std::size_t k) const;
+
+  // Single closest segment by midpoint distance.
+  SegmentId NearestOne(geo::Point query) const;
+
+  double cell_size() const noexcept { return cell_size_; }
+
+ private:
+  struct CellCoord {
+    std::int64_t cx;
+    std::int64_t cy;
+  };
+  CellCoord CellOf(geo::Point p) const noexcept;
+  std::size_t CellIndex(std::int64_t cx, std::int64_t cy) const noexcept;
+
+  const RoadNetwork* net_;
+  double cell_size_;
+  geo::BoundingBox bounds_;
+  std::int64_t grid_w_ = 1;
+  std::int64_t grid_h_ = 1;
+  // CSR-style bucket layout.
+  std::vector<std::uint32_t> bucket_start_;
+  std::vector<SegmentId> bucket_items_;
+};
+
+}  // namespace rcloak::roadnet

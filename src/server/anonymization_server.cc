@@ -1,0 +1,103 @@
+#include "server/anonymization_server.h"
+
+#include "util/stopwatch.h"
+
+namespace rcloak::server {
+
+AnonymizationServer::AnonymizationServer(core::Anonymizer engine,
+                                         const ServerOptions& options)
+    : engine_(std::move(engine)), options_(options) {
+  // Pre-assignment up front: afterwards Anonymize() only reads shared
+  // state, so one engine serves all workers.
+  (void)engine_.EnsurePreassigned();
+  const int workers = std::max(1, options_.num_workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AnonymizationServer::~AnonymizationServer() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  // Unserved jobs fail cleanly rather than dangling their promises.
+  for (auto& job : queue_) {
+    job.promise.set_value(
+        Status::FailedPrecondition("server shut down before execution"));
+  }
+}
+
+StatusOr<std::future<StatusOr<core::AnonymizeResult>>>
+AnonymizationServer::Submit(core::AnonymizeRequest request,
+                            crypto::KeyChain keys) {
+  Job job{std::move(request), std::move(keys), {}};
+  auto future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutting_down_) {
+      return Status::FailedPrecondition("server is shutting down");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      ++rejected_;
+      return Status::ResourceExhausted("anonymization queue full");
+    }
+    queue_.push_back(std::move(job));
+    ++accepted_;
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+void AnonymizationServer::WorkerLoop() {
+  for (;;) {
+    std::optional<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down
+      job.emplace(std::move(queue_.front()));
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    Stopwatch timer;
+    auto result = engine_.Anonymize(job->request, job->keys);
+    const double elapsed = timer.ElapsedMillis();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      latency_ms_.Add(elapsed);
+      if (result.ok()) {
+        ++succeeded_;
+      } else {
+        ++failed_;
+      }
+      --in_flight_;
+    }
+    job->promise.set_value(std::move(result));
+    drain_cv_.notify_all();
+  }
+}
+
+void AnonymizationServer::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+ServerStats AnonymizationServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServerStats stats;
+  stats.accepted = accepted_;
+  stats.rejected_queue_full = rejected_;
+  stats.succeeded = succeeded_;
+  stats.failed = failed_;
+  stats.mean_latency_ms = latency_ms_.Mean();
+  stats.p95_latency_ms =
+      latency_ms_.empty() ? 0.0 : latency_ms_.Percentile(95.0);
+  return stats;
+}
+
+}  // namespace rcloak::server

@@ -1,0 +1,87 @@
+// Trusted anonymization server: the deployment shape of §IV ("the
+// 'Anonymizer' sends the parameters and access keys to a trusted
+// anonymization server"). Wraps core::Anonymizer with a bounded job queue
+// and a worker pool; Anonymize() is read-only after pre-assignment, so
+// workers share one engine.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/reversecloak.h"
+#include "util/stats.h"
+
+namespace rcloak::server {
+
+struct ServerOptions {
+  int num_workers = 2;
+  std::size_t max_queue = 1024;
+};
+
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t succeeded = 0;
+  std::uint64_t failed = 0;
+  double mean_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+};
+
+class AnonymizationServer {
+ public:
+  // The server takes ownership of the engine; RPLE pre-assignment runs
+  // up-front so workers never race the lazy build.
+  AnonymizationServer(core::Anonymizer engine, const ServerOptions& options);
+  ~AnonymizationServer();
+
+  AnonymizationServer(const AnonymizationServer&) = delete;
+  AnonymizationServer& operator=(const AnonymizationServer&) = delete;
+
+  // Enqueues a request; the future resolves to the artifact or the error.
+  // Fails fast with RESOURCE_EXHAUSTED when the queue is full.
+  StatusOr<std::future<StatusOr<core::AnonymizeResult>>> Submit(
+      core::AnonymizeRequest request, crypto::KeyChain keys);
+
+  // Blocks until the queue drains and all in-flight jobs finish.
+  void Drain();
+
+  ServerStats stats() const;
+
+  const core::Anonymizer& engine() const noexcept { return engine_; }
+
+ private:
+  struct Job {
+    core::AnonymizeRequest request;
+    crypto::KeyChain keys;
+    std::promise<StatusOr<core::AnonymizeResult>> promise;
+  };
+
+  void WorkerLoop();
+
+  core::Anonymizer engine_;
+  ServerOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<Job> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t succeeded_ = 0;
+  std::uint64_t failed_ = 0;
+  Samples latency_ms_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rcloak::server

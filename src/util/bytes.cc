@@ -1,0 +1,92 @@
+#include "util/bytes.h"
+
+namespace rcloak {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string ToHex(const Bytes& data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::optional<Bytes> FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i + 1 < hex.size() || i + 1 == hex.size(); i += 2) {
+    if (i + 1 >= hex.size()) break;
+    const int hi = HexValue(hex[i]);
+    const int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void PutVarint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::optional<std::uint64_t> GetVarint(const Bytes& in, std::size_t* offset) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  std::size_t pos = *offset;
+  while (pos < in.size() && shift <= 63) {
+    const std::uint8_t byte = in[pos++];
+    result |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *offset = pos;
+      return result;
+    }
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+void PutU32le(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutU64le(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::optional<std::uint32_t> GetU32le(const Bytes& in, std::size_t* offset) {
+  if (*offset + 4 > in.size()) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[*offset + i]) << (8 * i);
+  }
+  *offset += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> GetU64le(const Bytes& in, std::size_t* offset) {
+  if (*offset + 8 > in.size()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[*offset + i]) << (8 * i);
+  }
+  *offset += 8;
+  return v;
+}
+
+}  // namespace rcloak

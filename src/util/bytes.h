@@ -1,0 +1,30 @@
+// Byte-buffer helpers: hex codecs and LEB128-style varint encoding used by
+// the cloaked-artifact codec and the key files.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcloak {
+
+using Bytes = std::vector<std::uint8_t>;
+
+std::string ToHex(const Bytes& data);
+std::optional<Bytes> FromHex(std::string_view hex);
+
+// Unsigned LEB128.
+void PutVarint(Bytes& out, std::uint64_t v);
+// Reads a varint at *offset; advances *offset. Returns nullopt on truncation
+// or on encodings longer than 10 bytes.
+std::optional<std::uint64_t> GetVarint(const Bytes& in, std::size_t* offset);
+
+// Fixed-width little-endian helpers.
+void PutU32le(Bytes& out, std::uint32_t v);
+void PutU64le(Bytes& out, std::uint64_t v);
+std::optional<std::uint32_t> GetU32le(const Bytes& in, std::size_t* offset);
+std::optional<std::uint64_t> GetU64le(const Bytes& in, std::size_t* offset);
+
+}  // namespace rcloak

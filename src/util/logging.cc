@@ -1,0 +1,31 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace rcloak {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept { g_level = level; }
+LogLevel GetLogLevel() noexcept { return g_level; }
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
+}
+}  // namespace internal
+
+}  // namespace rcloak

@@ -1,0 +1,42 @@
+// Minimal leveled stderr logger. Bench binaries silence INFO by default so
+// table output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rcloak {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Not thread-safe by
+// design (set once at startup).
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  ~LogLine() { Emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define RCLOAK_LOG(level) \
+  ::rcloak::internal::LogLine(::rcloak::LogLevel::level)
+
+}  // namespace rcloak

@@ -1,0 +1,20 @@
+#include "util/stats.h"
+
+namespace rcloak {
+
+double EntropyBits(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0) total += w;
+  }
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double w : weights) {
+    if (w <= 0) continue;
+    const double p = w / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace rcloak

@@ -1,0 +1,135 @@
+// Lightweight status / expected types used across the ReverseCloak libraries.
+//
+// The library avoids exceptions on hot paths (cloaking transitions run in
+// tight loops); recoverable conditions are reported through Status /
+// StatusOr so that callers must inspect them, per I.10 in the C++ Core
+// Guidelines ("never ignore an error").
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace rcloak {
+
+// Error taxonomy for the whole system. Keep values stable: they appear in
+// serialized experiment logs.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kFailedPrecondition = 3,
+  kOutOfRange = 4,
+  kResourceExhausted = 5,   // e.g. spatial tolerance exceeded
+  kDataLoss = 6,            // corrupt serialized artifact
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+std::string_view ErrorCodeName(ErrorCode code) noexcept;
+
+// Value-semantic status object; cheap to copy in the OK case.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() noexcept { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(ErrorCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(ErrorCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(ErrorCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(ErrorCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(ErrorCode::kDataLoss, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(ErrorCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(ErrorCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  // "code: message" rendering for logs and test failure output.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+// Minimal expected<T, Status>. Intentionally small: only what the codebase
+// needs (construction from value or error, checked access).
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT implicit
+    assert(!std::get<Status>(rep_).ok() &&
+           "StatusOr constructed from OK status without a value");
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT implicit
+
+  bool ok() const noexcept { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok() && "value() on errored StatusOr");
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok() && "value() on errored StatusOr");
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok() && "value() on errored StatusOr");
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagation helpers, used pervasively in the implementation files.
+#define RCLOAK_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::rcloak::Status rcloak_status_ = (expr);          \
+    if (!rcloak_status_.ok()) return rcloak_status_;   \
+  } while (false)
+
+#define RCLOAK_ASSIGN_OR_RETURN(lhs, expr)             \
+  auto rcloak_sor_##__LINE__ = (expr);                 \
+  if (!rcloak_sor_##__LINE__.ok())                     \
+    return rcloak_sor_##__LINE__.status();             \
+  lhs = std::move(rcloak_sor_##__LINE__).value()
+
+}  // namespace rcloak

@@ -1,0 +1,32 @@
+// Monotonic wall-clock stopwatch used by the experiment harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rcloak {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void Restart() noexcept { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const noexcept { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const noexcept { return ElapsedSeconds() * 1e6; }
+  std::uint64_t ElapsedNanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rcloak

@@ -1,0 +1,36 @@
+// CSV / aligned-Markdown table emission for the benchmark harness. Every
+// experiment binary prints one table through this class so the output format
+// is uniform across E1..E14.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rcloak {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  // Convenience: accepts already-formatted cells.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders "| a | b |" Markdown with aligned columns.
+  void PrintMarkdown(std::ostream& os) const;
+  // Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  // Formatting helpers used by the bench binaries.
+  static std::string Fixed(double v, int digits);
+  static std::string Int(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rcloak

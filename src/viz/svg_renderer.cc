@@ -1,0 +1,108 @@
+#include "viz/svg_renderer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace rcloak::viz {
+
+namespace {
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+}  // namespace
+
+SvgRenderer::SvgRenderer(const roadnet::RoadNetwork& net, double canvas_px)
+    : net_(&net), canvas_px_(canvas_px), bounds_(net.bounds()) {
+  const double extent = std::max(bounds_.width(), bounds_.height());
+  scale_ = extent > 0 ? (canvas_px_ - 20.0) / extent : 1.0;
+}
+
+SvgRenderer::Px SvgRenderer::Project(geo::Point p) const noexcept {
+  // y flipped: SVG's y axis points down.
+  return {10.0 + (p.x - bounds_.min_x) * scale_,
+          10.0 + (bounds_.max_y - p.y) * scale_};
+}
+
+void SvgRenderer::DrawNetwork() {
+  for (const auto& segment : net_->segments()) {
+    const Px a = Project(net_->junction(segment.a).position);
+    const Px b = Project(net_->junction(segment.b).position);
+    const bool major = segment.road_class == roadnet::RoadClass::kArterial ||
+                       segment.road_class == roadnet::RoadClass::kHighway;
+    body_ += "<line x1=\"" + FormatDouble(a.x) + "\" y1=\"" +
+             FormatDouble(a.y) + "\" x2=\"" + FormatDouble(b.x) +
+             "\" y2=\"" + FormatDouble(b.y) + "\" stroke=\"" +
+             (major ? "#777777" : "#bbbbbb") + "\" stroke-width=\"" +
+             (major ? "1.6" : "0.8") + "\"/>\n";
+  }
+}
+
+void SvgRenderer::DrawRegion(const core::CloakRegion& region,
+                             const LayerStyle& style) {
+  for (const auto sid : region.segments_by_id()) {
+    const auto& segment = net_->segment(sid);
+    const Px a = Project(net_->junction(segment.a).position);
+    const Px b = Project(net_->junction(segment.b).position);
+    body_ += "<line x1=\"" + FormatDouble(a.x) + "\" y1=\"" +
+             FormatDouble(a.y) + "\" x2=\"" + FormatDouble(b.x) +
+             "\" y2=\"" + FormatDouble(b.y) + "\" stroke=\"" + style.stroke +
+             "\" stroke-width=\"" + FormatDouble(style.stroke_width) +
+             "\" stroke-linecap=\"round\" opacity=\"0.85\"/>\n";
+  }
+  if (!style.label.empty()) {
+    legend_.push_back("<tspan fill=\"" + style.stroke + "\">" + style.label +
+                      "</tspan>");
+  }
+}
+
+void SvgRenderer::MarkSegment(roadnet::SegmentId segment,
+                              const std::string& color) {
+  const geo::Point mid = net_->SegmentMidpoint(segment);
+  const Px c = Project(mid);
+  body_ += "<circle cx=\"" + FormatDouble(c.x) + "\" cy=\"" +
+           FormatDouble(c.y) + "\" r=\"6\" fill=\"" + color +
+           "\" stroke=\"black\"/>\n";
+}
+
+std::string SvgRenderer::Finish() const {
+  std::string svg =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+      FormatDouble(canvas_px_) + "\" height=\"" + FormatDouble(canvas_px_) +
+      "\" style=\"background:#ffffff\">\n";
+  svg += body_;
+  if (!legend_.empty()) {
+    svg += "<text x=\"14\" y=\"24\" font-family=\"monospace\" "
+           "font-size=\"16\">";
+    for (std::size_t i = 0; i < legend_.size(); ++i) {
+      if (i) svg += " · ";
+      svg += legend_[i];
+    }
+    svg += "</text>\n";
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+Status SvgRenderer::WriteFile(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return Status::NotFound("cannot open for write: " + path);
+  os << Finish();
+  return os.good() ? Status::Ok() : Status::DataLoss("write failed: " + path);
+}
+
+LayerStyle SvgRenderer::LevelStyle(int level) {
+  static const char* kPalette[] = {"#1f77b4", "#2ca02c", "#ff7f0e",
+                                   "#d62728", "#9467bd", "#8c564b",
+                                   "#e377c2", "#17becf"};
+  LayerStyle style;
+  style.stroke = kPalette[(level - 1) % 8];
+  style.stroke_width = 6.0 - std::min(level, 4);
+  style.label = "L" + std::to_string(level);
+  return style;
+}
+
+}  // namespace rcloak::viz

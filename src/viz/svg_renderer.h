@@ -1,0 +1,57 @@
+// SVG rendering of road networks and multi-level cloaking regions — the
+// reproduction's stand-in for the demo's Anonymizer/De-anonymizer GUI maps
+// (Figs. 1 and 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cloak_region.h"
+#include "roadnet/road_network.h"
+#include "util/status.h"
+
+namespace rcloak::viz {
+
+struct LayerStyle {
+  std::string stroke = "#d62728";
+  double stroke_width = 4.0;
+  std::string label;
+};
+
+class SvgRenderer {
+ public:
+  explicit SvgRenderer(const roadnet::RoadNetwork& net,
+                       double canvas_px = 1000.0);
+
+  // Draws all network segments (thin gray, arterials darker).
+  void DrawNetwork();
+
+  // Highlights a region. Call from outermost to innermost level so inner
+  // levels paint on top (mirrors the demo's colored multilevel rings).
+  void DrawRegion(const core::CloakRegion& region, const LayerStyle& style);
+
+  // Marks one segment (e.g. the true origin).
+  void MarkSegment(roadnet::SegmentId segment, const std::string& color);
+
+  std::string Finish() const;  // complete SVG document
+  Status WriteFile(const std::string& path) const;
+
+  // Conventional palette per level index (1-based), wrapping after 8.
+  static LayerStyle LevelStyle(int level);
+
+ private:
+  struct Px {
+    double x;
+    double y;
+  };
+  Px Project(geo::Point p) const noexcept;
+
+  const roadnet::RoadNetwork* net_;
+  double canvas_px_;
+  double scale_;
+  geo::BoundingBox bounds_;
+  std::string body_;
+  std::vector<std::string> legend_;
+};
+
+}  // namespace rcloak::viz

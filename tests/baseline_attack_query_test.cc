@@ -1,0 +1,216 @@
+// Tests for the baseline cloaks, the adversary analysis and the anonymous
+// query processor.
+#include <gtest/gtest.h>
+
+#include "attack/adversary.h"
+#include "baseline/random_expand.h"
+#include "query/poi_query.h"
+#include "roadnet/generators.h"
+#include "viz/svg_renderer.h"
+
+namespace rcloak {
+namespace {
+
+using core::CloakRegion;
+using roadnet::RoadNetwork;
+using roadnet::SegmentId;
+
+mobility::OccupancySnapshot OnePerSegment(const RoadNetwork& net) {
+  mobility::OccupancySnapshot occupancy(net.segment_count());
+  for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+    occupancy.Add(SegmentId{i});
+  }
+  return occupancy;
+}
+
+// ---------------------------------------------------------------- baseline
+TEST(RandomExpandTest, MeetsRequirementAndContainsOrigin) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto occupancy = OnePerSegment(net);
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto region = baseline::RandomExpandCloak(
+        net, occupancy, SegmentId{60}, {20, 5, 1e9}, seed);
+    ASSERT_TRUE(region.ok());
+    EXPECT_GE(region->size(), 20u);
+    EXPECT_TRUE(region->Contains(SegmentId{60}));
+  }
+}
+
+TEST(RandomExpandTest, SigmaAborts) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto occupancy = OnePerSegment(net);
+  const auto region = baseline::RandomExpandCloak(
+      net, occupancy, SegmentId{60}, {50, 5, 120.0}, 1);
+  EXPECT_FALSE(region.ok());
+  EXPECT_EQ(region.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(GridCloakTest, MeetsRequirement) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto occupancy = OnePerSegment(net);
+  const auto region = baseline::GridCloak(net, occupancy, SegmentId{60},
+                                          {20, 5, 1e9});
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  EXPECT_GE(region->size(), 20u);
+  EXPECT_TRUE(region->Contains(SegmentId{60}));
+}
+
+// ------------------------------------------------------------------ attack
+TEST(AttackTest, HeuristicsOnKeyedCloakAreNearChance) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  core::Anonymizer anonymizer(net, OnePerSegment(net));
+  core::AnonymizeRequest request;
+  request.profile = core::PrivacyProfile::SingleLevel({25, 5, 1e9});
+  request.algorithm = core::Algorithm::kRge;
+
+  int centroid_hits = 0;
+  const int trials = 40;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < trials; ++i) {
+    request.origin = SegmentId{static_cast<std::uint32_t>(
+        rng.NextBounded(net.segment_count()))};
+    request.context = "atk/" + std::to_string(i);
+    const auto keys = crypto::KeyChain::FromSeed(1000 + i, 1);
+    const auto result = anonymizer.Anonymize(request, keys);
+    ASSERT_TRUE(result.ok());
+    const auto region =
+        CloakRegion::FromSegments(net, result->artifact.region_segments);
+    const auto heuristics = attack::RunHeuristicAttacks(
+        net, anonymizer.occupancy(), region, request.origin);
+    EXPECT_GT(heuristics.uniform_success, 0.0);
+    EXPECT_LE(heuristics.uniform_success, 1.0 / 25.0 + 1e-9);
+    if (heuristics.centroid_hit) ++centroid_hits;
+  }
+  // Chance level is ~1/|region| = 4%; allow generous noise.
+  EXPECT_LT(centroid_hits, trials / 3);
+}
+
+TEST(AttackTest, WithKeyRecoveryAlwaysSucceeds) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  core::Anonymizer anonymizer(net, OnePerSegment(net));
+  core::Deanonymizer deanonymizer(net);
+  core::AnonymizeRequest request;
+  request.profile = core::PrivacyProfile({{10, 3, 1e9}, {25, 6, 1e9}});
+  for (const auto algorithm :
+       {core::Algorithm::kRge, core::Algorithm::kRple}) {
+    request.algorithm = algorithm;
+    request.origin = SegmentId{77};
+    request.context = std::string("wk/") +
+                      std::string(core::AlgorithmName(algorithm));
+    const auto keys = crypto::KeyChain::FromSeed(5, 2);
+    const auto result = anonymizer.Anonymize(request, keys);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(attack::WithKeyRecovery(deanonymizer, result->artifact, keys,
+                                        request.origin));
+    // And fails against the wrong origin claim.
+    EXPECT_FALSE(attack::WithKeyRecovery(deanonymizer, result->artifact,
+                                         keys, SegmentId{0}));
+  }
+}
+
+TEST(AttackTest, PosteriorSmokeTestIsNormalizedAndBroad) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  core::Anonymizer anonymizer(net, OnePerSegment(net));
+  core::AnonymizeRequest request;
+  request.origin = SegmentId{40};
+  request.profile = core::PrivacyProfile::SingleLevel({8, 3, 1e9});
+  request.algorithm = core::Algorithm::kRge;
+  request.context = "posterior/1";
+  const auto keys = crypto::KeyChain::FromSeed(9, 1);
+  const auto result = anonymizer.Anonymize(request, keys);
+  ASSERT_TRUE(result.ok());
+  const auto region =
+      CloakRegion::FromSegments(net, result->artifact.region_segments);
+
+  const auto posterior =
+      attack::EstimatePosterior(anonymizer, request, region,
+                                /*trials_per_candidate=*/30, /*seed=*/17);
+  ASSERT_EQ(posterior.posterior.size(), region.size());
+  double total = 0.0;
+  for (double p : posterior.posterior) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Resilience: posterior entropy within 2 bits of uniform.
+  EXPECT_GT(posterior.entropy_bits, posterior.max_entropy_bits - 2.0);
+  // The true origin must not stand out by an order of magnitude.
+  EXPECT_LT(posterior.true_origin_mass, 10.0 * posterior.uniform_mass);
+}
+
+// ------------------------------------------------------------------- query
+TEST(QueryTest, RangeCandidatesAreSuperset) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto store = query::PoiStore::Random(net, 300, 4, 11);
+  CloakRegion region(net);
+  for (std::uint32_t i : {40u, 41u, 42u, 58u}) region.Insert(SegmentId{i});
+  const geo::Point truth = net.SegmentMidpoint(SegmentId{41});
+  const auto result =
+      query::AnonymousRangeQuery(net, region, store, truth, 200.0);
+  // Every exact hit must appear among candidates (region contains truth).
+  for (const auto idx : result.exact_indices) {
+    EXPECT_NE(std::find(result.candidate_indices.begin(),
+                        result.candidate_indices.end(), idx),
+              result.candidate_indices.end());
+  }
+  EXPECT_GE(result.OverheadFactor(), 1.0);
+}
+
+TEST(QueryTest, BiggerRegionsCostMore) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto store = query::PoiStore::Random(net, 500, 4, 12);
+  CloakRegion small(net), big(net);
+  for (std::uint32_t i = 40; i < 44; ++i) small.Insert(SegmentId{i});
+  for (std::uint32_t i = 20; i < 80; ++i) big.Insert(SegmentId{i});
+  const geo::Point truth = net.SegmentMidpoint(SegmentId{41});
+  const auto small_result =
+      query::AnonymousRangeQuery(net, small, store, truth, 150.0);
+  const auto big_result =
+      query::AnonymousRangeQuery(net, big, store, truth, 150.0);
+  EXPECT_GE(big_result.candidate_indices.size(),
+            small_result.candidate_indices.size());
+}
+
+TEST(QueryTest, NearestCoversExact) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto store = query::PoiStore::Random(net, 100, 2, 13);
+  CloakRegion region(net);
+  for (std::uint32_t i : {40u, 41u, 42u}) region.Insert(SegmentId{i});
+  const geo::Point truth = net.SegmentMidpoint(SegmentId{40});
+  const auto result =
+      query::AnonymousNearestQuery(net, region, store, truth);
+  EXPECT_TRUE(result.candidates_cover_exact);
+  EXPECT_FALSE(result.candidate_indices.empty());
+}
+
+// --------------------------------------------------------------------- viz
+TEST(VizTest, SvgContainsNetworkAndRegions) {
+  const RoadNetwork net = roadnet::MakeGrid({6, 6, 100.0});
+  viz::SvgRenderer renderer(net, 400);
+  renderer.DrawNetwork();
+  CloakRegion region(net);
+  region.Insert(SegmentId{10});
+  region.Insert(SegmentId{11});
+  renderer.DrawRegion(region, viz::SvgRenderer::LevelStyle(1));
+  renderer.MarkSegment(SegmentId{10}, "#000000");
+  const std::string svg = renderer.Finish();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  // 60 network lines + 2 region lines.
+  std::size_t lines = 0;
+  for (std::size_t pos = svg.find("<line"); pos != std::string::npos;
+       pos = svg.find("<line", pos + 1)) {
+    ++lines;
+  }
+  EXPECT_EQ(lines, net.segment_count() + 2);
+}
+
+TEST(VizTest, WriteFile) {
+  const RoadNetwork net = roadnet::MakeTriangleFixture();
+  viz::SvgRenderer renderer(net);
+  renderer.DrawNetwork();
+  const std::string path = testing::TempDir() + "/map.svg";
+  EXPECT_TRUE(renderer.WriteFile(path).ok());
+  EXPECT_FALSE(renderer.WriteFile("/nonexistent/dir/x.svg").ok());
+}
+
+}  // namespace
+}  // namespace rcloak

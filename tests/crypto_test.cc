@@ -1,0 +1,257 @@
+// Known-answer and property tests for the from-scratch crypto substrate.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "crypto/chacha20.h"
+#include "crypto/keyed_prng.h"
+#include "crypto/sha256.h"
+#include "crypto/siphash.h"
+#include "util/bytes.h"
+
+namespace rcloak::crypto {
+namespace {
+
+std::string DigestHex(const Sha256::Digest& digest) {
+  return ToHex(Bytes(digest.begin(), digest.end()));
+}
+
+// ---------------------------------------------------------------- SHA-256
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(std::string_view{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(std::string_view{"abc"})),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(DigestHex(Sha256::Hash(std::string_view{
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  EXPECT_EQ(DigestHex(hasher.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalEqualsOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 hasher;
+    hasher.Update(std::string_view(msg).substr(0, split));
+    hasher.Update(std::string_view(msg).substr(split));
+    EXPECT_EQ(DigestHex(hasher.Finish()),
+              DigestHex(Sha256::Hash(std::string_view(msg))))
+        << "split at " << split;
+  }
+}
+
+// RFC 4231 test case 2.
+TEST(HmacTest, Rfc4231Case2) {
+  const Bytes key = {'J', 'e', 'f', 'e'};
+  const std::string msg = "what do ya want for nothing?";
+  const Bytes message(msg.begin(), msg.end());
+  EXPECT_EQ(DigestHex(HmacSha256(key, message)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 1.
+TEST(HmacTest, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const std::string msg = "Hi There";
+  const Bytes message(msg.begin(), msg.end());
+  EXPECT_EQ(DigestHex(HmacSha256(key, message)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 5869 test case 1.
+TEST(HkdfTest, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const auto salt = FromHex("000102030405060708090a0b0c").value();
+  const auto info = FromHex("f0f1f2f3f4f5f6f7f8f9").value();
+  const Bytes okm = HkdfSha256(ikm, salt, info, 42);
+  EXPECT_EQ(ToHex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(HkdfTest, DifferentInfoDifferentKeys) {
+  const Bytes ikm(32, 0x42);
+  const Bytes a = HkdfSha256(ikm, {}, {'a'}, 32);
+  const Bytes b = HkdfSha256(ikm, {}, {'b'}, 32);
+  EXPECT_NE(ToHex(a), ToHex(b));
+}
+
+TEST(ConstantTimeEqualTest, Basics) {
+  EXPECT_TRUE(ConstantTimeEqual({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(ConstantTimeEqual({1, 2, 3}, {1, 2}));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+// --------------------------------------------------------------- ChaCha20
+// RFC 8439 §2.3.2 block function test vector.
+TEST(ChaCha20Test, Rfc8439BlockVector) {
+  std::array<std::uint8_t, 32> key{};
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  std::array<std::uint8_t, 12> nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                                        0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const auto block = ChaCha20::Block(key, nonce, 1);
+  const Bytes got(block.begin(), block.end());
+  EXPECT_EQ(ToHex(got),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, XorStreamRoundTrip) {
+  std::array<std::uint8_t, 32> key{};
+  key[0] = 0xAA;
+  std::array<std::uint8_t, 12> nonce{};
+  nonce[11] = 0x01;
+  Bytes data;
+  for (int i = 0; i < 300; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  const Bytes original = data;
+  ChaCha20::XorStream(key, nonce, 7, data);
+  EXPECT_NE(data, original);
+  ChaCha20::XorStream(key, nonce, 7, data);
+  EXPECT_EQ(data, original);
+}
+
+// ---------------------------------------------------------------- SipHash
+// Reference vectors from the SipHash paper (key 000102..0f, messages
+// 00,01,02...).
+TEST(SipHashTest, ReferenceVectors) {
+  SipKey key;
+  for (int i = 0; i < 16; ++i) key[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  const std::uint64_t expected[] = {
+      0x726fdb47dd0e0e31ULL, 0x74f839c593dc67fdULL, 0x0d6c8009d9a94f5aULL,
+      0x85676696d7fb7e2dULL, 0xcf2794e0277187b7ULL, 0x18765564cd99a68dULL,
+      0xcbc9466e58fee3ceULL, 0xab0200f58b01d137ULL};
+  Bytes msg;
+  for (std::size_t len = 0; len < 8; ++len) {
+    EXPECT_EQ(SipHash24(key, msg), expected[len]) << "len " << len;
+    msg.push_back(static_cast<std::uint8_t>(len));
+  }
+}
+
+// -------------------------------------------------------------- KeyedPrng
+TEST(KeyedPrngTest, DeterministicAndRandomAccess) {
+  const AccessKey key = AccessKey::FromSeed(1234);
+  const KeyedPrng a(key, "ctx");
+  const KeyedPrng b(key, "ctx");
+  for (std::uint64_t i : {0ULL, 1ULL, 7ULL, 8ULL, 9ULL, 1000ULL, 5ULL}) {
+    EXPECT_EQ(a.Draw(i), b.Draw(i)) << i;
+  }
+  // Out-of-order access equals in-order access.
+  const std::uint64_t late = a.Draw(100);
+  const std::uint64_t early = a.Draw(3);
+  EXPECT_EQ(late, b.Draw(100));
+  EXPECT_EQ(early, b.Draw(3));
+}
+
+TEST(KeyedPrngTest, ContextSeparation) {
+  const AccessKey key = AccessKey::FromSeed(1);
+  const KeyedPrng a(key, "request-1");
+  const KeyedPrng b(key, "request-2");
+  int differing = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (a.Draw(i) != b.Draw(i)) ++differing;
+  }
+  EXPECT_GE(differing, 60);
+}
+
+TEST(KeyedPrngTest, KeySeparation) {
+  const KeyedPrng a(AccessKey::FromSeed(1), "ctx");
+  const KeyedPrng b(AccessKey::FromSeed(2), "ctx");
+  int differing = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (a.Draw(i) != b.Draw(i)) ++differing;
+  }
+  EXPECT_GE(differing, 60);
+}
+
+TEST(KeyedPrngTest, DrawModInRange) {
+  const KeyedPrng prng(AccessKey::FromSeed(9), "ctx");
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 255ULL}) {
+    for (std::uint64_t i = 0; i < 50; ++i) {
+      EXPECT_LT(prng.DrawMod(i, bound), bound);
+    }
+  }
+}
+
+TEST(KeyedPrngTest, PrfLabelSeparation) {
+  const KeyedPrng prng(AccessKey::FromSeed(5), "ctx");
+  EXPECT_NE(prng.Prf("seal"), prng.Prf("walklen"));
+  EXPECT_EQ(prng.Prf("seal"), prng.Prf("seal"));
+}
+
+TEST(KeyedPrngTest, PrfDependsOnKey) {
+  // Regression: the seal-blinding PRF must be uncomputable without the
+  // access key (an earlier draft derived it from the context alone).
+  const KeyedPrng a(AccessKey::FromSeed(1), "ctx");
+  const KeyedPrng b(AccessKey::FromSeed(2), "ctx");
+  EXPECT_NE(a.Prf("seal"), b.Prf("seal"));
+  EXPECT_NE(a.Prf("walklen"), b.Prf("walklen"));
+}
+
+TEST(KeyedPrngTest, RoughUniformityOfLowBits) {
+  const KeyedPrng prng(AccessKey::FromSeed(77), "ctx");
+  int ones = 0;
+  const int n = 4096;
+  for (int i = 0; i < n; ++i) {
+    ones += static_cast<int>(prng.Draw(static_cast<std::uint64_t>(i)) & 1);
+  }
+  EXPECT_GT(ones, n / 2 - 200);
+  EXPECT_LT(ones, n / 2 + 200);
+}
+
+// --------------------------------------------------------------- AccessKey
+TEST(AccessKeyTest, HexRoundTrip) {
+  const AccessKey key = AccessKey::FromSeed(42);
+  const auto parsed = AccessKey::FromHex(key.ToHex());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, key);
+}
+
+TEST(AccessKeyTest, FromHexRejectsBadInput) {
+  EXPECT_FALSE(AccessKey::FromHex("deadbeef").has_value());  // too short
+  EXPECT_FALSE(AccessKey::FromHex(std::string(63, 'a')).has_value());
+  EXPECT_FALSE(AccessKey::FromHex(std::string(64, 'z')).has_value());
+}
+
+TEST(AccessKeyTest, RandomKeysDiffer) {
+  EXPECT_NE(AccessKey::Random(), AccessKey::Random());
+}
+
+// ---------------------------------------------------------------- KeyChain
+TEST(KeyChainTest, DerivedKeysAreDistinctAndStable) {
+  const auto master = AccessKey::FromSeed(7);
+  const KeyChain chain_a = KeyChain::DeriveFromMaster(master, 4);
+  const KeyChain chain_b = KeyChain::DeriveFromMaster(master, 4);
+  ASSERT_EQ(chain_a.num_levels(), 4);
+  std::set<std::string> seen;
+  for (int level = 1; level <= 4; ++level) {
+    EXPECT_EQ(chain_a.LevelKey(level), chain_b.LevelKey(level));
+    seen.insert(chain_a.LevelKey(level).ToHex());
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(KeyChainTest, RandomChainsDiffer) {
+  const KeyChain a = KeyChain::RandomKeys(2);
+  const KeyChain b = KeyChain::RandomKeys(2);
+  EXPECT_NE(a.LevelKey(1), b.LevelKey(1));
+}
+
+}  // namespace
+}  // namespace rcloak::crypto

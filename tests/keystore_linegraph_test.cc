@@ -1,0 +1,160 @@
+// Keystore tests, plus the adversarial line/cycle-graph suites that force
+// RGE's candidate-ring fallback on nearly every transition.
+#include <gtest/gtest.h>
+
+#include "core/reversecloak.h"
+#include "core/rge.h"
+#include "crypto/keystore.h"
+#include "roadnet/generators.h"
+
+namespace rcloak {
+namespace {
+
+using core::Algorithm;
+using roadnet::RoadNetwork;
+using roadnet::SegmentId;
+
+// ------------------------------------------------------------------ keystore
+TEST(KeystoreTest, SealOpenRoundTrip) {
+  const auto chain = crypto::KeyChain::FromSeed(42, 3);
+  const Bytes sealed = crypto::SealKeyChain(chain, "hunter2", 7);
+  const auto opened = crypto::OpenKeyChain(sealed, "hunter2");
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ASSERT_EQ(opened->num_levels(), 3);
+  for (int level = 1; level <= 3; ++level) {
+    EXPECT_EQ(opened->LevelKey(level), chain.LevelKey(level));
+  }
+}
+
+TEST(KeystoreTest, WrongPassphraseRejected) {
+  const auto chain = crypto::KeyChain::FromSeed(42, 2);
+  const Bytes sealed = crypto::SealKeyChain(chain, "correct", 7);
+  const auto opened = crypto::OpenKeyChain(sealed, "incorrect");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), ErrorCode::kDataLoss);
+}
+
+TEST(KeystoreTest, TamperingDetectedEverywhere) {
+  const auto chain = crypto::KeyChain::FromSeed(9, 2);
+  const Bytes sealed = crypto::SealKeyChain(chain, "pw", 3);
+  for (std::size_t pos = 0; pos < sealed.size(); ++pos) {
+    Bytes tampered = sealed;
+    tampered[pos] ^= 0x01;
+    EXPECT_FALSE(crypto::OpenKeyChain(tampered, "pw").ok()) << pos;
+  }
+  // Truncation too.
+  Bytes truncated(sealed.begin(), sealed.end() - 1);
+  EXPECT_FALSE(crypto::OpenKeyChain(truncated, "pw").ok());
+}
+
+TEST(KeystoreTest, CiphertextHidesKeys) {
+  const auto chain = crypto::KeyChain::FromSeed(5, 1);
+  const Bytes sealed = crypto::SealKeyChain(chain, "pw", 11);
+  const auto key_hex = chain.LevelKey(1).ToHex();
+  EXPECT_EQ(ToHex(sealed).find(key_hex), std::string::npos);
+}
+
+TEST(KeystoreTest, RandomSaltsDiffer) {
+  const auto chain = crypto::KeyChain::FromSeed(5, 1);
+  const Bytes a = crypto::SealKeyChain(chain, "pw");  // OS entropy
+  const Bytes b = crypto::SealKeyChain(chain, "pw");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(crypto::OpenKeyChain(a, "pw").ok());
+  EXPECT_TRUE(crypto::OpenKeyChain(b, "pw").ok());
+}
+
+TEST(KeystoreTest, FileApi) {
+  const auto chain = crypto::KeyChain::FromSeed(13, 2);
+  const std::string path = testing::TempDir() + "/keys.rcks";
+  ASSERT_TRUE(crypto::SaveKeyChainFile(path, chain, "pw").ok());
+  const auto loaded = crypto::LoadKeyChainFile(path, "pw");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->LevelKey(2), chain.LevelKey(2));
+  EXPECT_FALSE(crypto::LoadKeyChainFile("/nonexistent/k", "pw").ok());
+}
+
+// --------------------------------------------------- adversarial topologies
+mobility::OccupancySnapshot OnePerSegment(const RoadNetwork& net) {
+  mobility::OccupancySnapshot occupancy(net.segment_count());
+  for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+    occupancy.Add(SegmentId{i});
+  }
+  return occupancy;
+}
+
+TEST(LineGraphTest, GeneratorShape) {
+  const RoadNetwork line = roadnet::MakeLine(10);
+  EXPECT_EQ(line.junction_count(), 10u);
+  EXPECT_EQ(line.segment_count(), 9u);
+  EXPECT_TRUE(line.Validate().ok());
+  const RoadNetwork cycle = roadnet::MakeCycle(8);
+  EXPECT_EQ(cycle.junction_count(), 8u);
+  EXPECT_EQ(cycle.segment_count(), 8u);
+  EXPECT_TRUE(cycle.Validate().ok());
+}
+
+// On a path graph the frontier is at most 2 segments, so every transition
+// past region size 2 exercises the deterministic multi-ring fallback — and
+// must still reverse exactly.
+TEST(LineGraphTest, RgeRoundTripUnderConstantFallback) {
+  const RoadNetwork net = roadnet::MakeLine(80);
+  const auto occupancy = OnePerSegment(net);
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    const SegmentId origin{40};
+    const auto key = crypto::AccessKey::FromSeed(seed);
+    core::CloakRegion region(net);
+    region.Insert(origin);
+    SegmentId chain = origin;
+    core::RgeStats stats;
+    const auto record = core::RgeAnonymizeLevel(
+        occupancy, region, chain, key, "line", 1, {25, 2, 1e9}, &stats);
+    ASSERT_TRUE(record.ok()) << record.status().ToString();
+    EXPECT_GT(stats.ring_fallbacks, 10u);  // the hard path really ran
+    EXPECT_GT(stats.max_rings, 3);
+
+    core::CloakRegion reduced =
+        core::CloakRegion::FromSegments(net, region.segments_by_id());
+    ASSERT_TRUE(
+        core::RgeDeanonymizeLevel(reduced, key, "line", 1, *record, 1).ok());
+    ASSERT_EQ(reduced.size(), 1u);
+    EXPECT_EQ(reduced.segments_by_id().front(), origin);
+  }
+}
+
+TEST(LineGraphTest, RgeFailsCleanlyWhenComponentExhausted) {
+  const RoadNetwork net = roadnet::MakeLine(6);  // 5 segments total
+  const auto occupancy = OnePerSegment(net);
+  core::CloakRegion region(net);
+  region.Insert(SegmentId{2});
+  SegmentId chain{2};
+  const auto record = core::RgeAnonymizeLevel(
+      occupancy, region, chain, crypto::AccessKey::FromSeed(1), "line", 1,
+      {20, 2, 1e9});
+  ASSERT_FALSE(record.ok());
+  EXPECT_EQ(record.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(region.size(), 1u);  // rollback
+}
+
+TEST(CycleGraphTest, EndToEndBothAlgorithms) {
+  const RoadNetwork net = roadnet::MakeCycle(60, 800.0);
+  core::Anonymizer anonymizer(net, OnePerSegment(net), /*rple_T=*/4);
+  core::Deanonymizer deanonymizer(net);
+  for (const auto algorithm : {Algorithm::kRge, Algorithm::kRple}) {
+    const auto keys = crypto::KeyChain::FromSeed(3, 1);
+    core::AnonymizeRequest request;
+    request.origin = SegmentId{30};
+    request.profile = core::PrivacyProfile::SingleLevel({12, 4, 1e9});
+    request.algorithm = algorithm;
+    request.context = std::string("cycle/") +
+                      std::string(core::AlgorithmName(algorithm));
+    const auto result = anonymizer.Anonymize(request, keys);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::map<int, crypto::AccessKey> granted{{1, keys.LevelKey(1)}};
+    const auto reduced = deanonymizer.Reduce(result->artifact, granted, 0);
+    ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+    EXPECT_EQ(reduced->segments_by_id().front(), request.origin);
+  }
+}
+
+}  // namespace
+}  // namespace rcloak

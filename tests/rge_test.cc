@@ -1,0 +1,295 @@
+// RGE reversibility and failure-mode tests.
+#include <gtest/gtest.h>
+
+#include "core/cloak_region.h"
+#include "core/privacy_profile.h"
+#include "core/rge.h"
+#include "crypto/keyed_prng.h"
+#include "mobility/trace.h"
+#include "roadnet/generators.h"
+#include "util/rng.h"
+
+namespace rcloak::core {
+namespace {
+
+using roadnet::RoadNetwork;
+using roadnet::SegmentId;
+
+// One simulated user per segment: region size tracks k directly, which
+// makes assertions exact.
+mobility::OccupancySnapshot OnePerSegment(const RoadNetwork& net) {
+  mobility::OccupancySnapshot occupancy(net.segment_count());
+  for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+    occupancy.Add(SegmentId{i});
+  }
+  return occupancy;
+}
+
+struct RoundTripCase {
+  std::uint32_t k;
+  std::uint64_t key_seed;
+  std::uint32_t origin;
+};
+
+class RgeRoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(RgeRoundTripTest, AnonymizeThenDeanonymizeRecoversRegionAndOrigin) {
+  const auto [k, key_seed, origin_raw] = GetParam();
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto occupancy = OnePerSegment(net);
+  const SegmentId origin{origin_raw};
+  const auto key = crypto::AccessKey::FromSeed(key_seed);
+  const LevelRequirement requirement{k, 2, 1e9};
+
+  CloakRegion region(net);
+  region.Insert(origin);
+  SegmentId chain = origin;
+  const auto record = RgeAnonymizeLevel(occupancy, region, chain, key,
+                                        "test-ctx", 1, requirement);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  EXPECT_GE(region.size(), k);
+  EXPECT_EQ(record->region_size, region.size());
+  EXPECT_TRUE(region.Contains(origin));
+  EXPECT_TRUE(region.Contains(chain));
+
+  // De-anonymize back down to L0.
+  CloakRegion reduced =
+      CloakRegion::FromSegments(net, region.segments_by_id());
+  const auto status =
+      RgeDeanonymizeLevel(reduced, key, "test-ctx", 1, *record, 1);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced.segments_by_id().front(), origin);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RgeRoundTripTest,
+    ::testing::Values(RoundTripCase{2, 1, 0}, RoundTripCase{5, 2, 100},
+                      RoundTripCase{10, 3, 50}, RoundTripCase{20, 4, 7},
+                      RoundTripCase{40, 5, 130}, RoundTripCase{80, 6, 200},
+                      RoundTripCase{5, 7, 0}, RoundTripCase{5, 8, 263},
+                      RoundTripCase{33, 9, 42}, RoundTripCase{64, 10, 99}));
+
+TEST(RgeTest, DifferentKeysGiveDifferentRegions) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto occupancy = OnePerSegment(net);
+  const LevelRequirement requirement{25, 2, 1e9};
+  const SegmentId origin{77};
+
+  std::vector<std::vector<SegmentId>> regions;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    CloakRegion region(net);
+    region.Insert(origin);
+    SegmentId chain = origin;
+    const auto record =
+        RgeAnonymizeLevel(occupancy, region, chain,
+                          crypto::AccessKey::FromSeed(seed), "ctx", 1,
+                          requirement);
+    ASSERT_TRUE(record.ok());
+    regions.push_back(region.segments_by_id());
+  }
+  EXPECT_FALSE(regions[0] == regions[1] && regions[1] == regions[2] &&
+               regions[2] == regions[3]);
+}
+
+TEST(RgeTest, DifferentContextsGiveDifferentRegions) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto occupancy = OnePerSegment(net);
+  const LevelRequirement requirement{25, 2, 1e9};
+  const SegmentId origin{77};
+  const auto key = crypto::AccessKey::FromSeed(11);
+
+  std::vector<std::vector<SegmentId>> regions;
+  for (const char* ctx : {"req-a", "req-b", "req-c"}) {
+    CloakRegion region(net);
+    region.Insert(origin);
+    SegmentId chain = origin;
+    ASSERT_TRUE(RgeAnonymizeLevel(occupancy, region, chain, key, ctx, 1,
+                                  requirement)
+                    .ok());
+    regions.push_back(region.segments_by_id());
+  }
+  EXPECT_FALSE(regions[0] == regions[1] && regions[1] == regions[2]);
+}
+
+TEST(RgeTest, WrongKeyFailsOrProducesWrongRegion) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto occupancy = OnePerSegment(net);
+  const LevelRequirement requirement{30, 2, 1e9};
+  const SegmentId origin{60};
+  const auto key = crypto::AccessKey::FromSeed(1);
+  const auto wrong_key = crypto::AccessKey::FromSeed(2);
+
+  CloakRegion region(net);
+  region.Insert(origin);
+  SegmentId chain = origin;
+  const auto record = RgeAnonymizeLevel(occupancy, region, chain, key, "ctx",
+                                        1, requirement);
+  ASSERT_TRUE(record.ok());
+
+  CloakRegion reduced =
+      CloakRegion::FromSegments(net, region.segments_by_id());
+  const auto status =
+      RgeDeanonymizeLevel(reduced, wrong_key, "ctx", 1, *record, 1);
+  if (status.ok()) {
+    // The walk happened to stay inside the region; the recovered origin
+    // must still be wrong with overwhelming probability.
+    EXPECT_NE(reduced.segments_by_id().front(), origin);
+  } else {
+    EXPECT_EQ(status.code(), ErrorCode::kDataLoss);
+  }
+}
+
+TEST(RgeTest, SigmaToleranceAbortsAndRollsBack) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto occupancy = OnePerSegment(net);
+  // Tolerance smaller than one block: impossible for k = 50.
+  const LevelRequirement requirement{50, 2, 120.0};
+  const SegmentId origin{60};
+
+  CloakRegion region(net);
+  region.Insert(origin);
+  SegmentId chain = origin;
+  const auto record =
+      RgeAnonymizeLevel(occupancy, region, chain,
+                        crypto::AccessKey::FromSeed(3), "ctx", 1, requirement);
+  ASSERT_FALSE(record.ok());
+  EXPECT_EQ(record.status().code(), ErrorCode::kResourceExhausted);
+  // Rollback: region back to just the origin, chain seed restored.
+  EXPECT_EQ(region.size(), 1u);
+  EXPECT_EQ(chain, origin);
+}
+
+TEST(RgeTest, AlreadySatisfiedLevelAddsNothing) {
+  const RoadNetwork net = roadnet::MakeGrid({6, 6, 100.0});
+  const auto occupancy = OnePerSegment(net);
+  const LevelRequirement requirement{1, 1, 1e9};
+  const SegmentId origin{5};
+
+  CloakRegion region(net);
+  region.Insert(origin);
+  SegmentId chain = origin;
+  const auto record = RgeAnonymizeLevel(occupancy, region, chain,
+                                        crypto::AccessKey::FromSeed(4),
+                                        "ctx", 1, requirement);
+  ASSERT_TRUE(record.ok());
+  EXPECT_EQ(region.size(), 1u);
+  // Zero-removal de-anonymization is a no-op.
+  CloakRegion reduced =
+      CloakRegion::FromSegments(net, region.segments_by_id());
+  ASSERT_TRUE(RgeDeanonymizeLevel(reduced, crypto::AccessKey::FromSeed(4),
+                                  "ctx", 1, *record, 1)
+                  .ok());
+  EXPECT_EQ(reduced.size(), 1u);
+}
+
+TEST(RgeTest, MultiLevelChainReducesLevelByLevel) {
+  const RoadNetwork net = roadnet::MakeGrid({14, 14, 100.0});
+  const auto occupancy = OnePerSegment(net);
+  const SegmentId origin{180};
+  const auto keys = crypto::KeyChain::FromSeed(55, 3);
+  const std::vector<LevelRequirement> requirements = {
+      {5, 2, 1e9}, {15, 4, 1e9}, {40, 8, 1e9}};
+
+  CloakRegion region(net);
+  region.Insert(origin);
+  SegmentId chain = origin;
+  std::vector<LevelRecord> records;
+  std::vector<std::vector<SegmentId>> level_regions;
+  for (int level = 1; level <= 3; ++level) {
+    const auto record = RgeAnonymizeLevel(
+        occupancy, region, chain, keys.LevelKey(level), "ctx", level,
+        requirements[static_cast<std::size_t>(level - 1)]);
+    ASSERT_TRUE(record.ok()) << record.status().ToString();
+    records.push_back(*record);
+    level_regions.push_back(region.segments_by_id());
+  }
+  // Nesting: L1 ⊂ L2 ⊂ L3.
+  EXPECT_LT(level_regions[0].size(), level_regions[1].size());
+  EXPECT_LT(level_regions[1].size(), level_regions[2].size());
+
+  // Peel L3 -> check equals L2 region.
+  CloakRegion reduced = CloakRegion::FromSegments(net, level_regions[2]);
+  ASSERT_TRUE(RgeDeanonymizeLevel(reduced, keys.LevelKey(3), "ctx", 3,
+                                  records[2], records[1].region_size)
+                  .ok());
+  EXPECT_EQ(reduced.segments_by_id(), level_regions[1]);
+  // Peel L2 -> equals L1 region.
+  ASSERT_TRUE(RgeDeanonymizeLevel(reduced, keys.LevelKey(2), "ctx", 2,
+                                  records[1], records[0].region_size)
+                  .ok());
+  EXPECT_EQ(reduced.segments_by_id(), level_regions[0]);
+  // Peel L1 -> origin.
+  ASSERT_TRUE(RgeDeanonymizeLevel(reduced, keys.LevelKey(1), "ctx", 1,
+                                  records[0], 1)
+                  .ok());
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced.segments_by_id().front(), origin);
+}
+
+TEST(RgeTest, StatsCountTransitions) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto occupancy = OnePerSegment(net);
+  const SegmentId origin{60};
+  RgeStats stats;
+  CloakRegion region(net);
+  region.Insert(origin);
+  SegmentId chain = origin;
+  ASSERT_TRUE(RgeAnonymizeLevel(occupancy, region, chain,
+                                crypto::AccessKey::FromSeed(5), "ctx", 1,
+                                {30, 2, 1e9}, &stats)
+                  .ok());
+  EXPECT_EQ(stats.transitions, region.size() - 1);
+  EXPECT_GE(stats.max_rings, 1);
+}
+
+// Seal helpers.
+TEST(SealTest, RoundTripAllMembers) {
+  const RoadNetwork net = roadnet::MakeGrid({5, 5, 100.0});
+  CloakRegion region(net);
+  for (std::uint32_t i : {0u, 3u, 9u, 14u, 21u}) region.Insert(SegmentId{i});
+  const crypto::KeyedPrng prng(crypto::AccessKey::FromSeed(8), "seal-ctx");
+  for (const SegmentId member : region.segments_by_id()) {
+    const std::uint64_t seal = SealRank(region, member, prng);
+    EXPECT_LT(seal, region.size());
+    const auto opened = OpenSeal(region, seal, prng);
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(*opened, member);
+  }
+}
+
+TEST(SealTest, WrongKeyOpensDifferentMember) {
+  // A wrong key shifts every opened rank by a (mod |region|) offset; the
+  // offset collides with the right one with probability 1/|region| per
+  // key, so assert over many wrong keys.
+  const RoadNetwork net = roadnet::MakeGrid({5, 5, 100.0});
+  CloakRegion region(net);
+  for (std::uint32_t i = 0; i < 20; ++i) region.Insert(SegmentId{i});
+  const crypto::KeyedPrng right(crypto::AccessKey::FromSeed(1), "ctx");
+  int mismatches = 0;
+  int total = 0;
+  for (std::uint64_t wrong_seed = 100; wrong_seed < 120; ++wrong_seed) {
+    const crypto::KeyedPrng wrong(crypto::AccessKey::FromSeed(wrong_seed),
+                                  "ctx");
+    for (const SegmentId member : region.segments_by_id()) {
+      const std::uint64_t seal = SealRank(region, member, right);
+      const auto opened = OpenSeal(region, seal, wrong);
+      ASSERT_TRUE(opened.ok());
+      ++total;
+      if (*opened != member) ++mismatches;
+    }
+  }
+  // Expected mismatch rate 1 - 1/20 = 95%; demand at least 80%.
+  EXPECT_GT(mismatches, total * 8 / 10);
+}
+
+TEST(SealTest, OutOfRangeSealRejected) {
+  const RoadNetwork net = roadnet::MakeTriangleFixture();
+  CloakRegion region(net);
+  region.Insert(SegmentId{0});
+  const crypto::KeyedPrng prng(crypto::AccessKey::FromSeed(1), "ctx");
+  EXPECT_FALSE(OpenSeal(region, 99, prng).ok());
+}
+
+}  // namespace
+}  // namespace rcloak::core

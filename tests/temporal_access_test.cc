@@ -1,0 +1,360 @@
+// Tests for temporal cloaking, access control, request caching, the
+// correlation attack, and trace IO.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "attack/correlation.h"
+#include "core/access_control.h"
+#include "core/request_cache.h"
+#include "core/temporal.h"
+#include "mobility/simulator.h"
+#include "mobility/trace_io.h"
+#include "roadnet/generators.h"
+#include "roadnet/spatial_index.h"
+
+namespace rcloak {
+namespace {
+
+using core::Algorithm;
+using core::AnonymizeRequest;
+using core::Anonymizer;
+using core::PrivacyProfile;
+using roadnet::RoadNetwork;
+using roadnet::SegmentId;
+
+mobility::OccupancySnapshot OnePerSegment(const RoadNetwork& net) {
+  mobility::OccupancySnapshot occupancy(net.segment_count());
+  for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+    occupancy.Add(SegmentId{i});
+  }
+  return occupancy;
+}
+
+// ----------------------------------------------------------- TraceTimeline
+TEST(TraceTimelineTest, WindowCountsDistinctCarsOnce) {
+  std::vector<mobility::TraceRecord> records = {
+      {1.0, /*car*/ 1, SegmentId{0}, 0.0},
+      {2.0, 1, SegmentId{1}, 0.0},  // same car moved: must not double count
+      {2.0, 2, SegmentId{1}, 0.0},
+      {5.0, 3, SegmentId{2}, 0.0},
+  };
+  const core::TraceTimeline timeline(std::move(records), 4);
+  EXPECT_DOUBLE_EQ(timeline.earliest(), 1.0);
+  EXPECT_DOUBLE_EQ(timeline.latest(), 5.0);
+
+  const auto w = timeline.WindowOccupancy(0.0, 3.0);
+  EXPECT_EQ(w.total(), 2u);            // cars 1 and 2
+  EXPECT_EQ(w.count(SegmentId{0}), 1u);  // car 1 first seen on s0
+  EXPECT_EQ(w.count(SegmentId{1}), 1u);  // car 2
+  EXPECT_EQ(w.count(SegmentId{2}), 0u);  // car 3 outside window
+
+  const auto all = timeline.WindowOccupancy(0.0, 10.0);
+  EXPECT_EQ(all.total(), 3u);
+  const auto late = timeline.WindowOccupancy(4.0, 10.0);
+  EXPECT_EQ(late.total(), 1u);
+}
+
+TEST(TraceTimelineTest, UnorderedInputIsSorted) {
+  std::vector<mobility::TraceRecord> records = {
+      {5.0, 1, SegmentId{0}, 0.0},
+      {1.0, 2, SegmentId{1}, 0.0},
+  };
+  const core::TraceTimeline timeline(std::move(records), 2);
+  EXPECT_DOUBLE_EQ(timeline.earliest(), 1.0);
+  EXPECT_EQ(timeline.WindowOccupancy(0.0, 2.0).total(), 1u);
+}
+
+// ------------------------------------------------------------ TemporalCloak
+TEST(TemporalCloakTest, DefersUntilEnoughUsers) {
+  const RoadNetwork net = roadnet::MakeGrid({8, 8, 100.0});
+  // Synthetic timeline: at t=0 only 3 cars near the corner; 20 more cars
+  // appear (first-seen) at t=10 spread over the map.
+  std::vector<mobility::TraceRecord> records;
+  for (std::uint32_t car = 0; car < 3; ++car) {
+    records.push_back({0.0, car, SegmentId{car}, 0.0});
+  }
+  for (std::uint32_t car = 3; car < 23; ++car) {
+    records.push_back({10.0, car, SegmentId{car * 4 % 112}, 0.0});
+  }
+  const core::TraceTimeline timeline(std::move(records),
+                                     net.segment_count());
+  Anonymizer anonymizer(net, timeline.WindowOccupancy(0, 0));
+
+  AnonymizeRequest request;
+  request.origin = SegmentId{0};
+  request.profile = PrivacyProfile::SingleLevel({10, 2, 1e9});
+  request.algorithm = Algorithm::kRge;
+  request.context = "temporal/1";
+  const auto keys = crypto::KeyChain::FromSeed(1, 1);
+
+  // Without deferral the request fails (only 3 users total).
+  const auto immediate = core::TemporalCloak(anonymizer, timeline, request,
+                                             keys, 0.0, /*sigma_t=*/0.0,
+                                             /*step=*/5.0);
+  EXPECT_FALSE(immediate.ok());
+  EXPECT_EQ(immediate.status().code(), ErrorCode::kResourceExhausted);
+
+  // With sigma_t = 15 s the window reaches t=10 and succeeds.
+  const auto deferred = core::TemporalCloak(anonymizer, timeline, request,
+                                            keys, 0.0, /*sigma_t=*/15.0,
+                                            /*step=*/5.0);
+  ASSERT_TRUE(deferred.ok()) << deferred.status().ToString();
+  EXPECT_GE(deferred->deferral_s, 10.0);
+  EXPECT_GE(deferred->attempts, 2u);
+  EXPECT_GE(deferred->spatial.artifact.region_segments.size(), 2u);
+}
+
+TEST(TemporalCloakTest, RejectsBadParameters) {
+  const RoadNetwork net = roadnet::MakeGrid({5, 5, 100.0});
+  const core::TraceTimeline timeline({}, net.segment_count());
+  Anonymizer anonymizer(net, OnePerSegment(net));
+  AnonymizeRequest request;
+  request.origin = SegmentId{0};
+  request.profile = PrivacyProfile::SingleLevel({2, 2, 1e9});
+  request.context = "t/2";
+  const auto keys = crypto::KeyChain::FromSeed(1, 1);
+  EXPECT_FALSE(core::TemporalCloak(anonymizer, timeline, request, keys, 0.0,
+                                   10.0, /*step=*/0.0)
+                   .ok());
+  EXPECT_FALSE(core::TemporalCloak(anonymizer, timeline, request, keys, 0.0,
+                                   -1.0, 5.0)
+                   .ok());
+}
+
+TEST(TemporalCloakTest, NonExhaustionErrorsPropagate) {
+  const RoadNetwork net = roadnet::MakeGrid({5, 5, 100.0});
+  const core::TraceTimeline timeline({}, net.segment_count());
+  Anonymizer anonymizer(net, OnePerSegment(net));
+  AnonymizeRequest request;
+  request.origin = SegmentId{9999};  // invalid: INVALID_ARGUMENT, not retry
+  request.profile = PrivacyProfile::SingleLevel({2, 2, 1e9});
+  request.context = "t/3";
+  const auto keys = crypto::KeyChain::FromSeed(1, 1);
+  const auto result =
+      core::TemporalCloak(anonymizer, timeline, request, keys, 0.0, 60.0, 5.0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------ AccessControl
+TEST(AccessControlTest, GrantsMatchPrivilege) {
+  core::AccessControlProfile profile(crypto::KeyChain::FromSeed(5, 3));
+  ASSERT_TRUE(profile.RegisterRequester("low-trust-app", 1).ok());
+  ASSERT_TRUE(profile.RegisterRequester("family", 3).ok());
+  ASSERT_TRUE(profile.RegisterRequester("public-lbs", 0).ok());
+
+  const auto low = profile.GrantKeys("low-trust-app");
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(low->target_level, 2);
+  EXPECT_EQ(low->keys.size(), 1u);
+  EXPECT_TRUE(low->keys.count(3));
+
+  const auto family = profile.GrantKeys("family");
+  ASSERT_TRUE(family.ok());
+  EXPECT_EQ(family->target_level, 0);
+  EXPECT_EQ(family->keys.size(), 3u);
+
+  const auto lbs = profile.GrantKeys("public-lbs");
+  ASSERT_TRUE(lbs.ok());
+  EXPECT_EQ(lbs->target_level, 3);
+  EXPECT_TRUE(lbs->keys.empty());
+
+  EXPECT_EQ(profile.audit_log().size(), 3u);
+  EXPECT_EQ(profile.audit_log()[0].requester, "low-trust-app");
+  EXPECT_LT(profile.audit_log()[0].sequence,
+            profile.audit_log()[2].sequence);
+}
+
+TEST(AccessControlTest, ValidationAndRevocation) {
+  core::AccessControlProfile profile(crypto::KeyChain::FromSeed(5, 2));
+  EXPECT_FALSE(profile.RegisterRequester("", 1).ok());
+  EXPECT_FALSE(profile.RegisterRequester("x", -1).ok());
+  EXPECT_FALSE(profile.RegisterRequester("x", 3).ok());  // > N
+  EXPECT_FALSE(profile.GrantKeys("unknown").ok());
+  ASSERT_TRUE(profile.RegisterRequester("x", 2).ok());
+  ASSERT_TRUE(profile.GrantKeys("x").ok());
+  ASSERT_TRUE(profile.RevokeRequester("x").ok());
+  EXPECT_FALSE(profile.GrantKeys("x").ok());
+  EXPECT_FALSE(profile.RevokeRequester("x").ok());
+}
+
+TEST(AccessControlTest, GrantedKeysActuallyReduce) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  Anonymizer anonymizer(net, OnePerSegment(net));
+  const auto keys = crypto::KeyChain::FromSeed(77, 2);
+  core::AccessControlProfile acl(crypto::KeyChain::FromSeed(77, 2));
+  ASSERT_TRUE(acl.RegisterRequester("buddy", 1).ok());
+
+  AnonymizeRequest request;
+  request.origin = SegmentId{60};
+  request.profile = PrivacyProfile({{5, 2, 1e9}, {15, 4, 1e9}});
+  request.algorithm = Algorithm::kRge;
+  request.context = "acl/1";
+  const auto result = anonymizer.Anonymize(request, keys);
+  ASSERT_TRUE(result.ok());
+
+  const auto grant = acl.GrantKeys("buddy");
+  ASSERT_TRUE(grant.ok());
+  core::Deanonymizer deanonymizer(net);
+  // Buddy can reach its target level...
+  const auto l1 = deanonymizer.Reduce(result->artifact, grant->keys,
+                                      grant->target_level);
+  ASSERT_TRUE(l1.ok()) << l1.status().ToString();
+  EXPECT_EQ(l1->size(), result->artifact.levels[0].region_size);
+  // ...but not below it.
+  EXPECT_FALSE(deanonymizer.Reduce(result->artifact, grant->keys, 0).ok());
+}
+
+// -------------------------------------------------------------- RequestCache
+TEST(RequestCacheTest, HitWithinTtlMissAfter) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  Anonymizer anonymizer(net, OnePerSegment(net));
+  const auto keys = crypto::KeyChain::FromSeed(3, 1);
+  core::RequestCache cache(/*ttl_s=*/60.0);
+
+  AnonymizeRequest request;
+  request.origin = SegmentId{40};
+  request.profile = PrivacyProfile::SingleLevel({10, 3, 1e9});
+  request.algorithm = Algorithm::kRge;
+
+  const auto first = cache.GetOrAnonymize(anonymizer, "alice", request, keys,
+                                          /*now=*/0.0);
+  ASSERT_TRUE(first.ok());
+  const auto second = cache.GetOrAnonymize(anonymizer, "alice", request,
+                                           keys, /*now=*/30.0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->artifact.region_segments,
+            second->artifact.region_segments);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  const auto third = cache.GetOrAnonymize(anonymizer, "alice", request, keys,
+                                          /*now=*/61.0);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(cache.misses(), 2u);
+  // Fresh epoch, fresh context -> different region almost surely.
+  EXPECT_NE(first->artifact.context, third->artifact.context);
+
+  // Different user never shares cache entries.
+  const auto bob = cache.GetOrAnonymize(anonymizer, "bob", request, keys,
+                                        /*now=*/30.0);
+  ASSERT_TRUE(bob.ok());
+  EXPECT_EQ(cache.misses(), 3u);
+
+  cache.EvictExpired(/*now=*/1000.0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// --------------------------------------------------------------- Correlation
+TEST(CorrelationTest, IntersectionShrinksButKeepsOrigin) {
+  const RoadNetwork net = roadnet::MakeGrid({14, 14, 100.0});
+  Anonymizer anonymizer(net, OnePerSegment(net));
+  const auto curve = attack::MeasureRequestCorrelation(
+      anonymizer, SegmentId{180},
+      PrivacyProfile::SingleLevel({20, 5, 1e9}), Algorithm::kRge,
+      /*num_requests=*/6, /*seed=*/9);
+  ASSERT_TRUE(curve.ok()) << curve.status().ToString();
+  ASSERT_EQ(curve->candidate_set_size.size(), 6u);
+  // Monotone non-increasing, and the origin survives every intersection.
+  for (std::size_t r = 1; r < curve->candidate_set_size.size(); ++r) {
+    EXPECT_LE(curve->candidate_set_size[r], curve->candidate_set_size[r - 1]);
+  }
+  EXPECT_TRUE(curve->origin_always_in_intersection);
+  EXPECT_GE(curve->candidate_set_size.back(), 1u);
+  // The attack works: the final candidate set is smaller than one region.
+  EXPECT_LT(curve->candidate_set_size.back(),
+            curve->candidate_set_size.front());
+}
+
+TEST(CorrelationTest, RequestCacheDefeatsIt) {
+  const RoadNetwork net = roadnet::MakeGrid({14, 14, 100.0});
+  Anonymizer anonymizer(net, OnePerSegment(net));
+  const auto keys = crypto::KeyChain::FromSeed(4, 1);
+  core::RequestCache cache(/*ttl_s=*/3600.0);
+
+  AnonymizeRequest request;
+  request.origin = SegmentId{180};
+  request.profile = PrivacyProfile::SingleLevel({20, 5, 1e9});
+  request.algorithm = Algorithm::kRge;
+
+  std::vector<SegmentId> intersection;
+  for (int r = 0; r < 6; ++r) {
+    const auto result = cache.GetOrAnonymize(anonymizer, "alice", request,
+                                             keys, /*now=*/r * 10.0);
+    ASSERT_TRUE(result.ok());
+    intersection = r == 0 ? result->artifact.region_segments
+                          : attack::IntersectRegions(
+                                intersection,
+                                result->artifact.region_segments);
+  }
+  // All six observations are the same region: no shrinkage.
+  const auto one_shot = cache.GetOrAnonymize(anonymizer, "alice", request,
+                                             keys, 0.0);
+  ASSERT_TRUE(one_shot.ok());
+  EXPECT_EQ(intersection.size(), one_shot->artifact.region_segments.size());
+}
+
+TEST(CorrelationTest, IntersectRegionsBasics) {
+  using attack::IntersectRegions;
+  const std::vector<SegmentId> a = {SegmentId{1}, SegmentId{3}, SegmentId{5}};
+  const std::vector<SegmentId> b = {SegmentId{3}, SegmentId{4}, SegmentId{5}};
+  const auto both = IntersectRegions(a, b);
+  EXPECT_EQ(both, (std::vector<SegmentId>{SegmentId{3}, SegmentId{5}}));
+  EXPECT_TRUE(IntersectRegions(a, {}).empty());
+}
+
+// ------------------------------------------------------------------ TraceIO
+TEST(TraceIoTest, RoundTrip) {
+  const RoadNetwork net = roadnet::MakeGrid({6, 6, 100.0});
+  const roadnet::SpatialIndex index(net);
+  mobility::SpawnOptions spawn;
+  spawn.num_cars = 20;
+  spawn.seed = 2;
+  auto cars = mobility::SpawnCars(net, index, spawn);
+  mobility::SimulationOptions sim;
+  sim.tick_s = 1.0;
+  sim.duration_s = 5.0;
+  sim.record_every = 1;
+  mobility::TraceSimulator simulator(net, std::move(cars), sim);
+  simulator.Run();
+  ASSERT_FALSE(simulator.trace().empty());
+
+  std::stringstream stream;
+  mobility::WriteTrace(stream, simulator.trace());
+  const auto loaded = mobility::ReadTrace(stream);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), simulator.trace().size());
+  for (std::size_t i = 0; i < loaded->size(); ++i) {
+    EXPECT_EQ((*loaded)[i].car_id, simulator.trace()[i].car_id);
+    EXPECT_EQ((*loaded)[i].segment, simulator.trace()[i].segment);
+    EXPECT_DOUBLE_EQ((*loaded)[i].time_s, simulator.trace()[i].time_s);
+    EXPECT_DOUBLE_EQ((*loaded)[i].offset_m, simulator.trace()[i].offset_m);
+  }
+}
+
+TEST(TraceIoTest, RejectsGarbage) {
+  {
+    std::stringstream stream("nope");
+    EXPECT_FALSE(mobility::ReadTrace(stream).ok());
+  }
+  {
+    std::stringstream stream("rcloak-trace 1\nrecords 2\n1.0 1 0 0.0\n");
+    EXPECT_FALSE(mobility::ReadTrace(stream).ok());  // truncated
+  }
+  EXPECT_FALSE(mobility::LoadTraceFile("/nonexistent/trace").ok());
+}
+
+TEST(TraceIoTest, FileApi) {
+  std::vector<mobility::TraceRecord> records = {
+      {1.5, 7, SegmentId{3}, 12.25}};
+  const std::string path = testing::TempDir() + "/trace.txt";
+  ASSERT_TRUE(mobility::SaveTraceFile(path, records).ok());
+  const auto loaded = mobility::LoadTraceFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].car_id, 7u);
+}
+
+}  // namespace
+}  // namespace rcloak

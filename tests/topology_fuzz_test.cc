@@ -1,0 +1,121 @@
+// Topology fuzzing: reversibility must hold on *arbitrary* connected road
+// networks, not just the friendly generators. Random graphs are built as a
+// random spanning tree plus random extra edges (guaranteeing connectivity),
+// with random junction placement — then both algorithms round-trip from
+// random origins under random keys.
+#include <gtest/gtest.h>
+
+#include "core/reversecloak.h"
+#include "roadnet/generators.h"
+#include "util/rng.h"
+
+namespace rcloak::core {
+namespace {
+
+using roadnet::JunctionId;
+using roadnet::RoadNetwork;
+using roadnet::SegmentId;
+
+RoadNetwork RandomConnectedNetwork(std::uint64_t seed, int junctions,
+                                   int extra_edges) {
+  Xoshiro256 rng(seed);
+  RoadNetwork::Builder builder;
+  std::vector<JunctionId> ids;
+  ids.reserve(static_cast<std::size_t>(junctions));
+  for (int i = 0; i < junctions; ++i) {
+    // Jittered ring placement keeps coincident points impossible.
+    const double theta = 6.2831853 * i / junctions;
+    const double radius = 500.0 + rng.NextDouble(0.0, 400.0);
+    ids.push_back(builder.AddJunction({radius * std::cos(theta) +
+                                           rng.NextDouble(-40, 40),
+                                       radius * std::sin(theta) +
+                                           rng.NextDouble(-40, 40)}));
+  }
+  // Random spanning tree: attach each junction i>0 to a random earlier one.
+  for (int i = 1; i < junctions; ++i) {
+    const auto parent = static_cast<std::size_t>(rng.NextBounded(
+        static_cast<std::uint64_t>(i)));
+    (void)builder.AddSegment(ids[static_cast<std::size_t>(i)], ids[parent]);
+  }
+  // Extra random edges (skip duplicates/self via AddSegment + a local set).
+  std::set<std::pair<std::uint32_t, std::uint32_t>> used;
+  int added = 0;
+  int attempts = 0;
+  while (added < extra_edges && attempts < extra_edges * 20) {
+    ++attempts;
+    const auto a = static_cast<std::uint32_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(junctions)));
+    const auto b = static_cast<std::uint32_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(junctions)));
+    if (a == b) continue;
+    const auto key = std::minmax(a, b);
+    if (!used.insert({key.first, key.second}).second) continue;
+    if (builder.AddSegment(ids[a], ids[b]).ok()) ++added;
+  }
+  return builder.Build();
+}
+
+mobility::OccupancySnapshot OnePerSegment(const RoadNetwork& net) {
+  mobility::OccupancySnapshot occupancy(net.segment_count());
+  for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+    occupancy.Add(SegmentId{i});
+  }
+  return occupancy;
+}
+
+class TopologyFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologyFuzzTest, BothAlgorithmsRoundTripOnRandomGraphs) {
+  const std::uint64_t seed = GetParam();
+  Xoshiro256 rng(seed * 100003);
+  const int junctions = 30 + static_cast<int>(rng.NextBounded(80));
+  const int extra = static_cast<int>(rng.NextBounded(60));
+  const RoadNetwork net = RandomConnectedNetwork(seed, junctions, extra);
+  ASSERT_TRUE(net.Validate().ok());
+
+  Anonymizer anonymizer(net, OnePerSegment(net), /*rple_T=*/3);
+  Deanonymizer deanonymizer(net);
+  const bool rple_viable = net.segment_count() > 2 * 3 + 1;
+
+  for (int trial = 0; trial < 4; ++trial) {
+    const SegmentId origin{static_cast<std::uint32_t>(
+        rng.NextBounded(net.segment_count()))};
+    const std::uint32_t k = 3 + static_cast<std::uint32_t>(
+        rng.NextBounded(std::min<std::uint64_t>(
+            20, net.segment_count() / 2)));
+    const auto keys = crypto::KeyChain::FromSeed(rng.Next(), 1);
+    for (const auto algorithm : {Algorithm::kRge, Algorithm::kRple}) {
+      if (algorithm == Algorithm::kRple && !rple_viable) continue;
+      AnonymizeRequest request;
+      request.origin = origin;
+      request.profile = PrivacyProfile::SingleLevel({k, 2, 1e12});
+      request.algorithm = algorithm;
+      request.context = "fuzz/" + std::to_string(seed) + "/" +
+                        std::to_string(trial);
+      const auto result = anonymizer.Anonymize(request, keys);
+      if (!result.ok()) {
+        // Legitimate failures on tiny/awkward graphs: component exhausted
+        // or walk budget — but never internal errors.
+        EXPECT_EQ(result.status().code(), ErrorCode::kResourceExhausted)
+            << result.status().ToString();
+        continue;
+      }
+      std::map<int, crypto::AccessKey> granted{{1, keys.LevelKey(1)}};
+      const auto reduced = deanonymizer.Reduce(result->artifact, granted, 0);
+      ASSERT_TRUE(reduced.ok())
+          << "seed " << seed << " trial " << trial << " "
+          << AlgorithmName(algorithm) << ": "
+          << reduced.status().ToString();
+      ASSERT_EQ(reduced->size(), 1u);
+      EXPECT_EQ(reduced->segments_by_id().front(), origin)
+          << "seed " << seed << " trial " << trial << " "
+          << AlgorithmName(algorithm);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyFuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace rcloak::core
