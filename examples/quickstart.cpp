@@ -58,8 +58,10 @@ int main() {
     core::CloakRegion seed_region(net);
     seed_region.Insert(request.origin);
     const auto candidates = seed_region.FrontierAtLeast(1, nullptr);
-    const core::TransitionTable table(seed_region.SortedByLength(),
-                                      candidates);
+    const core::TransitionTable table(
+        seed_region.SortedByLength(),
+        std::vector<roadnet::SegmentId>(candidates.begin(),
+                                        candidates.end()));
     std::cout << "\nFirst-step transition table (rows = CloakA, cols = "
                  "CanA, Fig. 2):\n";
     table.Print(std::cout);

@@ -25,7 +25,8 @@ StatusOr<CloakRegion> RandomExpandCloak(
   CloakRegion region(net);
   region.Insert(origin);
   while (!Satisfied(region, occupancy, requirement)) {
-    const auto frontier = region.Frontier();
+    // Maintained incrementally by the region engine; no per-step BFS.
+    const auto& frontier = region.Frontier();
     if (frontier.empty()) {
       return Status::ResourceExhausted("baseline: component exhausted");
     }
@@ -37,6 +38,9 @@ StatusOr<CloakRegion> RandomExpandCloak(
       return Status::ResourceExhausted("baseline: sigma_s exceeded");
     }
   }
+  // The running user count was armed against the caller's snapshot; drop it
+  // so the escaping region holds no pointer into the caller's arguments.
+  region.InvalidateUserCountCache();
   return region;
 }
 
@@ -65,6 +69,7 @@ StatusOr<CloakRegion> GridCloak(const roadnet::RoadNetwork& net,
       if (region.Bounds().Diagonal() > requirement.sigma_s) {
         return Status::ResourceExhausted("grid baseline: sigma_s exceeded");
       }
+      region.InvalidateUserCountCache();  // see RandomExpandCloak
       return region;
     }
     if (box.Diagonal() > requirement.sigma_s * 2.0) {
@@ -151,6 +156,7 @@ StatusOr<CloakRegion> XStarCloak(const roadnet::RoadNetwork& net,
       return Status::ResourceExhausted("xstar: sigma_s exceeded");
     }
   }
+  region.InvalidateUserCountCache();  // see RandomExpandCloak
   return region;
 }
 

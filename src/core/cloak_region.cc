@@ -21,87 +21,216 @@ CloakRegion CloakRegion::FromSegments(const roadnet::RoadNetwork& net,
   region.segments_.erase(
       std::unique(region.segments_.begin(), region.segments_.end()),
       region.segments_.end());
+  for (SegmentId sid : region.segments_) {
+    region.member_[roadnet::Index(sid)] = 1;
+  }
+  region.bounds_dirty_ = !region.segments_.empty();
   return region;
 }
 
-bool CloakRegion::Contains(SegmentId id) const {
-  return std::binary_search(segments_.begin(), segments_.end(), id, IdLess{});
-}
-
 void CloakRegion::Insert(SegmentId id) {
+  if (Contains(id)) return;
+  member_[roadnet::Index(id)] = 1;
   const auto it =
       std::lower_bound(segments_.begin(), segments_.end(), id, IdLess{});
-  if (it != segments_.end() && *it == id) return;
   segments_.insert(it, id);
+  if (!length_dirty_) {
+    const auto pos = std::lower_bound(by_length_.begin(), by_length_.end(),
+                                      id, LengthOrder{net_});
+    by_length_.insert(pos, id);
+  }
+  if (frontier_enabled_) FrontierInsertDeltas(id);
+  if (!bounds_dirty_) bounds_.Extend(net_->SegmentBounds(id));
+  if (user_cache_occ_ != nullptr) {
+    if (user_cache_stamp_ == user_cache_occ_->stamp()) {
+      user_count_ += user_cache_occ_->count(id);
+    } else {
+      user_cache_occ_ = nullptr;
+    }
+  }
 }
 
 void CloakRegion::Erase(SegmentId id) {
+  if (!Contains(id)) return;
+  member_[roadnet::Index(id)] = 0;
   const auto it =
       std::lower_bound(segments_.begin(), segments_.end(), id, IdLess{});
-  if (it != segments_.end() && *it == id) segments_.erase(it);
+  segments_.erase(it);
+  if (!length_dirty_) {
+    const auto pos = std::lower_bound(by_length_.begin(), by_length_.end(),
+                                      id, LengthOrder{net_});
+    assert(pos != by_length_.end() && *pos == id);
+    by_length_.erase(pos);
+  }
+  if (frontier_enabled_) FrontierEraseDeltas(id);
+  if (segments_.empty()) {
+    bounds_ = geo::BoundingBox{};
+    bounds_dirty_ = false;
+  } else {
+    bounds_dirty_ = true;
+  }
+  if (user_cache_occ_ != nullptr) {
+    if (user_cache_stamp_ == user_cache_occ_->stamp()) {
+      user_count_ -= user_cache_occ_->count(id);
+    } else {
+      user_cache_occ_ = nullptr;
+    }
+  }
 }
 
-std::vector<SegmentId> CloakRegion::SortedByLength() const {
-  std::vector<SegmentId> sorted = segments_;
-  std::sort(sorted.begin(), sorted.end(), LengthOrder{net_});
-  return sorted;
+const std::vector<SegmentId>& CloakRegion::LengthSorted() const {
+  if (length_dirty_) {
+    by_length_ = segments_;
+    std::sort(by_length_.begin(), by_length_.end(), LengthOrder{net_});
+    length_dirty_ = false;
+  }
+  return by_length_;
 }
 
-std::vector<SegmentId> CloakRegion::Frontier() const {
-  return FrontierAtLeast(0, nullptr);
+std::size_t CloakRegion::LengthRankOf(SegmentId id) const {
+  if (!Contains(id)) return size();
+  const auto& sorted = LengthSorted();
+  const auto pos = std::lower_bound(sorted.begin(), sorted.end(), id,
+                                    LengthOrder{net_});
+  assert(pos != sorted.end() && *pos == id);
+  return static_cast<std::size_t>(pos - sorted.begin());
 }
 
-std::vector<SegmentId> CloakRegion::FrontierAtLeast(std::size_t min_size,
-                                                    int* rings_used) const {
+void CloakRegion::EnsureFrontier() const {
+  if (frontier_enabled_) return;
+  adjacent_members_.assign(net_->segment_count(), 0);
+  frontier_.clear();
+  for (SegmentId sid : segments_) {
+    net_->ForEachAdjacentSegment(sid, [&](SegmentId adj) {
+      if (++adjacent_members_[roadnet::Index(adj)] == 1 && !Contains(adj)) {
+        frontier_.push_back(adj);
+      }
+    });
+  }
+  std::sort(frontier_.begin(), frontier_.end(), LengthOrder{net_});
+  frontier_enabled_ = true;
+}
+
+void CloakRegion::FrontierInsertDeltas(SegmentId id) {
+  // `id` is already a member: drop it from the frontier if it was there.
+  if (adjacent_members_[roadnet::Index(id)] > 0) {
+    const auto pos = std::lower_bound(frontier_.begin(), frontier_.end(), id,
+                                      LengthOrder{net_});
+    if (pos != frontier_.end() && *pos == id) frontier_.erase(pos);
+  }
+  net_->ForEachAdjacentSegment(id, [&](SegmentId adj) {
+    if (++adjacent_members_[roadnet::Index(adj)] == 1 && !Contains(adj)) {
+      const auto pos = std::lower_bound(frontier_.begin(), frontier_.end(),
+                                        adj, LengthOrder{net_});
+      frontier_.insert(pos, adj);
+    }
+  });
+}
+
+void CloakRegion::FrontierEraseDeltas(SegmentId id) {
+  // `id` is no longer a member: retract its adjacency contributions.
+  net_->ForEachAdjacentSegment(id, [&](SegmentId adj) {
+    if (--adjacent_members_[roadnet::Index(adj)] == 0 && !Contains(adj)) {
+      const auto pos = std::lower_bound(frontier_.begin(), frontier_.end(),
+                                        adj, LengthOrder{net_});
+      if (pos != frontier_.end() && *pos == adj) frontier_.erase(pos);
+    }
+  });
+  if (adjacent_members_[roadnet::Index(id)] > 0) {
+    const auto pos = std::lower_bound(frontier_.begin(), frontier_.end(), id,
+                                      LengthOrder{net_});
+    frontier_.insert(pos, id);
+  }
+}
+
+const std::vector<SegmentId>& CloakRegion::Frontier() const {
+  EnsureFrontier();
+  return frontier_;
+}
+
+std::span<const SegmentId> CloakRegion::FrontierAtLeast(
+    std::size_t min_size, int* rings_used) const {
   assert(!segments_.empty() && "frontier of empty region");
-  // Ring-by-ring BFS from the region. `collected` holds all frontier
-  // segments found so far (outside the region).
-  std::vector<SegmentId> collected;
-  std::vector<SegmentId> current_ring = segments_;  // ring 0 = region
-  // Membership test helper over region + collected.
-  auto seen = [&](SegmentId id) {
-    if (Contains(id)) return true;
-    return std::find(collected.begin(), collected.end(), id) !=
-           collected.end();
+  EnsureFrontier();
+  const std::size_t target = std::max<std::size_t>(min_size, 1);
+  if (frontier_.empty()) {
+    if (rings_used != nullptr) *rings_used = 0;
+    return {};
+  }
+  if (frontier_.size() >= target) {
+    if (rings_used != nullptr) *rings_used = 1;
+    return frontier_;
+  }
+
+  // Rare fallback: ring-1 is too small, expand ring by ring. Epoch-stamped
+  // visited marks make each ring O(ring size) instead of a linear rescan.
+  if (visit_mark_.size() != net_->segment_count()) {
+    visit_mark_.assign(net_->segment_count(), 0);
+    visit_epoch_ = 0;
+  }
+  if (++visit_epoch_ == 0) {  // epoch wrap: clear stale marks
+    std::fill(visit_mark_.begin(), visit_mark_.end(), 0);
+    visit_epoch_ = 1;
+  }
+  auto visited = [&](SegmentId sid) {
+    return visit_mark_[roadnet::Index(sid)] == visit_epoch_;
+  };
+  auto mark = [&](SegmentId sid) {
+    visit_mark_[roadnet::Index(sid)] = visit_epoch_;
   };
 
-  int rings = 0;
-  while (true) {
-    std::vector<SegmentId> next_ring;
+  fallback_frontier_ = frontier_;
+  for (SegmentId sid : frontier_) mark(sid);
+  const std::size_t ring1_size = frontier_.size();
+  std::vector<SegmentId> current_ring = frontier_;
+  std::vector<SegmentId> next_ring;
+  int rings = 1;
+  while (fallback_frontier_.size() < target) {
+    next_ring.clear();
     for (SegmentId sid : current_ring) {
-      for (SegmentId adj : net_->AdjacentSegments(sid)) {
-        if (seen(adj)) continue;
-        if (std::find(next_ring.begin(), next_ring.end(), adj) !=
-            next_ring.end()) {
-          continue;
-        }
+      net_->ForEachAdjacentSegment(sid, [&](SegmentId adj) {
+        if (Contains(adj) || visited(adj)) return;
+        mark(adj);
         next_ring.push_back(adj);
-      }
+      });
     }
     if (next_ring.empty()) break;  // component exhausted
     ++rings;
-    collected.insert(collected.end(), next_ring.begin(), next_ring.end());
-    if (rings >= 1 && collected.size() >= std::max<std::size_t>(min_size, 1)) {
-      break;
-    }
-    current_ring = std::move(next_ring);
+    fallback_frontier_.insert(fallback_frontier_.end(), next_ring.begin(),
+                              next_ring.end());
+    current_ring.swap(next_ring);
   }
+  // Ring-1 is already length-sorted; sort only the outer rings and merge.
+  std::sort(fallback_frontier_.begin() + ring1_size, fallback_frontier_.end(),
+            LengthOrder{net_});
+  std::inplace_merge(fallback_frontier_.begin(),
+                     fallback_frontier_.begin() + ring1_size,
+                     fallback_frontier_.end(), LengthOrder{net_});
   if (rings_used != nullptr) *rings_used = rings;
-  std::sort(collected.begin(), collected.end(), LengthOrder{net_});
-  return collected;
+  return fallback_frontier_;
 }
 
 std::uint64_t CloakRegion::UserCount(
     const mobility::OccupancySnapshot& occupancy) const {
+  if (user_cache_occ_ == &occupancy &&
+      user_cache_stamp_ == occupancy.stamp()) {
+    return user_count_;
+  }
   std::uint64_t users = 0;
   for (SegmentId sid : segments_) users += occupancy.count(sid);
+  user_cache_occ_ = &occupancy;
+  user_cache_stamp_ = occupancy.stamp();
+  user_count_ = users;
   return users;
 }
 
 geo::BoundingBox CloakRegion::Bounds() const {
-  geo::BoundingBox box;
-  for (SegmentId sid : segments_) box.Extend(net_->SegmentBounds(sid));
-  return box;
+  if (bounds_dirty_) {
+    bounds_ = geo::BoundingBox{};
+    for (SegmentId sid : segments_) bounds_.Extend(net_->SegmentBounds(sid));
+    bounds_dirty_ = false;
+  }
+  return bounds_;
 }
 
 }  // namespace rcloak::core

@@ -2,9 +2,27 @@
 // derived views both ReverseCloak algorithms need — canonical length-sorted
 // ordering (the paper sorts transition-table rows/columns by segment
 // length) and the candidate frontier CanA.
+//
+// The region is an *incremental engine*: every derived view is maintained
+// under Insert/Erase instead of being recomputed from scratch, which is
+// what turns per-level expansion from O(n^2) into O(log n) amortized per
+// step (docs/PERFORMANCE.md):
+//   * membership      — dense per-network bitmap, O(1);
+//   * id order        — sorted vector (canonical published form);
+//   * length order    — lazily built, dirty-flagged cache; once built it
+//                       is maintained by O(log n) positional insert/erase;
+//   * frontier        — lazily enabled adjacency counters; once enabled,
+//                       Insert/Erase apply adjacency deltas so the ring-1
+//                       frontier needs no BFS;
+//   * bounds          — extended on Insert, recomputed lazily after Erase;
+//   * user count      — running sum against one occupancy snapshot, so
+//                       Satisfied() checks stop re-scanning the region.
+// All views stay bit-identical to their from-scratch definitions; the
+// region-engine property test pins that against a naive reference.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "mobility/trace.h"
@@ -29,12 +47,15 @@ struct LengthOrder {
 
 class CloakRegion {
  public:
-  explicit CloakRegion(const roadnet::RoadNetwork& net) : net_(&net) {}
+  explicit CloakRegion(const roadnet::RoadNetwork& net)
+      : net_(&net), member_(net.segment_count(), 0) {}
 
   static CloakRegion FromSegments(const roadnet::RoadNetwork& net,
                                   const std::vector<SegmentId>& segments);
 
-  bool Contains(SegmentId id) const;
+  bool Contains(SegmentId id) const noexcept {
+    return member_[roadnet::Index(id)] != 0;
+  }
   void Insert(SegmentId id);
   void Erase(SegmentId id);
   std::size_t size() const noexcept { return segments_.size(); }
@@ -47,21 +68,37 @@ class CloakRegion {
   }
 
   // Members sorted by the canonical (length, id) order: the table's rows.
-  std::vector<SegmentId> SortedByLength() const;
+  // The cache is built on first use and maintained incrementally after.
+  const std::vector<SegmentId>& LengthSorted() const;
+
+  // Copying wrapper kept for callers that want to own the vector.
+  std::vector<SegmentId> SortedByLength() const { return LengthSorted(); }
+
+  // Rank of `id` in the (length, id) order, or size() if not a member.
+  std::size_t LengthRankOf(SegmentId id) const;
 
   // Ring-1 frontier: segments adjacent to the region but outside it,
-  // sorted by (length, id): the table's columns.
-  std::vector<SegmentId> Frontier() const;
+  // sorted by (length, id): the table's columns. The reference stays valid
+  // until the next Insert/Erase.
+  const std::vector<SegmentId>& Frontier() const;
 
   // Frontier for the RGE transition table. Starts from ring-1; while the
   // candidate set is smaller than `min_size`, deterministically expands by
   // one more adjacency ring ("links rebuilt on the fly", DESIGN.md §3).
-  // `rings_used` (optional) reports how many rings were taken.
-  std::vector<SegmentId> FrontierAtLeast(std::size_t min_size,
-                                         int* rings_used = nullptr) const;
+  // `rings_used` (optional) reports how many rings were taken. The span
+  // stays valid until the next call or the next Insert/Erase.
+  std::span<const SegmentId> FrontierAtLeast(std::size_t min_size,
+                                             int* rings_used = nullptr) const;
 
-  // Users covered by the region under the given occupancy snapshot.
+  // Users covered by the region under the given occupancy snapshot. The
+  // first call against a snapshot scans the region and starts a running
+  // count that Insert/Erase keep current; subsequent calls against the
+  // same (unmutated) snapshot are O(1). The snapshot must outlive the
+  // region or the cache must be dropped with InvalidateUserCountCache().
   std::uint64_t UserCount(const mobility::OccupancySnapshot& occupancy) const;
+  void InvalidateUserCountCache() const noexcept {
+    user_cache_occ_ = nullptr;
+  }
 
   // Bounding box of all member segments.
   geo::BoundingBox Bounds() const;
@@ -69,11 +106,40 @@ class CloakRegion {
   const roadnet::RoadNetwork& network() const noexcept { return *net_; }
 
  private:
+  void EnsureFrontier() const;
+  void FrontierInsertDeltas(SegmentId id);
+  void FrontierEraseDeltas(SegmentId id);
+
   const roadnet::RoadNetwork* net_;
-  // Sorted-by-id vector; regions stay small (≤ a few thousand segments),
-  // so ordered-vector insert/erase beats hash sets on locality and gives a
-  // deterministic canonical form for free.
+  // O(1) membership; one byte per network segment.
+  std::vector<std::uint8_t> member_;
+  // Sorted-by-id members: the deterministic canonical form.
   std::vector<SegmentId> segments_;
+
+  // ---- length-order cache ------------------------------------------------
+  mutable std::vector<SegmentId> by_length_;
+  mutable bool length_dirty_ = true;
+
+  // ---- frontier engine (lazily enabled) ----------------------------------
+  // adjacent_members_[s] = number of region members adjacent to segment s;
+  // frontier_ = non-members with adjacent_members_ > 0, length-sorted.
+  mutable bool frontier_enabled_ = false;
+  mutable std::vector<std::uint32_t> adjacent_members_;
+  mutable std::vector<SegmentId> frontier_;
+  // Multi-ring fallback scratch (kept to avoid reallocating; epoch-stamped
+  // visited marks give O(ring) dedup instead of linear scans).
+  mutable std::vector<SegmentId> fallback_frontier_;
+  mutable std::vector<std::uint32_t> visit_mark_;
+  mutable std::uint32_t visit_epoch_ = 0;
+
+  // ---- bounds cache ------------------------------------------------------
+  mutable geo::BoundingBox bounds_;
+  mutable bool bounds_dirty_ = false;  // empty region: clean empty box
+
+  // ---- running user count ------------------------------------------------
+  mutable const mobility::OccupancySnapshot* user_cache_occ_ = nullptr;
+  mutable std::uint64_t user_cache_stamp_ = 0;
+  mutable std::uint64_t user_count_ = 0;
 };
 
 }  // namespace rcloak::core

@@ -29,14 +29,23 @@ Status ContinuousCloak::Recloak(double now_s, roadnet::SegmentId origin) {
   if (!result.ok()) return result.status();
 
   // Validity region = the chosen level's region, computed once via the
-  // de-anonymizer (the owner holds all keys).
+  // de-anonymizer (the owner holds all keys). When the validity level is
+  // the outermost level there is nothing to peel: the artifact's published
+  // region is the validity region, no keyed replay needed.
   const int validity =
       std::min(options_.validity_level, profile_.num_levels());
-  std::map<int, crypto::AccessKey> granted;
-  for (int level = validity + 1; level <= profile_.num_levels(); ++level) {
-    granted.emplace(level, keys.LevelKey(level));
+  StatusOr<CloakRegion> region = Status::Internal("unset");
+  if (validity == profile_.num_levels()) {
+    // FullRegion keeps the fingerprint/segment-validity checks of the
+    // keyed path while skipping the replay itself.
+    region = deanonymizer_->FullRegion(result->artifact);
+  } else {
+    std::map<int, crypto::AccessKey> granted;
+    for (int level = validity + 1; level <= profile_.num_levels(); ++level) {
+      granted.emplace(level, keys.LevelKey(level));
+    }
+    region = deanonymizer_->Reduce(result->artifact, granted, validity);
   }
-  auto region = deanonymizer_->Reduce(result->artifact, granted, validity);
   if (!region.ok()) return region.status();
 
   if (artifact_) {

@@ -23,11 +23,9 @@ bool Satisfied(const CloakRegion& region, const UserCounter& users,
 
 std::uint64_t SealRank(const CloakRegion& region, SegmentId member,
                        const crypto::KeyedPrng& prng) {
-  const auto sorted = region.SortedByLength();
-  const auto it = std::find(sorted.begin(), sorted.end(), member);
-  assert(it != sorted.end() && "seal member not in region");
-  const std::uint64_t rank = static_cast<std::uint64_t>(it - sorted.begin());
-  return (rank + prng.Prf("seal")) % sorted.size();
+  const std::uint64_t rank = region.LengthRankOf(member);
+  assert(rank < region.size() && "seal member not in region");
+  return (rank + prng.Prf("seal")) % region.size();
 }
 
 StatusOr<SegmentId> OpenSeal(const CloakRegion& region, std::uint64_t seal,
@@ -37,7 +35,7 @@ StatusOr<SegmentId> OpenSeal(const CloakRegion& region, std::uint64_t seal,
   if (seal >= n) return Status::DataLoss("seal out of range");
   const std::uint64_t blind = prng.Prf("seal") % n;
   const std::uint64_t rank = (seal + n - blind) % n;
-  return region.SortedByLength()[static_cast<std::size_t>(rank)];
+  return region.LengthSorted()[static_cast<std::size_t>(rank)];
 }
 
 StatusOr<LevelRecord> RgeAnonymizeLevel(
@@ -72,7 +70,8 @@ StatusOr<LevelRecord> RgeAnonymizeLevel(
       if (rings > 1) ++stats->ring_fallbacks;
       stats->max_rings = std::max(stats->max_rings, rings);
     }
-    const TransitionTable table(region.SortedByLength(), candidates);
+    const TransitionTableView table(region.LengthSorted(), candidates,
+                                    region.network());
     const auto next = table.Forward(last_added, prng.Draw(transition));
     if (!next.ok()) {
       rollback();
@@ -126,7 +125,8 @@ Status RgeDeanonymizeLevel(CloakRegion& region, const crypto::AccessKey& key,
       return Status::DataLoss(
           "RGE de-anonymize: candidate set shrank below region size");
     }
-    const TransitionTable table(region.SortedByLength(), candidates);
+    const TransitionTableView table(region.LengthSorted(), candidates,
+                                    region.network());
     RCLOAK_ASSIGN_OR_RETURN(current, table.Backward(current, prng.Draw(j - 1)));
   }
   return Status::Ok();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 #include "core/rge.h"  // SealRank / OpenSeal / level context conventions
 
@@ -45,10 +46,13 @@ std::vector<SegmentId> LinkCandidates(const RoadNetwork& net,
   std::sort(out.begin(), out.end(), by_distance);
   if (out.size() < want) {
     // Over-fetch: nearest() includes s itself and the adjacent ones.
+    std::unordered_set<std::uint32_t> chosen;
+    chosen.reserve(out.size());
+    for (SegmentId sid : out) chosen.insert(Index(sid));
     const auto near = index.Nearest(mid, want + out.size() + 1);
     for (SegmentId cand : near) {
       if (cand == s) continue;
-      if (std::find(out.begin(), out.end(), cand) != out.end()) continue;
+      if (chosen.contains(Index(cand))) continue;
       out.push_back(cand);
       if (out.size() >= want) break;
     }
@@ -114,12 +118,20 @@ StatusOr<TransitionTables> BuildTransitionTables(const RoadNetwork& net,
     targets[s].reserve(T);
   }
 
+  // Arc membership as a hash set of packed (tail, head) pairs: the deficit
+  // fill and exchange repair below probe has_arc inside O(count)-wide scans,
+  // where the old per-tail linear find turned them quadratic.
+  std::unordered_set<std::uint64_t> arc_set;
+  arc_set.reserve(count * T);
+  auto arc_key = [](std::size_t s, SegmentId t) {
+    return (static_cast<std::uint64_t>(s) << 32) | Index(t);
+  };
   auto has_arc = [&](std::size_t s, SegmentId t) {
-    return std::find(targets[s].begin(), targets[s].end(), t) !=
-           targets[s].end();
+    return arc_set.contains(arc_key(s, t));
   };
   auto add_arc = [&](std::size_t s, SegmentId t) {
     targets[s].push_back(t);
+    arc_set.insert(arc_key(s, t));
     ++out_deg[s];
     ++in_deg[Index(t)];
   };
@@ -187,6 +199,8 @@ StatusOr<TransitionTables> BuildTransitionTables(const RoadNetwork& net,
               if (has_arc(s, v)) continue;
               const SegmentId freed = v;
               v = SegmentId{static_cast<std::uint32_t>(spare_head)};
+              arc_set.erase(arc_key(u, freed));
+              arc_set.insert(arc_key(u, v));
               ++in_deg[spare_head];
               --in_deg[Index(freed)];
               add_arc(s, freed);

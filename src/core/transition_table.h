@@ -20,12 +20,39 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <vector>
 
 #include "core/cloak_region.h"
 #include "util/status.h"
 
 namespace rcloak::core {
+
+// Non-owning view of one RGE transition table, used on the hot expansion
+// path. Rows and cols must already be sorted by (length, id) — exactly what
+// CloakRegion::LengthSorted() and FrontierAtLeast() produce — which lets
+// index lookups run as O(log n) binary searches instead of linear scans,
+// and lets the per-step table "build" degenerate to storing two spans.
+// Semantics are identical to TransitionTable (same closed forms, same
+// error messages); the equivalence is unit-tested.
+class TransitionTableView {
+ public:
+  TransitionTableView(std::span<const SegmentId> rows,
+                      std::span<const SegmentId> cols,
+                      const roadnet::RoadNetwork& net);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t col_count() const noexcept { return cols_.size(); }
+
+  StatusOr<SegmentId> Forward(SegmentId last_added, std::uint64_t draw) const;
+  StatusOr<SegmentId> Backward(SegmentId last_removed,
+                               std::uint64_t draw) const;
+
+ private:
+  std::span<const SegmentId> rows_;
+  std::span<const SegmentId> cols_;
+  const roadnet::RoadNetwork* net_;
+};
 
 class TransitionTable {
  public:

@@ -27,6 +27,9 @@ class SnapshotCounter final : public UserCounter {
  public:
   explicit SnapshotCounter(const mobility::OccupancySnapshot& snapshot)
       : snapshot_(&snapshot) {}
+  // O(1) after the first call per region: the region keeps a running count
+  // against this snapshot that Insert/Erase maintain, so the per-step
+  // Satisfied() checks of the expansion loops stop re-scanning the region.
   std::uint64_t Count(const CloakRegion& region) const override {
     return region.UserCount(*snapshot_);
   }

@@ -8,6 +8,7 @@
 // road networks needs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -36,12 +37,38 @@ struct TraceRecord {
 };
 
 // Per-segment user counts at one instant.
+//
+// Every mutation (including copy/move into an existing object) refreshes a
+// process-unique stamp, so consumers such as CloakRegion's running user
+// count can cache per-snapshot aggregates and detect staleness in O(1)
+// without re-scanning.
 class OccupancySnapshot {
  public:
   explicit OccupancySnapshot(std::size_t segment_count)
-      : counts_(segment_count, 0) {}
+      : counts_(segment_count, 0), stamp_(NextStamp()) {}
 
-  void Add(SegmentId segment) { ++counts_[roadnet::Index(segment)]; }
+  OccupancySnapshot(const OccupancySnapshot& other)
+      : counts_(other.counts_), stamp_(NextStamp()) {}
+  OccupancySnapshot(OccupancySnapshot&& other) noexcept
+      : counts_(std::move(other.counts_)), stamp_(NextStamp()) {
+    other.stamp_ = NextStamp();  // the moved-from contents changed too
+  }
+  OccupancySnapshot& operator=(const OccupancySnapshot& other) {
+    counts_ = other.counts_;
+    stamp_ = NextStamp();
+    return *this;
+  }
+  OccupancySnapshot& operator=(OccupancySnapshot&& other) noexcept {
+    counts_ = std::move(other.counts_);
+    stamp_ = NextStamp();
+    other.stamp_ = NextStamp();  // the moved-from contents changed too
+    return *this;
+  }
+
+  void Add(SegmentId segment) {
+    ++counts_[roadnet::Index(segment)];
+    stamp_ = NextStamp();
+  }
 
   std::uint32_t count(SegmentId segment) const {
     return counts_[roadnet::Index(segment)];
@@ -54,8 +81,18 @@ class OccupancySnapshot {
   std::size_t segment_count() const noexcept { return counts_.size(); }
   const std::vector<std::uint32_t>& counts() const noexcept { return counts_; }
 
+  // Changes whenever the snapshot's contents may have changed; never reused
+  // by another snapshot in this process.
+  std::uint64_t stamp() const noexcept { return stamp_; }
+
  private:
+  static std::uint64_t NextStamp() noexcept {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   std::vector<std::uint32_t> counts_;
+  std::uint64_t stamp_;
 };
 
 }  // namespace rcloak::mobility

@@ -91,6 +91,24 @@ class RoadNetwork {
   // Deterministic order (ascending segment id), duplicates removed.
   std::vector<SegmentId> AdjacentSegments(SegmentId id) const;
 
+  // Allocation-free visitor over the same set as AdjacentSegments (each
+  // neighbour exactly once, in unspecified order). The hot path of the
+  // incremental cloak-region frontier.
+  template <typename Fn>
+  void ForEachAdjacentSegment(SegmentId id, Fn&& fn) const {
+    const Segment& s = segment(id);
+    for (SegmentId other : junction(s.a).incident) {
+      if (other != id) fn(other);
+    }
+    if (s.b == s.a) return;
+    for (SegmentId other : junction(s.b).incident) {
+      if (other == id) continue;
+      // A neighbour incident to both endpoints was already visited via a.
+      if (segment(other).Touches(s.a)) continue;
+      fn(other);
+    }
+  }
+
   // True if the two distinct segments share at least one junction.
   bool AreAdjacent(SegmentId x, SegmentId y) const;
 

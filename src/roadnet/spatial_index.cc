@@ -91,14 +91,67 @@ std::vector<SegmentId> SpatialIndex::Nearest(geo::Point query,
   if (k == 0) return {};
   // Expanding-ring search: grow the radius until at least k midpoints are
   // inside AND the k-th distance is covered by the scanned square (a hit
-  // can't be closer than a cell we haven't scanned).
+  // can't be closer than a cell we haven't scanned). Each doubling scans
+  // only the cells outside the previously scanned rectangle — candidates
+  // accumulate across rounds instead of being recomputed — and the final
+  // ordering selects the top k with nth_element before sorting just those
+  // k, instead of sorting every candidate.
+  std::vector<std::pair<double, SegmentId>> candidates;
+  const auto scan_cell = [&](std::int64_t cx, std::int64_t cy) {
+    const std::size_t cell = CellIndex(cx, cy);
+    for (std::uint32_t i = bucket_start_[cell]; i < bucket_start_[cell + 1];
+         ++i) {
+      const SegmentId sid = bucket_items_[i];
+      candidates.emplace_back(
+          geo::DistanceSquared(net_->SegmentMidpoint(sid), query), sid);
+    }
+  };
+
   double radius = cell_size_;
   const double max_radius = bounds_.Diagonal() + cell_size_;
+  bool have_prev = false;
+  CellCoord prev_lo{0, 0}, prev_hi{0, 0};
   for (;;) {
-    auto hits = WithinRadius(query, radius);
-    if (hits.size() >= k || radius > max_radius) {
-      if (hits.size() > k) hits.resize(k);
-      return hits;
+    const auto lo = CellOf({query.x - radius, query.y - radius});
+    const auto hi = CellOf({query.x + radius, query.y + radius});
+    for (std::int64_t cy = lo.cy; cy <= hi.cy; ++cy) {
+      for (std::int64_t cx = lo.cx; cx <= hi.cx; ++cx) {
+        if (have_prev && cx >= prev_lo.cx && cx <= prev_hi.cx &&
+            cy >= prev_lo.cy && cy <= prev_hi.cy) {
+          continue;  // already scanned at a smaller radius
+        }
+        scan_cell(cx, cy);
+      }
+    }
+    prev_lo = lo;
+    prev_hi = hi;
+    have_prev = true;
+
+    const double radius_sq = radius * radius;
+    std::size_t in_radius = 0;
+    for (const auto& [d_sq, sid] : candidates) {
+      if (d_sq <= radius_sq) ++in_radius;
+    }
+    if (in_radius >= k || radius > max_radius) {
+      const auto by_distance = [](const auto& a, const auto& b) {
+        return a.first != b.first ? a.first < b.first
+                                  : Index(a.second) < Index(b.second);
+      };
+      const auto within_end = std::partition(
+          candidates.begin(), candidates.end(),
+          [radius_sq](const auto& c) { return c.first <= radius_sq; });
+      const auto take = std::min<std::ptrdiff_t>(
+          static_cast<std::ptrdiff_t>(k), within_end - candidates.begin());
+      std::nth_element(candidates.begin(), candidates.begin() + take,
+                       within_end, by_distance);
+      std::sort(candidates.begin(), candidates.begin() + take, by_distance);
+      std::vector<SegmentId> out;
+      out.reserve(static_cast<std::size_t>(take));
+      for (auto it = candidates.begin(); it != candidates.begin() + take;
+           ++it) {
+        out.push_back(it->second);
+      }
+      return out;
     }
     radius *= 2.0;
   }

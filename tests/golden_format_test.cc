@@ -78,11 +78,23 @@ TEST(GoldenTest, ArtifactBytesStableAndSelfConsistent) {
     const Bytes wire_b = core::EncodeArtifact(b->artifact);
     EXPECT_EQ(wire_a, wire_b);
 
-    // Record the stable hash for external comparison.
+    // Pinned reference hashes (recorded from the seed implementation; the
+    // incremental region engine must reproduce the exact same bytes).
+    const std::string expected_sha256 =
+        algorithm == Algorithm::kRge
+            ? "cea87884e7e7c2e679b1c5785779f701e8276a847a3a8cf1d452cdd61d32a"
+              "84f"
+            : "e0d49609500acaf29ce78442dd33c228b6cf736d43e6b3f30094e864e5bd"
+              "1b0c";
     const auto digest = crypto::Sha256::Hash(wire_a);
+    const std::string actual_sha256 =
+        ToHex(Bytes(digest.begin(), digest.end()));
+    EXPECT_EQ(actual_sha256, expected_sha256)
+        << "artifact bytes drifted from the seed implementation for "
+        << core::AlgorithmName(algorithm);
     RecordProperty(std::string("artifact_sha256_") +
                        std::string(core::AlgorithmName(algorithm)),
-                   ToHex(Bytes(digest.begin(), digest.end())));
+                   actual_sha256);
 
     // And it reduces to the pinned origin.
     std::map<int, crypto::AccessKey> granted{{1, keys.LevelKey(1)},

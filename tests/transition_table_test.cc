@@ -205,12 +205,15 @@ TEST(CloakRegionTest, FrontierAtLeastExpandsRings) {
   CloakRegion region(net);
   region.Insert(SegmentId{0});
   int rings = 0;
-  const auto big = region.FrontierAtLeast(20, &rings);
+  const auto big_view = region.FrontierAtLeast(20, &rings);
+  const std::vector<SegmentId> big(big_view.begin(), big_view.end());
   EXPECT_GE(big.size(), 20u);
   EXPECT_GT(rings, 1);
   // Deterministic: same call, same answer.
   int rings2 = 0;
-  EXPECT_EQ(region.FrontierAtLeast(20, &rings2), big);
+  const auto again_view = region.FrontierAtLeast(20, &rings2);
+  const std::vector<SegmentId> again(again_view.begin(), again_view.end());
+  EXPECT_EQ(again, big);
   EXPECT_EQ(rings, rings2);
 }
 
