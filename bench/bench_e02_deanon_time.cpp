@@ -13,25 +13,15 @@ int main() {
               "exact segment (all keys granted); 20 origins per point.");
 
   Workload workload = MakeAtlantaWorkload();
-  core::Anonymizer anonymizer(workload.net, workload.occupancy);
-  core::Deanonymizer deanonymizer(workload.net);
+  // Both sides share one MapContext: the index and the RPLE tables are
+  // built exactly once (the old per-side lazy rebuild belongs to E6, not
+  // to per-request latency).
+  const auto ctx = core::MapContext::Create(workload.net);
+  core::Anonymizer anonymizer(ctx, workload.occupancy);
+  core::Deanonymizer deanonymizer(ctx);
   if (const auto status = anonymizer.EnsurePreassigned(); !status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
-  }
-
-  // Warm-up: the de-anonymizer rebuilds the RPLE tables lazily on first
-  // use; that one-off cost belongs to E6, not to per-request latency.
-  {
-    core::AnonymizeRequest warmup;
-    warmup.origin = workload.origins.front();
-    warmup.profile = core::PrivacyProfile::SingleLevel({5, 2, 1e9});
-    warmup.algorithm = core::Algorithm::kRple;
-    warmup.context = "e2/warmup";
-    const auto keys = crypto::KeyChain::FromSeed(1, 1);
-    if (const auto result = anonymizer.Anonymize(warmup, keys); result.ok()) {
-      (void)deanonymizer.Reduce(result->artifact, AllKeys(keys), 0);
-    }
   }
 
   TableWriter table(

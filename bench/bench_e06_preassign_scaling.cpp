@@ -10,11 +10,13 @@ using namespace rcloak::bench;
 
 int main() {
   PrintHeader("E6: RPLE pre-assignment scaling",
-              "Pre-assignment (T=6) wall time and table memory vs map "
-              "size; greedy Algorithm-1 fill rate for reference.");
+              "Pre-assignment (T=6) wall time — serial vs parallel "
+              "preference pass (byte-identical tables) — and table memory "
+              "vs map size; greedy Algorithm-1 fill rate for reference.");
 
-  TableWriter table({"segments", "junctions", "preassign_ms", "table_MB",
-                     "greedy_fill_rate", "greedy_ms"});
+  TableWriter table({"segments", "junctions", "preassign_1t_ms",
+                     "preassign_mt_ms", "table_MB", "greedy_fill_rate",
+                     "greedy_ms"});
   for (const int side : {15, 30, 50, 70, 90}) {
     roadnet::PerturbedGridOptions options;
     options.rows = side;
@@ -23,11 +25,20 @@ int main() {
     const auto net = roadnet::MakePerturbedGrid(options);
     const roadnet::SpatialIndex index(net);
 
-    Stopwatch preassign_timer;
-    const auto tables = core::BuildTransitionTables(net, index, 6);
-    const double preassign_ms = preassign_timer.ElapsedMillis();
+    Stopwatch serial_timer;
+    const auto tables =
+        core::BuildTransitionTables(net, index, 6, /*preassign_threads=*/1);
+    const double preassign_ms = serial_timer.ElapsedMillis();
     if (!tables.ok()) {
       std::cerr << tables.status().ToString() << "\n";
+      return 1;
+    }
+    Stopwatch parallel_timer;
+    const auto parallel_tables =
+        core::BuildTransitionTables(net, index, 6, /*preassign_threads=*/0);
+    const double preassign_mt_ms = parallel_timer.ElapsedMillis();
+    if (!parallel_tables.ok()) {
+      std::cerr << parallel_tables.status().ToString() << "\n";
       return 1;
     }
 
@@ -39,6 +50,7 @@ int main() {
         {TableWriter::Int(static_cast<long long>(net.segment_count())),
          TableWriter::Int(static_cast<long long>(net.junction_count())),
          TableWriter::Fixed(preassign_ms, 1),
+         TableWriter::Fixed(preassign_mt_ms, 1),
          TableWriter::Fixed(
              static_cast<double>(tables->MemoryBytes()) / 1e6, 3),
          TableWriter::Fixed(greedy.FillRate(), 4),

@@ -13,8 +13,9 @@ int main() {
               "sizes = outermost-level mean #segments.");
 
   Workload workload = MakeAtlantaWorkload(/*num_origins=*/10);
-  core::Anonymizer anonymizer(workload.net, workload.occupancy);
-  core::Deanonymizer deanonymizer(workload.net);
+  const auto ctx = core::MapContext::Create(workload.net);
+  core::Anonymizer anonymizer(ctx, workload.occupancy);
+  core::Deanonymizer deanonymizer(ctx);
   if (const auto status = anonymizer.EnsurePreassigned(); !status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;

@@ -15,8 +15,9 @@ int main() {
               "RGE, 3-level ladder.");
 
   Workload workload = MakeAtlantaWorkload(/*num_origins=*/10);
-  core::Anonymizer anonymizer(workload.net, workload.occupancy);
-  core::Deanonymizer deanonymizer(workload.net);
+  const auto ctx = core::MapContext::Create(workload.net);
+  core::Anonymizer anonymizer(ctx, workload.occupancy);
+  core::Deanonymizer deanonymizer(ctx);
   const auto store = query::PoiStore::Random(workload.net, 2000, 8, 99);
 
   TableWriter table({"level", "mean_region_segs", "mean_candidates",

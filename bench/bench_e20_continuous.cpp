@@ -37,8 +37,9 @@ int main() {
   for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
     occupancy.Add(roadnet::SegmentId{i});
   }
-  core::Anonymizer anonymizer(net, std::move(occupancy));
-  core::Deanonymizer deanonymizer(net);
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer anonymizer(ctx, std::move(occupancy));
+  core::Deanonymizer deanonymizer(ctx);
 
   // Group the trace per car.
   std::map<std::uint32_t, std::vector<mobility::TraceRecord>> per_car;

@@ -43,8 +43,9 @@ int main(int argc, char** argv) {
             << simulator.cars().size() << " cars ("
             << setup_timer.ElapsedMillis() << " ms setup).\n";
 
-  core::Anonymizer anonymizer(net, simulator.SnapshotNow());
-  core::Deanonymizer deanonymizer(net);
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer anonymizer(ctx, simulator.SnapshotNow());
+  core::Deanonymizer deanonymizer(ctx);
 
   // --- Three users with personal profiles, both algorithms. ---------------
   struct UserSpec {

@@ -14,8 +14,9 @@ int main() {
   for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
     occupancy.Add(roadnet::SegmentId{i});
   }
-  core::Anonymizer anonymizer(net, occupancy);
-  core::Deanonymizer deanonymizer(net);
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer anonymizer(ctx, occupancy);
+  core::Deanonymizer deanonymizer(ctx);
 
   core::AnonymizeRequest request;
   request.origin = roadnet::SegmentId{240};

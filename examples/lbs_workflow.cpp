@@ -47,8 +47,9 @@ int main() {
   (void)acl.RegisterRequester("weather-app", 1);  // may see L1
   core::RequestCache cache(/*ttl_s=*/300.0);
 
-  core::Anonymizer anonymizer(net, timeline.WindowOccupancy(1.0, 1.0));
-  core::Deanonymizer deanonymizer(net);
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer anonymizer(ctx, timeline.WindowOccupancy(1.0, 1.0));
+  core::Deanonymizer deanonymizer(ctx);
 
   // --- Cloak (temporal + spatial), through the cache. ----------------------
   core::AnonymizeRequest request;

@@ -27,8 +27,9 @@ int main(int argc, char** argv) {
   spawn.seed = 12;
   const auto cars = mobility::SpawnCars(net, index, spawn);
 
-  core::Anonymizer anonymizer(net, mobility::Occupancy(net, cars));
-  core::Deanonymizer deanonymizer(net);
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer anonymizer(ctx, mobility::Occupancy(net, cars));
+  core::Deanonymizer deanonymizer(ctx);
   const auto keys = crypto::KeyChain::FromSeed(99, 3);
 
   core::AnonymizeRequest request;

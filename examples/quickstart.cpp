@@ -31,7 +31,10 @@ int main() {
             << " users.\n";
 
   // --- 2. Anonymize. ------------------------------------------------------
-  core::Anonymizer anonymizer(net, mobility::Occupancy(net, cars));
+  // One immutable MapContext (network + spatial index + memoized RPLE
+  // tables) is shared by the anonymizer and the de-anonymizer below.
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer anonymizer(ctx, mobility::Occupancy(net, cars));
   const auto keys = crypto::KeyChain::FromSeed(/*master=*/2024, /*levels=*/2);
 
   core::AnonymizeRequest request;
@@ -77,7 +80,7 @@ int main() {
     std::cerr << decoded.status().ToString() << "\n";
     return 1;
   }
-  core::Deanonymizer deanonymizer(net);
+  core::Deanonymizer deanonymizer(ctx);
   std::map<int, crypto::AccessKey> granted{{1, keys.LevelKey(1)},
                                            {2, keys.LevelKey(2)}};
   for (int target = 2; target >= 0; --target) {

@@ -1,4 +1,5 @@
 #include "baseline/random_expand.h"
+#include <memory>
 
 #include "util/rng.h"
 
@@ -13,18 +14,12 @@ bool Satisfied(const CloakRegion& region,
 }
 }  // namespace
 
-StatusOr<CloakRegion> RandomExpandCloak(
-    const roadnet::RoadNetwork& net,
-    const mobility::OccupancySnapshot& occupancy, SegmentId origin,
-    const LevelRequirement& requirement, std::uint64_t seed,
-    BaselineStats* stats) {
-  if (!net.IsValid(origin)) {
-    return Status::InvalidArgument("baseline: invalid origin segment");
-  }
+Status RandomExpandLevel(const core::UserCounter& users, CloakRegion& region,
+                         const LevelRequirement& requirement,
+                         std::uint64_t seed, BaselineStats* stats) {
   Xoshiro256 rng(seed);
-  CloakRegion region(net);
-  region.Insert(origin);
-  while (!Satisfied(region, occupancy, requirement)) {
+  while (region.size() < requirement.delta_l ||
+         users.Count(region) < requirement.delta_k) {
     // Maintained incrementally by the region engine; no per-step BFS.
     const auto& frontier = region.Frontier();
     if (frontier.empty()) {
@@ -38,6 +33,22 @@ StatusOr<CloakRegion> RandomExpandCloak(
       return Status::ResourceExhausted("baseline: sigma_s exceeded");
     }
   }
+  return Status::Ok();
+}
+
+StatusOr<CloakRegion> RandomExpandCloak(
+    const roadnet::RoadNetwork& net,
+    const mobility::OccupancySnapshot& occupancy, SegmentId origin,
+    const LevelRequirement& requirement, std::uint64_t seed,
+    BaselineStats* stats) {
+  if (!net.IsValid(origin)) {
+    return Status::InvalidArgument("baseline: invalid origin segment");
+  }
+  CloakRegion region(net);
+  region.Insert(origin);
+  const core::SnapshotCounter counter(occupancy);
+  RCLOAK_RETURN_IF_ERROR(
+      RandomExpandLevel(counter, region, requirement, seed, stats));
   // The running user count was armed against the caller's snapshot; drop it
   // so the escaping region holds no pointer into the caller's arguments.
   region.InvalidateUserCountCache();
@@ -94,10 +105,49 @@ StatusOr<CloakRegion> XStarCloak(const roadnet::RoadNetwork& net,
   CloakRegion region(net);
   std::vector<bool> star_taken(net.junction_count(), false);
 
+  // Incremental candidate engine: instead of re-scanning the whole region
+  // per star selection, every junction touching the region carries its
+  // running star payload — users on its not-yet-covered incident segments
+  // (`star_users`) per such segment (`star_fresh`) — maintained under each
+  // region insert. `candidates` holds the touching, not-taken junctions
+  // with lazy compaction; selection is a single pass over it. The payload
+  // arrays are left uninitialized (slots are written on first touch before
+  // any read), so per-call setup stays O(junctions/8) bitmap zeroing.
+  const auto star_users =
+      std::make_unique_for_overwrite<std::uint64_t[]>(net.junction_count());
+  const auto star_fresh =
+      std::make_unique_for_overwrite<std::uint32_t[]>(net.junction_count());
+  std::vector<bool> touching(net.junction_count(), false);
+  std::vector<JunctionId> candidates;
+
+  auto insert_segment = [&](SegmentId sid) {
+    if (region.Contains(sid)) return;
+    region.Insert(sid);
+    const auto& s = net.segment(sid);
+    for (const JunctionId j : {s.a, s.b}) {
+      if (!touching[Index(j)]) {
+        touching[Index(j)] = true;
+        // First touch: account the currently uncovered incident segments.
+        star_fresh[Index(j)] = 0;
+        star_users[Index(j)] = 0;
+        for (const SegmentId inc : net.junction(j).incident) {
+          if (region.Contains(inc)) continue;
+          ++star_fresh[Index(j)];
+          star_users[Index(j)] += occupancy.count(inc);
+        }
+        candidates.push_back(j);
+      } else {
+        // `sid` just became covered: retract its payload contribution.
+        --star_fresh[Index(j)];
+        star_users[Index(j)] -= occupancy.count(sid);
+      }
+    }
+  };
+
   auto add_star = [&](JunctionId junction) {
     star_taken[Index(junction)] = true;
     for (const SegmentId sid : net.junction(junction).incident) {
-      region.Insert(sid);
+      insert_segment(sid);
     }
     if (stats != nullptr) ++stats->expansions;
   };
@@ -109,7 +159,7 @@ StatusOr<CloakRegion> XStarCloak(const roadnet::RoadNetwork& net,
           ? seg.a
           : seg.b;
   add_star(seed);
-  region.Insert(origin);
+  insert_segment(origin);
 
   auto satisfied = [&] {
     return region.size() >= requirement.delta_l &&
@@ -117,37 +167,31 @@ StatusOr<CloakRegion> XStarCloak(const roadnet::RoadNetwork& net,
   };
 
   while (!satisfied()) {
-    // Candidate stars: junctions touching the region that are not taken.
+    // Quality heuristic from the XStar family: grow where anonymity
+    // accrues fastest without inflating the region — max payload score,
+    // ties to the lowest junction id (order-independent, so the candidate
+    // list needs no deterministic ordering).
     JunctionId best = roadnet::kInvalidJunction;
     double best_score = -1.0;
-    for (const SegmentId sid : region.segments_by_id()) {
-      const auto& s = net.segment(sid);
-      for (const JunctionId j : {s.a, s.b}) {
-        if (star_taken[Index(j)]) continue;
-        // Payload of the star: users on its not-yet-covered segments per
-        // new segment (quality heuristic from the XStar family: grow where
-        // anonymity accrues fastest without inflating the region).
-        std::uint64_t users = 0;
-        std::uint32_t fresh = 0;
-        for (const SegmentId inc : net.junction(j).incident) {
-          if (region.Contains(inc)) continue;
-          ++fresh;
-          users += occupancy.count(inc);
-        }
-        if (fresh == 0) {
-          star_taken[Index(j)] = true;  // nothing to add; never revisit
-          continue;
-        }
-        const double score =
-            (static_cast<double>(users) + 0.1) / static_cast<double>(fresh);
-        if (score > best_score ||
-            (score == best_score && best != roadnet::kInvalidJunction &&
-             Index(j) < Index(best))) {
-          best_score = score;
-          best = j;
-        }
+    std::size_t write = 0;
+    for (const JunctionId j : candidates) {
+      if (star_taken[Index(j)]) continue;  // compacted away
+      if (star_fresh[Index(j)] == 0) {
+        star_taken[Index(j)] = true;  // nothing to add; never revisit
+        continue;
+      }
+      candidates[write++] = j;
+      const double score =
+          (static_cast<double>(star_users[Index(j)]) + 0.1) /
+          static_cast<double>(star_fresh[Index(j)]);
+      if (score > best_score ||
+          (score == best_score && best != roadnet::kInvalidJunction &&
+           Index(j) < Index(best))) {
+        best_score = score;
+        best = j;
       }
     }
+    candidates.resize(write);
     if (best == roadnet::kInvalidJunction) {
       return Status::ResourceExhausted("xstar: component exhausted");
     }

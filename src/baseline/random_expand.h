@@ -15,6 +15,7 @@
 
 #include "core/cloak_region.h"
 #include "core/privacy_profile.h"
+#include "core/user_counter.h"
 #include "mobility/trace.h"
 #include "roadnet/road_network.h"
 #include "util/status.h"
@@ -28,6 +29,14 @@ using roadnet::SegmentId;
 struct BaselineStats {
   std::uint64_t expansions = 0;
 };
+
+// Core expansion loop behind RandomExpandCloak and the kRandomExpand
+// strategy (core/algorithm.cc): grows `region` in place by uniformly
+// random frontier picks until `requirement` holds. The region is left
+// partially grown on failure; callers that need rollback snapshot first.
+Status RandomExpandLevel(const core::UserCounter& users, CloakRegion& region,
+                         const LevelRequirement& requirement,
+                         std::uint64_t seed, BaselineStats* stats = nullptr);
 
 // Single-level non-reversible expansion; seed drives the (public,
 // non-cryptographic) RNG.

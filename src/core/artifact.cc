@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "core/algorithm.h"
 #include "crypto/siphash.h"
 
 namespace rcloak::core {
@@ -19,6 +20,7 @@ std::string_view AlgorithmName(Algorithm algorithm) noexcept {
   switch (algorithm) {
     case Algorithm::kRge: return "RGE";
     case Algorithm::kRple: return "RPLE";
+    case Algorithm::kRandomExpand: return "RandomExpand";
   }
   return "?";
 }
@@ -82,7 +84,12 @@ StatusOr<CloakedArtifact> DecodeArtifact(const Bytes& data) {
   }
   if (off >= data.size()) return Status::DataLoss("artifact: truncated");
   const std::uint8_t algorithm_raw = data[off++];
-  if (algorithm_raw > 1) return Status::DataLoss("artifact: bad algorithm");
+  // Valid ids are whatever the strategy registry knows — built-ins plus
+  // RegisterAlgorithm'd backends — so registered algorithms' artifacts
+  // round-trip the wire format without codec changes.
+  if (FindAlgorithm(static_cast<Algorithm>(algorithm_raw)) == nullptr) {
+    return Status::DataLoss("artifact: bad algorithm");
+  }
 
   CloakedArtifact artifact;
   artifact.algorithm = static_cast<Algorithm>(algorithm_raw);

@@ -27,6 +27,10 @@ namespace rcloak::core {
 enum class Algorithm : std::uint8_t {
   kRge = 0,   // Reversible Global Expansion
   kRple = 1,  // Reversible Pre-assignment-based Local Expansion
+  // Non-reversible random-expansion baseline (comparator workloads). Its
+  // artifacts publish the outer region but cannot be reduced level by
+  // level; Deanonymizer::Reduce reports Unimplemented for them.
+  kRandomExpand = 2,
 };
 
 std::string_view AlgorithmName(Algorithm algorithm) noexcept;

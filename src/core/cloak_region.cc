@@ -78,6 +78,20 @@ void CloakRegion::Erase(SegmentId id) {
   }
 }
 
+void CloakRegion::Clear() {
+  for (SegmentId sid : segments_) member_[roadnet::Index(sid)] = 0;
+  segments_.clear();
+  by_length_.clear();
+  length_dirty_ = true;
+  // Adjacency counters are stale once members vanish wholesale; disable the
+  // frontier engine and let EnsureFrontier rebuild it lazily on next use.
+  frontier_enabled_ = false;
+  frontier_.clear();
+  bounds_ = geo::BoundingBox{};
+  bounds_dirty_ = false;
+  user_cache_occ_ = nullptr;
+}
+
 const std::vector<SegmentId>& CloakRegion::LengthSorted() const {
   if (length_dirty_) {
     by_length_ = segments_;

@@ -58,6 +58,10 @@ class CloakRegion {
   }
   void Insert(SegmentId id);
   void Erase(SegmentId id);
+  // Resets to the empty region while keeping allocations, so per-worker
+  // engine sessions can reuse one region across requests. Equivalent to a
+  // freshly constructed region over the same network.
+  void Clear();
   std::size_t size() const noexcept { return segments_.size(); }
   bool empty() const noexcept { return segments_.empty(); }
 

@@ -1,0 +1,47 @@
+#include "core/map_context.h"
+
+#include <utility>
+
+#include "core/artifact.h"
+
+namespace rcloak::core {
+
+MapContext::MapContext(const roadnet::RoadNetwork& net)
+    : net_(&net), index_(net), fingerprint_(FingerprintNetwork(net)) {}
+
+MapContext::MapContext(roadnet::RoadNetwork&& net)
+    : owned_net_(std::make_unique<const roadnet::RoadNetwork>(std::move(net))),
+      net_(owned_net_.get()),
+      index_(*net_),
+      fingerprint_(FingerprintNetwork(*net_)) {}
+
+std::shared_ptr<const MapContext> MapContext::Create(
+    const roadnet::RoadNetwork& net) {
+  return std::shared_ptr<const MapContext>(new MapContext(net));
+}
+
+std::shared_ptr<const MapContext> MapContext::Adopt(roadnet::RoadNetwork net) {
+  return std::shared_ptr<const MapContext>(new MapContext(std::move(net)));
+}
+
+StatusOr<const TransitionTables*> MapContext::TablesFor(
+    std::uint32_t T) const {
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  const auto it = tables_by_T_.find(T);
+  if (it != tables_by_T_.end()) return it->second.get();
+  auto built = BuildTransitionTables(*net_, index_, T);
+  if (!built.ok()) return built.status();
+  ++table_builds_;
+  auto stored = std::make_unique<const TransitionTables>(
+      std::move(built).value());
+  const TransitionTables* result = stored.get();
+  tables_by_T_.emplace(T, std::move(stored));
+  return result;
+}
+
+std::size_t MapContext::table_builds() const {
+  std::lock_guard<std::mutex> lock(tables_mutex_);
+  return table_builds_;
+}
+
+}  // namespace rcloak::core

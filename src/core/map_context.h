@@ -1,0 +1,79 @@
+// MapContext — the immutable, thread-shareable public layer of the engine.
+//
+// Everything that is a pure function of the road map lives here exactly
+// once: the road network itself, the spatial index over segment midpoints,
+// the structural fingerprint, and the memoized RPLE transition tables
+// (a deterministic function of (network, T)). Anonymizer, Deanonymizer,
+// the anonymization server's workers, examples and benches all share one
+// context by shared_ptr/const& — nothing in this class ever mutates after
+// construction, so no reader needs a lock on the hot path. The only
+// internal synchronization is the build-once memo for transition tables,
+// which hands out pointer-stable immutable tables.
+//
+// Ownership rules (docs/ARCHITECTURE.md):
+//   * a MapContext either borrows the network (Create — caller keeps it
+//     alive) or owns a moved-in copy (Adopt);
+//   * everything handed out by const accessor is valid for the lifetime of
+//     the context and safe to read from any thread;
+//   * per-request mutable state never lives here — it belongs to
+//     EngineSession (core/algorithm.h).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/rple.h"
+#include "roadnet/road_network.h"
+#include "roadnet/spatial_index.h"
+#include "util/status.h"
+
+namespace rcloak::core {
+
+class MapContext {
+ public:
+  // Borrowing constructor: `net` must outlive the context (the historical
+  // Anonymizer/Deanonymizer contract).
+  static std::shared_ptr<const MapContext> Create(
+      const roadnet::RoadNetwork& net);
+
+  // Owning constructor: the context keeps the network alive itself.
+  static std::shared_ptr<const MapContext> Adopt(roadnet::RoadNetwork net);
+
+  MapContext(const MapContext&) = delete;
+  MapContext& operator=(const MapContext&) = delete;
+
+  const roadnet::RoadNetwork& network() const noexcept { return *net_; }
+  const roadnet::SpatialIndex& index() const noexcept { return index_; }
+  std::uint64_t fingerprint() const noexcept { return fingerprint_; }
+
+  // The RPLE pre-assigned tables for transition-list length T. Built on
+  // first use (thread-safe, build-once per distinct T) and memoized for the
+  // lifetime of the context; the returned pointer is stable and the tables
+  // are immutable, so concurrent readers need no further synchronization.
+  StatusOr<const TransitionTables*> TablesFor(std::uint32_t T) const;
+
+  // How many table builds have run so far. Sharing tests pin this to prove
+  // that co-located Anonymizer + Deanonymizer do not duplicate work.
+  std::size_t table_builds() const;
+
+ private:
+  explicit MapContext(const roadnet::RoadNetwork& net);
+  explicit MapContext(roadnet::RoadNetwork&& net);
+
+  // Set iff the context owns the network (Adopt).
+  std::unique_ptr<const roadnet::RoadNetwork> owned_net_;
+  const roadnet::RoadNetwork* net_;
+  roadnet::SpatialIndex index_;
+  std::uint64_t fingerprint_;
+
+  // Build-once memo; unique_ptr values keep handed-out pointers stable
+  // across rehash-free std::map growth.
+  mutable std::mutex tables_mutex_;
+  mutable std::map<std::uint32_t, std::unique_ptr<const TransitionTables>>
+      tables_by_T_;
+  mutable std::size_t table_builds_ = 0;
+};
+
+}  // namespace rcloak::core

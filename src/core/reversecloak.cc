@@ -1,30 +1,61 @@
 #include "core/reversecloak.h"
 
 #include <string>
+#include <utility>
 
 namespace rcloak::core {
 
 Anonymizer::Anonymizer(const roadnet::RoadNetwork& net,
                        mobility::OccupancySnapshot occupancy,
                        std::uint32_t rple_T)
-    : net_(&net),
-      occupancy_(std::move(occupancy)),
-      index_(net),
-      rple_T_(rple_T),
-      fingerprint_(FingerprintNetwork(net)) {}
+    : Anonymizer(MapContext::Create(net), std::move(occupancy), rple_T) {}
 
-Status Anonymizer::EnsurePreassigned() {
-  if (tables_) return Status::Ok();
-  auto built = BuildTransitionTables(*net_, index_, rple_T_);
-  if (!built.ok()) return built.status();
-  tables_ = std::move(built).value();
-  return Status::Ok();
+Anonymizer::Anonymizer(std::shared_ptr<const MapContext> context,
+                       mobility::OccupancySnapshot occupancy,
+                       std::uint32_t rple_T)
+    : ctx_(std::move(context)),
+      occupancy_(std::make_shared<const mobility::OccupancySnapshot>(
+          std::move(occupancy))),
+      rple_T_(rple_T) {}
+
+Anonymizer::Anonymizer(Anonymizer&& other) noexcept
+    : ctx_(std::move(other.ctx_)),
+      occupancy_(other.occupancy_.load(std::memory_order_acquire)),
+      rple_T_(other.rple_T_),
+      external_counter_(other.external_counter_) {}
+
+Anonymizer& Anonymizer::operator=(Anonymizer&& other) noexcept {
+  if (this != &other) {
+    ctx_ = std::move(other.ctx_);
+    occupancy_.store(other.occupancy_.load(std::memory_order_acquire),
+                     std::memory_order_release);
+    rple_T_ = other.rple_T_;
+    external_counter_ = other.external_counter_;
+  }
+  return *this;
+}
+
+void Anonymizer::SetOccupancy(mobility::OccupancySnapshot occupancy) {
+  occupancy_.store(std::make_shared<const mobility::OccupancySnapshot>(
+                       std::move(occupancy)),
+                   std::memory_order_release);
+}
+
+Status Anonymizer::EnsurePreassigned() const {
+  return ctx_->TablesFor(rple_T_).status();
 }
 
 StatusOr<AnonymizeResult> Anonymizer::Anonymize(
-    const AnonymizeRequest& request, const crypto::KeyChain& keys) {
+    const AnonymizeRequest& request, const crypto::KeyChain& keys) const {
+  EngineSession session(*ctx_);
+  return Anonymize(request, keys, session);
+}
+
+StatusOr<AnonymizeResult> Anonymizer::Anonymize(
+    const AnonymizeRequest& request, const crypto::KeyChain& keys,
+    EngineSession& session) const {
   RCLOAK_RETURN_IF_ERROR(request.profile.Validate());
-  if (!net_->IsValid(request.origin)) {
+  if (!ctx_->network().IsValid(request.origin)) {
     return Status::InvalidArgument("anonymize: invalid origin segment");
   }
   if (request.context.empty()) {
@@ -37,85 +68,102 @@ StatusOr<AnonymizeResult> Anonymizer::Anonymize(
     return Status::InvalidArgument(
         "anonymize: key chain has fewer keys than profile levels");
   }
-  if (occupancy_.segment_count() != net_->segment_count()) {
+  const CloakAlgorithm* algorithm = FindAlgorithm(request.algorithm);
+  if (algorithm == nullptr) {
+    return Status::InvalidArgument("anonymize: unknown algorithm id " +
+                                   std::to_string(static_cast<unsigned>(
+                                       request.algorithm)));
+  }
+  if (session.ctx != ctx_.get()) {
+    return Status::InvalidArgument(
+        "anonymize: session was built over a different MapContext (its "
+        "region bitmap and table cache are invalid here)");
+  }
+
+  // Pin this request to one snapshot epoch: SetOccupancy on another thread
+  // publishes a new shared_ptr and never mutates a published snapshot.
+  const std::shared_ptr<const mobility::OccupancySnapshot> snapshot =
+      occupancy_snapshot();
+  if (snapshot->segment_count() != ctx_->network().segment_count()) {
     return Status::FailedPrecondition(
         "anonymize: occupancy snapshot does not match network");
   }
-  if (request.algorithm == Algorithm::kRple) {
-    RCLOAK_RETURN_IF_ERROR(EnsurePreassigned());
-  }
+
+  session.Reset(request.origin);  // L0: only the actual user's segment
+  const SnapshotCounter snapshot_counter(*snapshot);
+  session.users = external_counter_ != nullptr
+                      ? external_counter_
+                      : static_cast<const UserCounter*>(&snapshot_counter);
+  // The session outlives this request, but the counter and the user-count
+  // cache point at this stack frame / snapshot epoch — drop them on every
+  // exit path, success or failure.
+  struct SessionCleanup {
+    EngineSession* session;
+    ~SessionCleanup() {
+      session->users = nullptr;
+      session->region.InvalidateUserCountCache();
+    }
+  } cleanup{&session};
+  RCLOAK_RETURN_IF_ERROR(algorithm->Begin(*ctx_, session, rple_T_));
 
   AnonymizeResult result;
-  CloakRegion region(*net_);
-  region.Insert(request.origin);  // L0: only the actual user's segment
-  SegmentId chain = request.origin;
-
-  const SnapshotCounter snapshot_counter(occupancy_);
-  const UserCounter& users =
-      external_counter_ != nullptr
-          ? *external_counter_
-          : static_cast<const UserCounter&>(snapshot_counter);
-
   for (int level = 1; level <= num_levels; ++level) {
-    const LevelRequirement& requirement = request.profile.level(level);
-    StatusOr<LevelRecord> record =
-        request.algorithm == Algorithm::kRge
-            ? RgeAnonymizeLevel(users, region, chain, keys.LevelKey(level),
-                                request.context, level, requirement,
-                                &result.rge_stats)
-            : RpleAnonymizeLevel(*tables_, users, region, chain,
-                                 keys.LevelKey(level), request.context, level,
-                                 requirement, &result.rple_stats);
+    StatusOr<LevelRecord> record = algorithm->AnonymizeLevel(
+        *ctx_, session, keys.LevelKey(level), request.context, level,
+        request.profile.level(level));
     if (!record.ok()) return record.status();
     result.artifact.levels.push_back(std::move(record).value());
   }
 
   result.artifact.algorithm = request.algorithm;
   result.artifact.context = request.context;
-  result.artifact.map_fingerprint = fingerprint_;
+  result.artifact.map_fingerprint = ctx_->fingerprint();
   result.artifact.rple_T =
       request.algorithm == Algorithm::kRple ? rple_T_ : 0;
-  result.artifact.region_segments = region.segments_by_id();
+  result.artifact.region_segments = session.region.segments_by_id();
+  result.rge_stats = session.rge_stats;
+  result.rple_stats = session.rple_stats;
+  result.baseline_expansions = session.baseline_expansions;
   return result;
 }
 
 Deanonymizer::Deanonymizer(const roadnet::RoadNetwork& net)
-    : net_(&net), index_(net), fingerprint_(FingerprintNetwork(net)) {}
+    : ctx_(MapContext::Create(net)) {}
 
-Status Deanonymizer::EnsureTables(std::uint32_t T) {
-  if (tables_ && tables_T_ == T) return Status::Ok();
-  auto built = BuildTransitionTables(*net_, index_, T);
-  if (!built.ok()) return built.status();
-  tables_ = std::move(built).value();
-  tables_T_ = T;
-  return Status::Ok();
-}
+Deanonymizer::Deanonymizer(std::shared_ptr<const MapContext> context)
+    : ctx_(std::move(context)) {}
 
 StatusOr<CloakRegion> Deanonymizer::FullRegion(
     const CloakedArtifact& artifact) const {
-  if (artifact.map_fingerprint != fingerprint_) {
+  if (artifact.map_fingerprint != ctx_->fingerprint()) {
     return Status::FailedPrecondition(
         "artifact was built on a different road network");
   }
   for (SegmentId sid : artifact.region_segments) {
-    if (!net_->IsValid(sid)) {
+    if (!ctx_->network().IsValid(sid)) {
       return Status::DataLoss("artifact references unknown segment");
     }
   }
-  return CloakRegion::FromSegments(*net_, artifact.region_segments);
+  return CloakRegion::FromSegments(ctx_->network(), artifact.region_segments);
 }
 
 StatusOr<CloakRegion> Deanonymizer::Reduce(
     const CloakedArtifact& artifact,
-    const std::map<int, crypto::AccessKey>& granted_keys, int target_level) {
+    const std::map<int, crypto::AccessKey>& granted_keys,
+    int target_level) const {
   const int num_levels = artifact.num_levels();
   if (target_level < 0 || target_level > num_levels) {
     return Status::InvalidArgument("target level out of range");
   }
-  RCLOAK_ASSIGN_OR_RETURN(CloakRegion region, FullRegion(artifact));
-  if (artifact.algorithm == Algorithm::kRple) {
-    RCLOAK_RETURN_IF_ERROR(EnsureTables(artifact.rple_T));
+  const CloakAlgorithm* algorithm = FindAlgorithm(artifact.algorithm);
+  if (algorithm == nullptr) {
+    return Status::InvalidArgument("reduce: unknown algorithm id " +
+                                   std::to_string(static_cast<unsigned>(
+                                       artifact.algorithm)));
   }
+  RCLOAK_ASSIGN_OR_RETURN(CloakRegion region, FullRegion(artifact));
+  ReduceSession session;
+  RCLOAK_RETURN_IF_ERROR(algorithm->BeginReduce(*ctx_, artifact, session));
 
   // Peel levels outermost-first: L^N, L^{N-1}, ..., down to the target.
   for (int level = num_levels; level > target_level; --level) {
@@ -131,19 +179,9 @@ StatusOr<CloakRegion> Deanonymizer::Reduce(
         level >= 2
             ? artifact.levels[static_cast<std::size_t>(level - 2)].region_size
             : 1;  // L0 is always the single origin segment
-    if (artifact.algorithm == Algorithm::kRge) {
-      RCLOAK_RETURN_IF_ERROR(RgeDeanonymizeLevel(region, key_it->second,
-                                                 artifact.context, level,
-                                                 record, prev_size));
-    } else {
-      RCLOAK_RETURN_IF_ERROR(RpleDeanonymizeLevel(
-          *tables_, region, key_it->second, artifact.context, level, record));
-      if (region.size() != prev_size) {
-        return Status::DataLoss(
-            "RPLE de-anonymize: reduced region size mismatch (wrong key or "
-            "corrupt artifact)");
-      }
-    }
+    RCLOAK_RETURN_IF_ERROR(algorithm->DeanonymizeLevel(
+        *ctx_, artifact, session, region, key_it->second, level, record,
+        prev_size));
   }
   return region;
 }

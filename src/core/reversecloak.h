@@ -1,28 +1,38 @@
-// Public facade of the ReverseCloak library.
+// Public facade of the ReverseCloak library, layered over the engine
+// architecture (docs/ARCHITECTURE.md):
 //
-// Anonymizer — the trusted anonymization server of §IV: owns the road
-// network, an occupancy snapshot and (for RPLE) the pre-assigned transition
-// tables; turns (origin segment, PrivacyProfile, KeyChain) into a
-// CloakedArtifact whose outermost region goes to the LBS provider.
+//   MapContext (immutable, shared)  ←  CloakAlgorithm strategies (stateless)
+//                 ↑                               ↑
+//   Anonymizer / Deanonymizer — thin facades dispatching through the
+//   strategy registry, with all per-request mutable state in EngineSession.
+//
+// Anonymizer — the trusted anonymization server of §IV: shares a
+// MapContext (road network + spatial index + memoized RPLE tables), holds
+// the occupancy snapshot behind an atomically swappable shared_ptr (cars
+// move; see SetOccupancy), and turns (origin segment, PrivacyProfile,
+// KeyChain) into a CloakedArtifact. Anonymize() is const: it only reads
+// shared state, so any number of threads may call it concurrently.
 //
 // Deanonymizer — the data requester side: holds whichever level keys were
 // granted and reduces a CloakedArtifact down to the corresponding level;
-// with all keys, down to L0 = the user's exact segment.
+// with all keys, down to L0 = the user's exact segment. Construct it over
+// the same MapContext as the Anonymizer to share the index and tables.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
-#include <optional>
 #include <string>
 
+#include "core/algorithm.h"
 #include "core/artifact.h"
 #include "core/cloak_region.h"
+#include "core/map_context.h"
 #include "core/privacy_profile.h"
 #include "core/rge.h"
 #include "core/rple.h"
 #include "crypto/keyed_prng.h"
 #include "mobility/trace.h"
-#include "roadnet/spatial_index.h"
 
 namespace rcloak::core {
 
@@ -39,76 +49,109 @@ struct AnonymizeResult {
   CloakedArtifact artifact;
   RgeStats rge_stats;
   RpleStats rple_stats;
+  std::uint64_t baseline_expansions = 0;
 };
 
 class Anonymizer {
  public:
-  // `rple_T` is the transition-list length used when requests pick RPLE.
-  // RPLE pre-assignment runs lazily on first use and is cached.
+  // Compatibility constructor: builds a private MapContext over `net`
+  // (which must outlive the anonymizer). `rple_T` is the transition-list
+  // length used when requests pick RPLE; pre-assignment runs lazily on
+  // first use and is memoized in the context.
   Anonymizer(const roadnet::RoadNetwork& net,
              mobility::OccupancySnapshot occupancy, std::uint32_t rple_T = 6);
 
-  StatusOr<AnonymizeResult> Anonymize(const AnonymizeRequest& request,
-                                      const crypto::KeyChain& keys);
+  // Shares an existing context (the server / multi-engine shape): no
+  // duplicate index or table builds.
+  Anonymizer(std::shared_ptr<const MapContext> context,
+             mobility::OccupancySnapshot occupancy, std::uint32_t rple_T = 6);
 
-  // Refreshes the user-position snapshot (cars move).
-  void SetOccupancy(mobility::OccupancySnapshot occupancy) {
-    occupancy_ = std::move(occupancy);
-  }
+  Anonymizer(Anonymizer&& other) noexcept;
+  Anonymizer& operator=(Anonymizer&& other) noexcept;
+
+  // Read-only over all shared state: safe to call concurrently from many
+  // threads. Builds a throwaway session; the overload below reuses one.
+  StatusOr<AnonymizeResult> Anonymize(const AnonymizeRequest& request,
+                                      const crypto::KeyChain& keys) const;
+
+  // Hot-path overload: runs the request in `session` (reset internally),
+  // reusing its allocations. Each concurrent caller needs its own session.
+  StatusOr<AnonymizeResult> Anonymize(const AnonymizeRequest& request,
+                                      const crypto::KeyChain& keys,
+                                      EngineSession& session) const;
+
+  // Refreshes the user-position snapshot (cars move). Publishes a new
+  // snapshot epoch by atomic shared_ptr swap: in-flight requests keep the
+  // epoch they started with, later requests see the new one. Safe to call
+  // while Anonymize() runs on other threads.
+  void SetOccupancy(mobility::OccupancySnapshot occupancy);
 
   // Overrides the k-anonymity user counting for subsequent requests (e.g.
   // a trace-window distinct counter for spatio-temporal cloaking). Pass
   // nullptr to return to the internal occupancy snapshot. The counter must
-  // outlive its use; the anonymizer does not take ownership.
+  // outlive its use; the anonymizer does not take ownership. Not
+  // synchronized against concurrent Anonymize() — set it before serving.
   void SetUserCounter(const UserCounter* counter) noexcept {
     external_counter_ = counter;
   }
 
-  // Forces pre-assignment now (e.g. to measure it); otherwise lazy.
-  Status EnsurePreassigned();
-  const TransitionTables* tables() const noexcept {
-    return tables_ ? &*tables_ : nullptr;
-  }
+  // Forces RPLE pre-assignment now (e.g. to measure it); otherwise lazy.
+  Status EnsurePreassigned() const;
 
-  const roadnet::RoadNetwork& network() const noexcept { return *net_; }
-  const mobility::OccupancySnapshot& occupancy() const noexcept {
-    return occupancy_;
+  const std::shared_ptr<const MapContext>& context() const noexcept {
+    return ctx_;
+  }
+  const roadnet::RoadNetwork& network() const noexcept {
+    return ctx_->network();
+  }
+  std::uint32_t rple_T() const noexcept { return rple_T_; }
+
+  // The current snapshot epoch.
+  std::shared_ptr<const mobility::OccupancySnapshot> occupancy_snapshot()
+      const {
+    return occupancy_.load(std::memory_order_acquire);
+  }
+  // Compatibility accessor. The reference is into the CURRENT epoch and
+  // dangles once SetOccupancy publishes a new one (the old snapshot is
+  // dropped, unlike the pre-epoch design which assigned in place) — do
+  // not hold it across SetOccupancy; hold occupancy_snapshot() instead.
+  const mobility::OccupancySnapshot& occupancy() const {
+    return *occupancy_snapshot();
   }
 
  private:
-  const roadnet::RoadNetwork* net_;
-  mobility::OccupancySnapshot occupancy_;
-  roadnet::SpatialIndex index_;
+  std::shared_ptr<const MapContext> ctx_;
+  std::atomic<std::shared_ptr<const mobility::OccupancySnapshot>> occupancy_;
   std::uint32_t rple_T_;
-  std::optional<TransitionTables> tables_;
-  std::uint64_t fingerprint_;
   const UserCounter* external_counter_ = nullptr;
 };
 
 class Deanonymizer {
  public:
-  // The de-anonymizer needs the same map; RPLE additionally re-derives the
-  // pre-assigned tables from it (they are a pure function of map and T).
+  // Compatibility constructor: builds a private context over the same map
+  // (RPLE tables are a pure function of map and T, so they re-derive).
   explicit Deanonymizer(const roadnet::RoadNetwork& net);
+
+  // Shares the anonymizer's context: index and tables are built once.
+  explicit Deanonymizer(std::shared_ptr<const MapContext> context);
 
   // Reduces the artifact from level N down to `target_level` (0 =>
   // exact segment). `granted_keys` maps level index -> key; all keys for
   // levels target_level+1 .. N must be present.
   StatusOr<CloakRegion> Reduce(
       const CloakedArtifact& artifact,
-      const std::map<int, crypto::AccessKey>& granted_keys, int target_level);
+      const std::map<int, crypto::AccessKey>& granted_keys,
+      int target_level) const;
 
   // The region exposed with no keys at all (level N as published).
   StatusOr<CloakRegion> FullRegion(const CloakedArtifact& artifact) const;
 
- private:
-  Status EnsureTables(std::uint32_t T);
+  const std::shared_ptr<const MapContext>& context() const noexcept {
+    return ctx_;
+  }
 
-  const roadnet::RoadNetwork* net_;
-  roadnet::SpatialIndex index_;
-  std::optional<TransitionTables> tables_;
-  std::uint32_t tables_T_ = 0;
-  std::uint64_t fingerprint_;
+ private:
+  std::shared_ptr<const MapContext> ctx_;
 };
 
 }  // namespace rcloak::core

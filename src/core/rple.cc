@@ -1,7 +1,9 @@
 #include "core/rple.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <thread>
 #include <unordered_set>
 
 #include "core/rge.h"  // SealRank / OpenSeal / level context conventions
@@ -95,7 +97,8 @@ Status TransitionTables::ValidatePairing() const {
 
 StatusOr<TransitionTables> BuildTransitionTables(const RoadNetwork& net,
                                                  const SpatialIndex& index,
-                                                 std::uint32_t T) {
+                                                 std::uint32_t T,
+                                                 unsigned preassign_threads) {
   const std::size_t count = net.segment_count();
   if (T < 2) return Status::InvalidArgument("RPLE requires T >= 2");
   if (count <= 2 * static_cast<std::size_t>(T) + 1) {
@@ -111,12 +114,44 @@ StatusOr<TransitionTables> BuildTransitionTables(const RoadNetwork& net,
   std::vector<std::uint32_t> out_deg(count, 0), in_deg(count, 0);
   const std::size_t preference_width = 4 * static_cast<std::size_t>(T);
   std::vector<std::vector<SegmentId>> preferences(count);
-  for (std::size_t s = 0; s < count; ++s) {
-    preferences[s] = LinkCandidates(
-        net, index, SegmentId{static_cast<std::uint32_t>(s)},
-        preference_width);
-    targets[s].reserve(T);
+
+  // Preference pass: each slot is an independent pure function of
+  // (net, index, s), so threads race only on the chunk counter — the
+  // slot-indexed writes make the merge deterministic and the tables
+  // byte-identical for any thread count.
+  unsigned threads =
+      preassign_threads != 0 ? preassign_threads
+                             : std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, 64);
+  const std::size_t kChunk = 256;
+  if (threads > 1 && count > kChunk) {
+    std::atomic<std::size_t> next_chunk{0};
+    auto preference_worker = [&] {
+      for (;;) {
+        const std::size_t begin = next_chunk.fetch_add(kChunk);
+        if (begin >= count) return;
+        const std::size_t end = std::min(begin + kChunk, count);
+        for (std::size_t s = begin; s < end; ++s) {
+          preferences[s] = LinkCandidates(
+              net, index, SegmentId{static_cast<std::uint32_t>(s)},
+              preference_width);
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back(preference_worker);
+    }
+    for (auto& thread : pool) thread.join();
+  } else {
+    for (std::size_t s = 0; s < count; ++s) {
+      preferences[s] = LinkCandidates(
+          net, index, SegmentId{static_cast<std::uint32_t>(s)},
+          preference_width);
+    }
   }
+  for (std::size_t s = 0; s < count; ++s) targets[s].reserve(T);
 
   // Arc membership as a hash set of packed (tail, head) pairs: the deficit
   // fill and exchange repair below probe has_arc inside O(count)-wide scans,
@@ -147,32 +182,32 @@ StatusOr<TransitionTables> BuildTransitionTables(const RoadNetwork& net,
   }
 
   // Deficit fill: spare head capacity is matched to deficient tails.
-  // Spare heads are searched nearest-first (expanding k-NN) so completion
-  // links stay local — a long-range link would let the cloaking walk
-  // "teleport" and blow the spatial tolerance. Global scan is the last
+  // Spare heads are searched nearest-first so completion links stay local —
+  // a long-range link would let the cloaking walk "teleport" and blow the
+  // spatial tolerance. The resumable NearestCursor yields candidates in
+  // exactly the (distance, id) order the old doubled-k re-queries walked,
+  // without re-scanning from scratch per doubling. Global scan is the last
   // resort that guarantees completion (capacity equals demand).
   for (std::size_t s = 0; s < count; ++s) {
     if (out_deg[s] >= T) continue;
     const geo::Point mid =
         net.SegmentMidpoint(SegmentId{static_cast<std::uint32_t>(s)});
-    std::size_t want = preference_width;
+    SpatialIndex::NearestCursor cursor(index, mid);
     while (out_deg[s] < T) {
-      bool placed = false;
-      for (const SegmentId t : index.Nearest(mid, want)) {
+      const SegmentId t = cursor.Next();
+      if (t != kInvalidSegment) {
         if (Index(t) == s || in_deg[Index(t)] >= T || has_arc(s, t)) {
           continue;
         }
         add_arc(s, t);
-        placed = true;
-        if (out_deg[s] >= T) break;
+        continue;
       }
-      if (out_deg[s] >= T) break;
-      if (!placed && want >= count) {
-        // Nearest search exhausted the whole map: global scan by id.
+      {
+        // Cursor exhausted the whole map: global scan by id.
         for (std::size_t h = 0; h < count && out_deg[s] < T; ++h) {
-          const SegmentId t{static_cast<std::uint32_t>(h)};
-          if (h == s || in_deg[h] >= T || has_arc(s, t)) continue;
-          add_arc(s, t);
+          const SegmentId t2{static_cast<std::uint32_t>(h)};
+          if (h == s || in_deg[h] >= T || has_arc(s, t2)) continue;
+          add_arc(s, t2);
         }
         // Exchange repair: every remaining spare head is s itself or
         // already a target of s. Rewire some arc (u -> v) with v fresh for
@@ -215,7 +250,6 @@ StatusOr<TransitionTables> BuildTransitionTables(const RoadNetwork& net,
         }
         break;
       }
-      want = std::min(want * 2, count);
     }
   }
 

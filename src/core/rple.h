@@ -58,7 +58,7 @@ class TransitionTables {
  private:
   friend StatusOr<TransitionTables> BuildTransitionTables(
       const roadnet::RoadNetwork&, const roadnet::SpatialIndex&,
-      std::uint32_t);
+      std::uint32_t, unsigned);
   std::uint32_t t_ = 0;
   std::vector<SegmentId> ft_;
   std::vector<SegmentId> bt_;
@@ -67,9 +67,15 @@ class TransitionTables {
 // Production pre-assignment (regularized links + arc coloring). Requires
 // segment_count > 2*T. Deterministic in (network, T): anonymizer and
 // de-anonymizer derive identical tables from their map copies.
+//
+// The preference pass (per-segment link candidates) is embarrassingly
+// parallel and runs on `preassign_threads` threads (0 = one per hardware
+// core); each thread writes only its own slots of the preference array, so
+// the resulting tables are byte-identical for every thread count (pinned
+// by transition_table_test.cc).
 StatusOr<TransitionTables> BuildTransitionTables(
     const roadnet::RoadNetwork& net, const roadnet::SpatialIndex& index,
-    std::uint32_t T);
+    std::uint32_t T, unsigned preassign_threads = 0);
 
 // Paper Algorithm 1, verbatim greedy first-fit over per-segment neighbour
 // lists. May leave holes; returned tables are for fidelity measurements

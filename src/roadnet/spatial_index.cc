@@ -163,4 +163,80 @@ SegmentId SpatialIndex::NearestOne(geo::Point query) const {
   return nearest[0];
 }
 
+SpatialIndex::NearestCursor::NearestCursor(const SpatialIndex& index,
+                                           geo::Point query)
+    : index_(&index),
+      query_(query),
+      radius_(index.cell_size_),
+      max_radius_(index.bounds_.Diagonal() + index.cell_size_) {}
+
+SegmentId SpatialIndex::NearestCursor::Next() {
+  while (front_ == sorted_end_) {
+    if (!Expand()) return kInvalidSegment;
+  }
+  return pending_[front_++].second;
+}
+
+bool SpatialIndex::NearestCursor::Expand() {
+  // Every confirmed candidate has been yielded; compact them away.
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(front_));
+  front_ = 0;
+  sorted_end_ = 0;
+
+  const auto by_distance = [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first < b.first
+                              : Index(a.second) < Index(b.second);
+  };
+  while (sorted_end_ == 0) {
+    if (scan_complete_) {
+      // The whole grid is scanned: the remainder is confirmed outright.
+      if (pending_.empty()) return false;
+      std::sort(pending_.begin(), pending_.end(), by_distance);
+      sorted_end_ = pending_.size();
+      return true;
+    }
+    // Same expanding-ring scan as Nearest(): only the cells outside the
+    // previously scanned rectangle are visited.
+    const auto lo =
+        index_->CellOf({query_.x - radius_, query_.y - radius_});
+    const auto hi =
+        index_->CellOf({query_.x + radius_, query_.y + radius_});
+    for (std::int64_t cy = lo.cy; cy <= hi.cy; ++cy) {
+      for (std::int64_t cx = lo.cx; cx <= hi.cx; ++cx) {
+        if (have_prev_ && cx >= prev_lo_.cx && cx <= prev_hi_.cx &&
+            cy >= prev_lo_.cy && cy <= prev_hi_.cy) {
+          continue;
+        }
+        const std::size_t cell = index_->CellIndex(cx, cy);
+        for (std::uint32_t i = index_->bucket_start_[cell];
+             i < index_->bucket_start_[cell + 1]; ++i) {
+          const SegmentId sid = index_->bucket_items_[i];
+          pending_.emplace_back(
+              geo::DistanceSquared(index_->net_->SegmentMidpoint(sid),
+                                   query_),
+              sid);
+        }
+      }
+    }
+    prev_lo_ = lo;
+    prev_hi_ = hi;
+    have_prev_ = true;
+
+    // A candidate inside the scanned radius cannot be beaten by a cell we
+    // have not scanned yet, so the within-radius partition is confirmed.
+    const double radius_sq = radius_ * radius_;
+    if (radius_ > max_radius_) scan_complete_ = true;
+    radius_ *= 2.0;
+    const auto within_end =
+        std::partition(pending_.begin(), pending_.end(),
+                       [radius_sq](const auto& c) {
+                         return c.first <= radius_sq;
+                       });
+    std::sort(pending_.begin(), within_end, by_distance);
+    sorted_end_ = static_cast<std::size_t>(within_end - pending_.begin());
+  }
+  return true;
+}
+
 }  // namespace rcloak::roadnet

@@ -34,6 +34,44 @@ class SpatialIndex {
     std::int64_t cx;
     std::int64_t cy;
   };
+
+ public:
+  // Resumable k-NN: yields segments one at a time in exactly the order
+  // Nearest() would return them (ascending (distance, id)), expanding the
+  // scanned cell ring lazily. For callers that do not know k up front —
+  // e.g. the RPLE deficit fill, which previously re-ran Nearest() with a
+  // doubled k from scratch — the first n calls to Next() return precisely
+  // Nearest(query, n). The index must outlive the cursor.
+  class NearestCursor {
+   public:
+    NearestCursor(const SpatialIndex& index, geo::Point query);
+
+    // The next nearest not-yet-yielded segment; kInvalidSegment once every
+    // segment of the network has been yielded.
+    SegmentId Next();
+
+   private:
+    // Confirms at least one more candidate (scanning further rings as
+    // needed); false when the whole network has been yielded.
+    bool Expand();
+
+    const SpatialIndex* index_;
+    geo::Point query_;
+    // Scanned-but-not-yet-yielded candidates. [front_, sorted_end_) is
+    // sorted and confirmed (no unscanned cell can beat it); the tail is
+    // unordered overshoot from the latest ring scan.
+    std::vector<std::pair<double, SegmentId>> pending_;
+    std::size_t front_ = 0;
+    std::size_t sorted_end_ = 0;
+    double radius_;
+    double max_radius_;
+    bool scan_complete_ = false;
+    bool have_prev_ = false;
+    CellCoord prev_lo_{0, 0};
+    CellCoord prev_hi_{0, 0};
+  };
+
+ private:
   CellCoord CellOf(geo::Point p) const noexcept;
   std::size_t CellIndex(std::int64_t cx, std::int64_t cy) const noexcept;
 

@@ -1,5 +1,9 @@
 #include "server/anonymization_server.h"
 
+#include <algorithm>
+#include <optional>
+#include <utility>
+
 #include "util/stopwatch.h"
 
 namespace rcloak::server {
@@ -7,96 +11,166 @@ namespace rcloak::server {
 AnonymizationServer::AnonymizationServer(core::Anonymizer engine,
                                          const ServerOptions& options)
     : engine_(std::move(engine)), options_(options) {
-  // Pre-assignment up front: afterwards Anonymize() only reads shared
-  // state, so one engine serves all workers.
+  // Pre-assignment up front: afterwards the MapContext is fully warm and
+  // Anonymize() only reads shared state, so one engine serves all shards.
   (void)engine_.EnsurePreassigned();
   const int workers = std::max(1, options_.num_workers);
-  workers_.reserve(static_cast<std::size_t>(workers));
+  per_shard_queue_ = std::max<std::size_t>(
+      1, options_.max_queue / static_cast<std::size_t>(workers));
+  shards_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    shards_.push_back(std::make_unique<Shard>(*engine_.context()));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(*s); });
   }
 }
 
 AnonymizationServer::~AnonymizationServer() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutting_down_ = true;
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->shutting_down = true;
+    }
+    shard->queue_cv.notify_all();
   }
-  queue_cv_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  for (auto& shard : shards_) shard->worker.join();
   // Unserved jobs fail cleanly rather than dangling their promises.
-  for (auto& job : queue_) {
-    job.promise.set_value(
-        Status::FailedPrecondition("server shut down before execution"));
+  for (auto& shard : shards_) {
+    for (auto& job : shard->queue) {
+      job.promise.set_value(
+          Status::FailedPrecondition("server shut down before execution"));
+    }
   }
 }
 
-StatusOr<std::future<StatusOr<core::AnonymizeResult>>>
-AnonymizationServer::Submit(core::AnonymizeRequest request,
-                            crypto::KeyChain keys) {
-  Job job{std::move(request), std::move(keys), {}};
+StatusOr<AnonymizationServer::ResultFuture> AnonymizationServer::Enqueue(
+    Shard& shard, Job job) {
   auto future = job.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (shutting_down_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.shutting_down) {
       return Status::FailedPrecondition("server is shutting down");
     }
-    if (queue_.size() >= options_.max_queue) {
-      ++rejected_;
+    if (shard.queue.size() >= per_shard_queue_) {
+      ++shard.rejected;
       return Status::ResourceExhausted("anonymization queue full");
     }
-    queue_.push_back(std::move(job));
-    ++accepted_;
+    shard.queue.push_back(std::move(job));
+    ++shard.accepted;
   }
-  queue_cv_.notify_one();
+  shard.queue_cv.notify_one();
   return future;
 }
 
-void AnonymizationServer::WorkerLoop() {
+StatusOr<AnonymizationServer::ResultFuture> AnonymizationServer::Submit(
+    core::AnonymizeRequest request, crypto::KeyChain keys) {
+  const std::size_t shard_index =
+      static_cast<std::size_t>(next_shard_.fetch_add(
+          1, std::memory_order_relaxed)) %
+      shards_.size();
+  return Enqueue(*shards_[shard_index],
+                 Job{std::move(request), std::move(keys), {}});
+}
+
+std::vector<StatusOr<AnonymizationServer::ResultFuture>>
+AnonymizationServer::SubmitBatch(std::vector<BatchJob> jobs) {
+  // Round-robin shard assignment, then one lock acquisition per shard.
+  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const std::size_t shard_index =
+        static_cast<std::size_t>(next_shard_.fetch_add(
+            1, std::memory_order_relaxed)) %
+        shards_.size();
+    by_shard[shard_index].push_back(i);
+  }
+  std::vector<StatusOr<ResultFuture>> results;
+  results.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    results.emplace_back(Status::Internal("batch job not visited"));
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::size_t enqueued = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (const std::size_t i : by_shard[s]) {
+        if (shard.shutting_down) {
+          results[i] = Status::FailedPrecondition("server is shutting down");
+          continue;
+        }
+        if (shard.queue.size() >= per_shard_queue_) {
+          ++shard.rejected;
+          results[i] = Status::ResourceExhausted("anonymization queue full");
+          continue;
+        }
+        Job job{std::move(jobs[i].request), std::move(jobs[i].keys), {}};
+        results[i] = job.promise.get_future();
+        shard.queue.push_back(std::move(job));
+        ++shard.accepted;
+        ++enqueued;
+      }
+    }
+    if (enqueued > 0) shard.queue_cv.notify_one();
+  }
+  return results;
+}
+
+void AnonymizationServer::WorkerLoop(Shard& shard) {
   for (;;) {
     std::optional<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock,
-                     [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down
-      job.emplace(std::move(queue_.front()));
-      queue_.pop_front();
-      ++in_flight_;
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      shard.queue_cv.wait(lock, [&shard] {
+        return shard.shutting_down || !shard.queue.empty();
+      });
+      if (shard.queue.empty()) return;  // shutting down
+      job.emplace(std::move(shard.queue.front()));
+      shard.queue.pop_front();
+      ++shard.in_flight;
     }
     Stopwatch timer;
-    auto result = engine_.Anonymize(job->request, job->keys);
+    auto result = engine_.Anonymize(job->request, job->keys, shard.session);
     const double elapsed = timer.ElapsedMillis();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      latency_ms_.Add(elapsed);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.latency_ms.Add(elapsed);
       if (result.ok()) {
-        ++succeeded_;
+        ++shard.succeeded;
       } else {
-        ++failed_;
+        ++shard.failed;
       }
-      --in_flight_;
+      --shard.in_flight;
     }
     job->promise.set_value(std::move(result));
-    drain_cv_.notify_all();
+    shard.drain_cv.notify_all();
   }
 }
 
 void AnonymizationServer::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  for (auto& shard : shards_) {
+    std::unique_lock<std::mutex> lock(shard->mutex);
+    shard->drain_cv.wait(lock, [&shard] {
+      return shard->queue.empty() && shard->in_flight == 0;
+    });
+  }
 }
 
 ServerStats AnonymizationServer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   ServerStats stats;
-  stats.accepted = accepted_;
-  stats.rejected_queue_full = rejected_;
-  stats.succeeded = succeeded_;
-  stats.failed = failed_;
-  stats.mean_latency_ms = latency_ms_.Mean();
+  Samples all_latencies;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.accepted += shard->accepted;
+    stats.rejected_queue_full += shard->rejected;
+    stats.succeeded += shard->succeeded;
+    stats.failed += shard->failed;
+    all_latencies.Merge(shard->latency_ms);
+  }
+  stats.mean_latency_ms = all_latencies.Mean();
   stats.p95_latency_ms =
-      latency_ms_.empty() ? 0.0 : latency_ms_.Percentile(95.0);
+      all_latencies.empty() ? 0.0 : all_latencies.Percentile(95.0);
   return stats;
 }
 

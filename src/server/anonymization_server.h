@@ -1,17 +1,22 @@
 // Trusted anonymization server: the deployment shape of §IV ("the
 // 'Anonymizer' sends the parameters and access keys to a trusted
-// anonymization server"). Wraps core::Anonymizer with a bounded job queue
-// and a worker pool; Anonymize() is read-only after pre-assignment, so
-// workers share one engine.
+// anonymization server").
+//
+// The server is *sharded*: each worker owns a shard with its own bounded
+// queue, mutex, statistics and a reusable EngineSession, and Submit
+// round-robins jobs across shards. The engine layer underneath is built
+// for this: the MapContext is immutable, Anonymize() is const over shared
+// state, and occupancy refreshes publish a new snapshot epoch by atomic
+// shared_ptr swap (SetOccupancy) — so workers never contend on engine
+// state, only on their own shard's queue lock.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <optional>
 #include <thread>
 #include <vector>
 
@@ -22,6 +27,7 @@ namespace rcloak::server {
 
 struct ServerOptions {
   int num_workers = 2;
+  // Total queue bound, split evenly across worker shards.
   std::size_t max_queue = 1024;
 };
 
@@ -36,6 +42,13 @@ struct ServerStats {
 
 class AnonymizationServer {
  public:
+  using ResultFuture = std::future<StatusOr<core::AnonymizeResult>>;
+
+  struct BatchJob {
+    core::AnonymizeRequest request;
+    crypto::KeyChain keys;
+  };
+
   // The server takes ownership of the engine; RPLE pre-assignment runs
   // up-front so workers never race the lazy build.
   AnonymizationServer(core::Anonymizer engine, const ServerOptions& options);
@@ -45,15 +58,30 @@ class AnonymizationServer {
   AnonymizationServer& operator=(const AnonymizationServer&) = delete;
 
   // Enqueues a request; the future resolves to the artifact or the error.
-  // Fails fast with RESOURCE_EXHAUSTED when the queue is full.
-  StatusOr<std::future<StatusOr<core::AnonymizeResult>>> Submit(
-      core::AnonymizeRequest request, crypto::KeyChain keys);
+  // Fails fast with RESOURCE_EXHAUSTED when the target shard is full.
+  StatusOr<ResultFuture> Submit(core::AnonymizeRequest request,
+                                crypto::KeyChain keys);
 
-  // Blocks until the queue drains and all in-flight jobs finish.
+  // Batch path: spreads the jobs across shards taking each shard lock
+  // once, instead of one lock round-trip per job. Element i of the result
+  // corresponds to jobs[i]; individual jobs can still be rejected when
+  // their shard is full.
+  std::vector<StatusOr<ResultFuture>> SubmitBatch(std::vector<BatchJob> jobs);
+
+  // Publishes a new occupancy snapshot epoch (cars moved). Lock-free with
+  // respect to the worker shards: in-flight requests finish against the
+  // epoch they started with.
+  void SetOccupancy(mobility::OccupancySnapshot occupancy) {
+    engine_.SetOccupancy(std::move(occupancy));
+  }
+
+  // Blocks until every shard's queue drains and in-flight jobs finish.
   void Drain();
 
+  // Aggregated over all shards.
   ServerStats stats() const;
 
+  int num_workers() const noexcept { return static_cast<int>(shards_.size()); }
   const core::Anonymizer& engine() const noexcept { return engine_; }
 
  private:
@@ -63,25 +91,37 @@ class AnonymizationServer {
     std::promise<StatusOr<core::AnonymizeResult>> promise;
   };
 
-  void WorkerLoop();
+  struct Shard {
+    explicit Shard(const core::MapContext& ctx) : session(ctx) {}
+
+    std::mutex mutex;
+    std::condition_variable queue_cv;
+    std::condition_variable drain_cv;
+    std::deque<Job> queue;
+    bool shutting_down = false;
+    std::size_t in_flight = 0;
+
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t succeeded = 0;
+    std::uint64_t failed = 0;
+    Samples latency_ms;
+
+    // Worker-owned scratch, reused across this shard's requests; only the
+    // shard's worker thread touches it.
+    core::EngineSession session;
+    std::thread worker;
+  };
+
+  void WorkerLoop(Shard& shard);
+  // Appends `job` to `shard` under its lock; fails when the shard is full.
+  StatusOr<ResultFuture> Enqueue(Shard& shard, Job job);
 
   core::Anonymizer engine_;
   ServerOptions options_;
-
-  mutable std::mutex mutex_;
-  std::condition_variable queue_cv_;
-  std::condition_variable drain_cv_;
-  std::deque<Job> queue_;
-  std::size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-
-  std::uint64_t accepted_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t succeeded_ = 0;
-  std::uint64_t failed_ = 0;
-  Samples latency_ms_;
-
-  std::vector<std::thread> workers_;
+  std::size_t per_shard_queue_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_shard_{0};
 };
 
 }  // namespace rcloak::server

@@ -90,6 +90,11 @@ class Samples {
   double Median() const { return Percentile(50.0); }
   const std::vector<double>& data() const noexcept { return data_; }
 
+  // Pools another sample set (e.g. merging per-shard server latencies).
+  void Merge(const Samples& other) {
+    data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  }
+
  private:
   std::vector<double> data_;
 };

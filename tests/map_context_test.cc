@@ -1,0 +1,189 @@
+// Layered-engine tests: MapContext sharing (one index, one table build for
+// Anonymizer + Deanonymizer), the CloakAlgorithm strategy registry, the
+// non-reversible baseline strategy, and EngineSession reuse.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/algorithm.h"
+#include "core/map_context.h"
+#include "core/reversecloak.h"
+#include "roadnet/generators.h"
+
+namespace rcloak {
+namespace {
+
+using core::Algorithm;
+using core::AnonymizeRequest;
+using core::MapContext;
+using core::PrivacyProfile;
+using roadnet::RoadNetwork;
+using roadnet::SegmentId;
+
+mobility::OccupancySnapshot OnePerSegment(const RoadNetwork& net) {
+  mobility::OccupancySnapshot occupancy(net.segment_count());
+  for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+    occupancy.Add(SegmentId{i});
+  }
+  return occupancy;
+}
+
+TEST(MapContextTest, AnonymizerAndDeanonymizerShareOneTableBuild) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto ctx = MapContext::Create(net);
+  ASSERT_EQ(ctx->table_builds(), 0u);
+
+  core::Anonymizer anonymizer(ctx, OnePerSegment(net), /*rple_T=*/4);
+  core::Deanonymizer deanonymizer(ctx);
+
+  AnonymizeRequest request;
+  request.origin = SegmentId{70};
+  request.profile = PrivacyProfile({{6, 3, 1e9}, {15, 6, 1e9}});
+  request.algorithm = Algorithm::kRple;
+  request.context = "ctx-share/1";
+  const auto keys = crypto::KeyChain::FromSeed(51, 2);
+  const auto result = anonymizer.Anonymize(request, keys);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::map<int, crypto::AccessKey> granted{{1, keys.LevelKey(1)},
+                                           {2, keys.LevelKey(2)}};
+  const auto reduced = deanonymizer.Reduce(result->artifact, granted, 0);
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  EXPECT_EQ(reduced->segments_by_id().front(), request.origin);
+
+  // The de-anonymizer replayed the walk against the memoized tables of the
+  // shared context: exactly one pre-assignment ran.
+  EXPECT_EQ(ctx->table_builds(), 1u);
+}
+
+TEST(MapContextTest, SharedContextMatchesPrivateContextArtifacts) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto ctx = MapContext::Create(net);
+  core::Anonymizer shared_engine(ctx, OnePerSegment(net), /*rple_T=*/4);
+  core::Anonymizer private_engine(net, OnePerSegment(net), /*rple_T=*/4);
+
+  for (const auto algorithm : {Algorithm::kRge, Algorithm::kRple}) {
+    AnonymizeRequest request;
+    request.origin = SegmentId{33};
+    request.profile = PrivacyProfile::SingleLevel({12, 4, 1e9});
+    request.algorithm = algorithm;
+    request.context = "ctx-vs-private";
+    const auto keys = crypto::KeyChain::FromSeed(7, 1);
+    const auto a = shared_engine.Anonymize(request, keys);
+    const auto b = private_engine.Anonymize(request, keys);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(core::EncodeArtifact(a->artifact),
+              core::EncodeArtifact(b->artifact));
+  }
+}
+
+TEST(MapContextTest, TablesAreMemoizedPerT) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto ctx = MapContext::Create(net);
+  const auto t4_first = ctx->TablesFor(4);
+  const auto t4_again = ctx->TablesFor(4);
+  const auto t6 = ctx->TablesFor(6);
+  ASSERT_TRUE(t4_first.ok() && t4_again.ok() && t6.ok());
+  EXPECT_EQ(*t4_first, *t4_again);  // pointer-stable memo
+  EXPECT_NE(*t4_first, *t6);
+  EXPECT_EQ(ctx->table_builds(), 2u);
+}
+
+TEST(AlgorithmRegistryTest, BuiltinsAreRegistered) {
+  const auto* rge = core::FindAlgorithm(Algorithm::kRge);
+  const auto* rple = core::FindAlgorithm(Algorithm::kRple);
+  const auto* baseline = core::FindAlgorithm(Algorithm::kRandomExpand);
+  ASSERT_NE(rge, nullptr);
+  ASSERT_NE(rple, nullptr);
+  ASSERT_NE(baseline, nullptr);
+  EXPECT_EQ(rge->name(), "RGE");
+  EXPECT_EQ(rple->name(), "RPLE");
+  EXPECT_EQ(baseline->name(), "RandomExpand");
+  EXPECT_TRUE(rge->reversible());
+  EXPECT_TRUE(rple->reversible());
+  EXPECT_FALSE(baseline->reversible());
+  EXPECT_EQ(core::FindAlgorithm(static_cast<Algorithm>(200)), nullptr);
+  EXPECT_GE(core::RegisteredAlgorithms().size(), 3u);
+  // Double registration of a taken id is refused.
+  EXPECT_FALSE(core::RegisterAlgorithm(rge).ok());
+}
+
+TEST(AlgorithmRegistryTest, BaselineStrategyProducesNonReversibleArtifact) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  core::Anonymizer anonymizer(net, OnePerSegment(net));
+  core::Deanonymizer deanonymizer(net);
+
+  AnonymizeRequest request;
+  request.origin = SegmentId{40};
+  request.profile = PrivacyProfile::SingleLevel({15, 5, 1e9});
+  request.algorithm = Algorithm::kRandomExpand;
+  request.context = "baseline/1";
+  const auto keys = crypto::KeyChain::FromSeed(99, 1);
+  const auto result = anonymizer.Anonymize(request, keys);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->artifact.region_segments.size(), 15u);
+  EXPECT_GT(result->baseline_expansions, 0u);
+  // Deterministic in (key, context).
+  const auto again = anonymizer.Anonymize(request, keys);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(core::EncodeArtifact(result->artifact),
+            core::EncodeArtifact(again->artifact));
+
+  // Wire round trip works; the published region is available without keys;
+  // keyed reduction is refused (non-reversible).
+  const auto decoded = core::DecodeArtifact(core::EncodeArtifact(
+      result->artifact));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->algorithm, Algorithm::kRandomExpand);
+  const auto full = deanonymizer.FullRegion(*decoded);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->segments_by_id(), result->artifact.region_segments);
+  std::map<int, crypto::AccessKey> granted{{1, keys.LevelKey(1)}};
+  const auto reduced = deanonymizer.Reduce(*decoded, granted, 0);
+  ASSERT_FALSE(reduced.ok());
+  EXPECT_EQ(reduced.status().code(), ErrorCode::kUnimplemented);
+}
+
+TEST(EngineSessionTest, SessionOverForeignContextRejected) {
+  const RoadNetwork net_a = roadnet::MakeGrid({10, 10, 100.0});
+  const RoadNetwork net_b = roadnet::MakeGrid({12, 12, 100.0});
+  const auto ctx_a = MapContext::Create(net_a);
+  const auto ctx_b = MapContext::Create(net_b);
+  core::Anonymizer anonymizer(ctx_b, OnePerSegment(net_b));
+  core::EngineSession foreign_session(*ctx_a);
+
+  AnonymizeRequest request;
+  request.origin = SegmentId{5};
+  request.profile = PrivacyProfile::SingleLevel({5, 3, 1e9});
+  request.context = "foreign-session";
+  const auto result = anonymizer.Anonymize(
+      request, crypto::KeyChain::FromSeed(3, 1), foreign_session);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(EngineSessionTest, ReusedSessionMatchesFreshSession) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto ctx = MapContext::Create(net);
+  core::Anonymizer anonymizer(ctx, OnePerSegment(net), /*rple_T=*/4);
+  core::EngineSession session(*ctx);
+
+  for (const auto algorithm :
+       {Algorithm::kRge, Algorithm::kRple, Algorithm::kRge,
+        Algorithm::kRandomExpand, Algorithm::kRple}) {
+    AnonymizeRequest request;
+    request.origin = SegmentId{55};
+    request.profile = PrivacyProfile({{5, 3, 1e9}, {14, 6, 1e9}});
+    request.algorithm = algorithm;
+    request.context = "session-reuse";
+    const auto keys = crypto::KeyChain::FromSeed(1234, 2);
+    const auto reused = anonymizer.Anonymize(request, keys, session);
+    const auto fresh = anonymizer.Anonymize(request, keys);
+    ASSERT_TRUE(reused.ok() && fresh.ok());
+    EXPECT_EQ(core::EncodeArtifact(reused->artifact),
+              core::EncodeArtifact(fresh->artifact));
+  }
+}
+
+}  // namespace
+}  // namespace rcloak

@@ -329,6 +329,36 @@ TEST(SpatialIndexTest, KNearestSortedAndComplete) {
   EXPECT_EQ(index.Nearest(q, 10000).size(), net.segment_count());
 }
 
+TEST(SpatialIndexTest, NearestCursorMatchesNearestPrefixes) {
+  PerturbedGridOptions options;
+  options.rows = 10;
+  options.cols = 10;
+  options.seed = 23;
+  const RoadNetwork net = MakePerturbedGrid(options);
+  const SpatialIndex index(net);
+  Xoshiro256 rng(71);
+  const auto box = net.bounds();
+  for (int trial = 0; trial < 10; ++trial) {
+    const geo::Point q{rng.NextDouble(box.min_x, box.max_x),
+                       rng.NextDouble(box.min_y, box.max_y)};
+    // The cursor must yield exactly the Nearest(q, n) prefix for every n,
+    // then report exhaustion.
+    SpatialIndex::NearestCursor cursor(index, q);
+    const auto all = index.Nearest(q, net.segment_count());
+    ASSERT_EQ(all.size(), net.segment_count());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(cursor.Next(), all[i]) << "trial " << trial << " rank " << i;
+    }
+    EXPECT_EQ(cursor.Next(), kInvalidSegment);
+    EXPECT_EQ(cursor.Next(), kInvalidSegment);
+  }
+  // Interior query with a fresh cursor: the first k draws equal Nearest(k).
+  const geo::Point center = box.Center();
+  SpatialIndex::NearestCursor cursor(index, center);
+  const auto top = index.Nearest(center, 7);
+  for (const SegmentId sid : top) EXPECT_EQ(cursor.Next(), sid);
+}
+
 TEST(SpatialIndexTest, WithinRadius) {
   const RoadNetwork net = MakeGrid({5, 5, 100.0});
   const SpatialIndex index(net);

@@ -70,6 +70,102 @@ TEST(XStarTest, DeterministicAndSigmaBounded) {
   EXPECT_EQ(tight.status().code(), ErrorCode::kResourceExhausted);
 }
 
+// Retained seed implementation of the XStar selection (full region
+// re-scan per star): the incremental candidate engine in
+// baseline::XStarCloak must select the exact same stars.
+StatusOr<core::CloakRegion> ReferenceXStar(
+    const RoadNetwork& net, const mobility::OccupancySnapshot& occupancy,
+    SegmentId origin, const core::LevelRequirement& requirement) {
+  using roadnet::Index;
+  using roadnet::JunctionId;
+  core::CloakRegion region(net);
+  std::vector<bool> star_taken(net.junction_count(), false);
+  auto add_star = [&](JunctionId junction) {
+    star_taken[Index(junction)] = true;
+    for (const SegmentId sid : net.junction(junction).incident) {
+      region.Insert(sid);
+    }
+  };
+  const auto& seg = net.segment(origin);
+  const JunctionId seed =
+      net.junction(seg.a).incident.size() >=
+              net.junction(seg.b).incident.size()
+          ? seg.a
+          : seg.b;
+  add_star(seed);
+  region.Insert(origin);
+  while (region.size() < requirement.delta_l ||
+         region.UserCount(occupancy) < requirement.delta_k) {
+    JunctionId best = roadnet::kInvalidJunction;
+    double best_score = -1.0;
+    for (const SegmentId sid : region.segments_by_id()) {
+      const auto& s = net.segment(sid);
+      for (const JunctionId j : {s.a, s.b}) {
+        if (star_taken[Index(j)]) continue;
+        std::uint64_t users = 0;
+        std::uint32_t fresh = 0;
+        for (const SegmentId inc : net.junction(j).incident) {
+          if (region.Contains(inc)) continue;
+          ++fresh;
+          users += occupancy.count(inc);
+        }
+        if (fresh == 0) {
+          star_taken[Index(j)] = true;
+          continue;
+        }
+        const double score =
+            (static_cast<double>(users) + 0.1) / static_cast<double>(fresh);
+        if (score > best_score ||
+            (score == best_score && best != roadnet::kInvalidJunction &&
+             Index(j) < Index(best))) {
+          best_score = score;
+          best = j;
+        }
+      }
+    }
+    if (best == roadnet::kInvalidJunction) {
+      return Status::ResourceExhausted("xstar: component exhausted");
+    }
+    add_star(best);
+    if (region.Bounds().Diagonal() > requirement.sigma_s) {
+      return Status::ResourceExhausted("xstar: sigma_s exceeded");
+    }
+  }
+  region.InvalidateUserCountCache();
+  return region;
+}
+
+TEST(XStarTest, IncrementalEngineMatchesReferenceRescan) {
+  roadnet::PerturbedGridOptions options;
+  options.rows = 14;
+  options.cols = 14;
+  options.seed = 33;
+  const RoadNetwork net = roadnet::MakePerturbedGrid(options);
+  // Skewed occupancy so payload scores actually differentiate stars.
+  mobility::OccupancySnapshot occupancy(net.segment_count());
+  for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+    for (std::uint32_t u = 0; u < (i * 2654435761u) % 5; ++u) {
+      occupancy.Add(SegmentId{i});
+    }
+  }
+  for (const std::uint32_t origin_raw : {3u, 57u, 120u, 199u}) {
+    const SegmentId origin{origin_raw %
+                           static_cast<std::uint32_t>(net.segment_count())};
+    for (const std::uint32_t k : {10u, 40u, 120u}) {
+      const core::LevelRequirement requirement{k, 5, 1e9};
+      const auto expected =
+          ReferenceXStar(net, occupancy, origin, requirement);
+      const auto got =
+          baseline::XStarCloak(net, occupancy, origin, requirement);
+      ASSERT_EQ(expected.ok(), got.ok())
+          << "origin " << origin_raw << " k " << k;
+      if (!expected.ok()) continue;
+      EXPECT_EQ(got->segments_by_id(), expected->segments_by_id())
+          << "origin " << origin_raw << " k " << k;
+    }
+  }
+}
+
 TEST(XStarTest, InvalidOriginRejected) {
   const RoadNetwork net = roadnet::MakeTriangleFixture();
   const auto occupancy = OnePerSegment(net);

@@ -6,8 +6,10 @@
 #include <set>
 
 #include "core/cloak_region.h"
+#include "core/rple.h"
 #include "core/transition_table.h"
 #include "roadnet/generators.h"
+#include "roadnet/spatial_index.h"
 
 namespace rcloak::core {
 namespace {
@@ -155,6 +157,42 @@ TEST(TransitionTableTest, BackwardDetectsOutOfRangeRow) {
     }
   }
   EXPECT_EQ(failures, 6);  // 9 combos, 3 valid (one per draw)
+}
+
+// ------------------------------------------- parallel pre-assignment pass
+// The preference pass of BuildTransitionTables runs on N threads with a
+// deterministic slot-indexed merge; the resulting tables must be
+// byte-identical to the single-threaded build for every thread count.
+TEST(TransitionTableTest, ParallelPreferencePassIsByteIdentical) {
+  roadnet::PerturbedGridOptions options;
+  options.rows = 20;
+  options.cols = 20;
+  options.seed = 11;
+  const RoadNetwork net = roadnet::MakePerturbedGrid(options);
+  const roadnet::SpatialIndex index(net);
+  const std::uint32_t T = 5;
+
+  const auto serial = BuildTransitionTables(net, index, T,
+                                            /*preassign_threads=*/1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    const auto parallel = BuildTransitionTables(net, index, T, threads);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_EQ(parallel->T(), serial->T());
+    ASSERT_EQ(parallel->segment_count(), serial->segment_count());
+    // FT and BT compared entry by entry == byte identity of the tables.
+    for (std::size_t s = 0; s < serial->segment_count(); ++s) {
+      const SegmentId sid{static_cast<std::uint32_t>(s)};
+      for (std::uint32_t j = 0; j < T; ++j) {
+        ASSERT_EQ(parallel->Forward(sid, j), serial->Forward(sid, j))
+            << "FT mismatch at segment " << s << " slot " << j << " with "
+            << threads << " threads";
+        ASSERT_EQ(parallel->Backward(sid, j), serial->Backward(sid, j))
+            << "BT mismatch at segment " << s << " slot " << j << " with "
+            << threads << " threads";
+      }
+    }
+  }
 }
 
 // --------------------------------------------------------- CloakRegion
