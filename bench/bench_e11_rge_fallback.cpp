@@ -43,5 +43,52 @@ int main() {
          TableWriter::Int(stats.max_rings)});
   }
   table.PrintMarkdown(std::cout);
+
+  // Adversarial topologies: on a path (and a cycle) the ring-1 frontier
+  // never exceeds 2 segments, so the multi-ring fallback fires on nearly
+  // every transition — the worst case for candidate-set construction. This
+  // sweep times one RGE level to the target size; the carried ring
+  // frontier keeps per-step cost at the ring delta instead of re-walking
+  // and re-sorting the whole candidate ball.
+  PrintHeader("E11b: ring fallback on path-like topologies",
+              "wall ms for one RGE level reaching delta_l segments on a "
+              "3000-segment line / cycle (1 user per segment).");
+  TableWriter path_table({"topology", "delta_l", "wall_ms", "transitions",
+                          "fallback_rate", "max_rings"});
+  for (const bool cycle : {false, true}) {
+    const auto net = cycle ? roadnet::MakeCycle(3000)
+                           : roadnet::MakeLine(3001);
+    mobility::OccupancySnapshot occupancy(net.segment_count());
+    for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+      occupancy.Add(roadnet::SegmentId{i});
+    }
+    for (const std::uint32_t target : {100u, 200u, 400u, 800u}) {
+      core::RgeStats stats;
+      const auto key = crypto::AccessKey::FromSeed(8300 + target);
+      core::CloakRegion region(net);
+      const roadnet::SegmentId origin{1500};
+      region.Insert(origin);
+      roadnet::SegmentId chain = origin;
+      Stopwatch wall;
+      const auto record = core::RgeAnonymizeLevel(
+          occupancy, region, chain, key,
+          (cycle ? "e11b/cycle/" : "e11b/line/") + std::to_string(target), 1,
+          {target, target, 1e9}, &stats);
+      const double wall_ms = wall.ElapsedMillis();
+      if (!record.ok()) continue;
+      path_table.AddRow(
+          {cycle ? "cycle" : "line", TableWriter::Int(target),
+           TableWriter::Fixed(wall_ms, 2),
+           TableWriter::Int(static_cast<long long>(stats.transitions)),
+           TableWriter::Fixed(
+               stats.transitions
+                   ? static_cast<double>(stats.ring_fallbacks) /
+                         static_cast<double>(stats.transitions)
+                   : 0.0,
+               4),
+           TableWriter::Int(stats.max_rings)});
+    }
+  }
+  path_table.PrintMarkdown(std::cout);
   return 0;
 }

@@ -1,18 +1,45 @@
-// E20 — Continuous cloaking for moving users: re-cloak rate and artifact
-// validity duration vs. the validity level, over simulated trajectories.
-// Expectation: higher validity levels (bigger regions) re-cloak less often
-// at the cost of staler exposed positions; re-cloaks << position updates.
+// E20 — Continuous fleet tracking: N moving users driven through the
+// server-side ContinuousSessionPool over the sharded anonymization server.
+// Per tick, the whole fleet's position updates go through UpdateBatch:
+// in-region updates resolve in the session shards without touching the
+// engine, region exits re-cloak in one server batch. Reported per
+// configuration: sustained updates/s, the re-cloak rate (the fraction of
+// updates that had to pay an engine round-trip), and mean/p95 per-update
+// latency. Routes for the mobility traces come from an ALT router over the
+// MapContext's memoized landmark tables.
+// Expectation: re-cloaks << updates (validity regions amortize), and
+// throughput scales with workers while the artifact stream stays
+// byte-identical (pinned by tests/session_pool_test.cc).
+//
+// Usage: bench_e20 [fleet_size] [workers...]
+//   (defaults: fleet 200, worker sweep 1 2 4)
+#include <cstdlib>
+#include <map>
+
 #include "bench/common.h"
-#include "core/continuous.h"
+#include "server/continuous_session_pool.h"
 
 using namespace rcloak;
 using namespace rcloak::bench;
 
-int main() {
-  PrintHeader("E20: continuous cloaking for moving users",
-              "10 cars driven 120 s (1 Hz updates) on a city grid; "
-              "re-cloaks per car-minute and mean artifact validity vs the "
-              "validity level.");
+int main(int argc, char** argv) {
+  std::uint32_t fleet_size = 200;
+  std::vector<int> worker_counts;
+  if (argc > 1) {
+    const int fleet = std::atoi(argv[1]);
+    if (fleet > 0) fleet_size = static_cast<std::uint32_t>(fleet);
+  }
+  for (int a = 2; a < argc; ++a) {
+    const int workers = std::atoi(argv[a]);
+    if (workers > 0) worker_counts.push_back(workers);
+  }
+  if (worker_counts.empty()) worker_counts = {1, 2, 4};
+
+  PrintHeader("E20: continuous fleet tracking",
+              std::to_string(fleet_size) +
+                  " cars driven 120 s (1 Hz updates) on a city grid through "
+                  "the continuous session pool; updates/s, re-cloak rate "
+                  "and per-update latency vs worker count.");
 
   const auto net = [] {
     roadnet::PerturbedGridOptions options;
@@ -21,73 +48,92 @@ int main() {
     options.seed = 5;
     return roadnet::MakePerturbedGrid(options);
   }();
-  const roadnet::SpatialIndex index(net);
+  const auto ctx = core::MapContext::Create(net);
+
+  // Fleet traces: routed once by ALT over the context's memoized landmark
+  // tables, then replayed identically against every configuration.
+  const roadnet::AltRouter router(
+      net, ctx->LandmarksFor(/*num_landmarks=*/8,
+                             roadnet::PathMetric::kTravelTime));
   mobility::SpawnOptions spawn;
-  spawn.num_cars = 10;
+  spawn.num_cars = fleet_size;
   spawn.seed = 9;
-  auto cars = mobility::SpawnCars(net, index, spawn);
+  auto cars = mobility::SpawnCars(net, ctx->index(), spawn);
   mobility::SimulationOptions sim;
   sim.tick_s = 1.0;
   sim.duration_s = 120.0;
   sim.record_every = 1;
+  sim.router = &router;
   mobility::TraceSimulator simulator(net, std::move(cars), sim);
   simulator.Run();
+
+  std::map<double, std::vector<mobility::TraceRecord>> ticks;
+  for (const auto& rec : simulator.trace()) {
+    ticks[rec.time_s].push_back(rec);
+  }
 
   mobility::OccupancySnapshot occupancy(net.segment_count());
   for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
     occupancy.Add(roadnet::SegmentId{i});
   }
-  const auto ctx = core::MapContext::Create(net);
-  core::Anonymizer anonymizer(ctx, std::move(occupancy));
-  core::Deanonymizer deanonymizer(ctx);
 
-  // Group the trace per car.
-  std::map<std::uint32_t, std::vector<mobility::TraceRecord>> per_car;
-  for (const auto& rec : simulator.trace()) {
-    per_car[rec.car_id].push_back(rec);
-  }
+  TableWriter table({"fleet", "workers", "updates", "recloaks",
+                     "recloak_rate", "updates_per_s", "mean_update_ms",
+                     "p95_update_ms"});
+  for (const int workers : worker_counts) {
+    core::Anonymizer engine(ctx, occupancy);
+    server::ServerOptions server_options;
+    server_options.num_workers = workers;
+    server_options.max_queue = 8192;
+    server::AnonymizationServer server(std::move(engine), server_options);
+    server::ContinuousSessionPool pool(server);
 
-  TableWriter table({"validity_level", "updates", "recloaks",
-                     "recloaks_per_min", "mean_validity_s"});
-  for (const int validity : {1, 2}) {
-    std::uint64_t updates = 0, recloaks = 0;
-    Samples validity_s;
-    double observed_minutes = 0.0;
-    for (const auto& [car_id, records] : per_car) {
-      core::ContinuousOptions options;
-      options.validity_level = validity;
-      options.min_recloak_interval_s = 0.0;
-      core::ContinuousCloak continuous(
-          anonymizer, deanonymizer,
-          core::PrivacyProfile({{8, 3, 1e9}, {25, 8, 1e9}}),
-          core::Algorithm::kRge, "car" + std::to_string(car_id),
-          [](std::uint64_t epoch) {
-            return crypto::KeyChain::FromSeed(50000 + epoch, 2);
-          },
-          options);
+    core::ContinuousOptions continuous;
+    continuous.validity_level = 1;
+    continuous.min_recloak_interval_s = 0.0;
+    for (std::uint32_t car = 0; car < fleet_size; ++car) {
+      (void)pool.Track("car" + std::to_string(car),
+                       core::PrivacyProfile({{8, 3, 1e9}, {25, 8, 1e9}}),
+                       core::Algorithm::kRge,
+                       [car](std::uint64_t epoch) {
+                         return crypto::KeyChain::FromSeed(
+                             50000 + car * 1000 + epoch, 2);
+                       },
+                       continuous);
+    }
+
+    Stopwatch wall;
+    std::uint64_t failed = 0;
+    for (const auto& [time, records] : ticks) {
+      std::vector<server::ContinuousSessionPool::PositionUpdate> batch;
+      batch.reserve(records.size());
       for (const auto& rec : records) {
-        if (!continuous.Update(rec.time_s, rec.segment).ok()) break;
+        batch.push_back({"car" + std::to_string(rec.car_id), rec.time_s,
+                         rec.segment});
       }
-      updates += continuous.stats().updates;
-      recloaks += continuous.stats().recloaks;
-      for (const double v : continuous.stats().validity_duration_s.data()) {
-        validity_s.Add(v);
-      }
-      if (!records.empty()) {
-        observed_minutes += (records.back().time_s - records.front().time_s)
-                            / 60.0;
+      for (const auto& result : pool.UpdateBatch(batch)) {
+        if (!result.ok()) ++failed;
       }
     }
+    const double wall_s = wall.ElapsedMillis() / 1000.0;
+    const auto stats = pool.stats();
+    const std::uint64_t ok_updates = stats.updates - failed;
     table.AddRow(
-        {TableWriter::Int(validity),
-         TableWriter::Int(static_cast<long long>(updates)),
-         TableWriter::Int(static_cast<long long>(recloaks)),
-         TableWriter::Fixed(
-             observed_minutes > 0
-                 ? static_cast<double>(recloaks) / observed_minutes
-                 : 0.0,
-             2),
-         TableWriter::Fixed(validity_s.Mean(), 2)});
+        {TableWriter::Int(static_cast<long long>(fleet_size)),
+         TableWriter::Int(workers),
+         TableWriter::Int(static_cast<long long>(ok_updates)),
+         TableWriter::Int(static_cast<long long>(stats.recloaks)),
+         TableWriter::Fixed(stats.updates
+                                ? static_cast<double>(stats.recloaks) /
+                                      static_cast<double>(stats.updates)
+                                : 0.0,
+                            4),
+         TableWriter::Fixed(wall_s > 0 ? static_cast<double>(stats.updates) /
+                                             wall_s
+                                       : 0.0,
+                            0),
+         TableWriter::Fixed(stats.update_latency_ms.Mean(), 4),
+         TableWriter::Fixed(stats.update_latency_ms.Percentile(95), 4)});
   }
   table.PrintMarkdown(std::cout);
   return 0;

@@ -74,7 +74,11 @@ class RpleStrategy final : public CloakAlgorithm {
 
   Status BeginReduce(const MapContext& ctx, const CloakedArtifact& artifact,
                      ReduceSession& session) const override {
+    if (session.tables != nullptr && session.tables_T == artifact.rple_T) {
+      return Status::Ok();  // resolved by an earlier artifact, still valid
+    }
     RCLOAK_ASSIGN_OR_RETURN(session.tables, ctx.TablesFor(artifact.rple_T));
+    session.tables_T = artifact.rple_T;
     return Status::Ok();
   }
 

@@ -73,9 +73,14 @@ struct EngineSession {
 };
 
 // Per-reduction scratch: shared prerequisites a strategy resolves once
-// before the peel loop (e.g. the RPLE tables for the artifact's T).
+// before the peel loop (e.g. the RPLE tables for the artifact's T). A
+// session may be reused across artifacts — BeginReduce runs before every
+// reduction and skips work already resolved (Deanonymizer::ReduceBatch
+// leans on this to amortize table resolution over a batch).
 struct ReduceSession {
   const TransitionTables* tables = nullptr;
+  // The T the resolved tables belong to (meaningful iff tables != nullptr).
+  std::uint32_t tables_T = 0;
 };
 
 // A cloaking backend. Implementations are stateless (all methods const,

@@ -39,7 +39,10 @@ void CloakRegion::Insert(SegmentId id) {
                                       id, LengthOrder{net_});
     by_length_.insert(pos, id);
   }
-  if (frontier_enabled_) FrontierInsertDeltas(id);
+  if (frontier_enabled_) {
+    FrontierInsertDeltas(id);
+    if (fb_live_) FallbackOnInsert(id);
+  }
   if (!bounds_dirty_) bounds_.Extend(net_->SegmentBounds(id));
   if (user_cache_occ_ != nullptr) {
     if (user_cache_stamp_ == user_cache_occ_->stamp()) {
@@ -63,6 +66,9 @@ void CloakRegion::Erase(SegmentId id) {
     by_length_.erase(pos);
   }
   if (frontier_enabled_) FrontierEraseDeltas(id);
+  // Distances can grow after an erase; the carried fallback only models
+  // shrinkage, so it rebuilds on next use.
+  fb_live_ = false;
   if (segments_.empty()) {
     bounds_ = geo::BoundingBox{};
     bounds_dirty_ = false;
@@ -87,6 +93,7 @@ void CloakRegion::Clear() {
   // frontier engine and let EnsureFrontier rebuild it lazily on next use.
   frontier_enabled_ = false;
   frontier_.clear();
+  fb_live_ = false;
   bounds_ = geo::BoundingBox{};
   bounds_dirty_ = false;
   user_cache_occ_ = nullptr;
@@ -137,6 +144,8 @@ void CloakRegion::FrontierInsertDeltas(SegmentId id) {
       const auto pos = std::lower_bound(frontier_.begin(), frontier_.end(),
                                         adj, LengthOrder{net_});
       frontier_.insert(pos, adj);
+      // New ring-1 segments join the fallback output on its next call.
+      if (fb_live_) fb_joins_.push_back(adj);
     }
   });
 }
@@ -162,6 +171,131 @@ const std::vector<SegmentId>& CloakRegion::Frontier() const {
   return frontier_;
 }
 
+namespace {
+constexpr std::uint32_t kFbUnknown = 0xFFFFFFFFu;
+}  // namespace
+
+std::uint32_t CloakRegion::FallbackDist(SegmentId id) const noexcept {
+  const std::uint32_t i = roadnet::Index(id);
+  if (member_[i] != 0) return 0;
+  if (adjacent_members_[i] > 0) return 1;
+  if (fb_dist_mark_[i] == fb_epoch_) return fb_dist_[i];
+  return kFbUnknown;
+}
+
+void CloakRegion::FallbackReset() const {
+  if (fb_dist_.size() != net_->segment_count()) {
+    fb_dist_.assign(net_->segment_count(), 0);
+    fb_dist_mark_.assign(net_->segment_count(), 0);
+    fb_out_mark_.assign(net_->segment_count(), 0);
+    fb_epoch_ = 0;
+  }
+  if (++fb_epoch_ == 0) {  // epoch wrap: clear stale marks
+    std::fill(fb_dist_mark_.begin(), fb_dist_mark_.end(), 0);
+    std::fill(fb_out_mark_.begin(), fb_out_mark_.end(), 0);
+    fb_epoch_ = 1;
+  }
+  // Ring storage beyond fb_rings_built_ is stale, never cleared: GrowRing
+  // overwrites a slot before the ring becomes visible again.
+  fb_rings_built_ = 1;
+  fb_rings_out_ = 1;
+  fb_sorted_ = frontier_;
+  for (SegmentId sid : frontier_) {
+    fb_out_mark_[roadnet::Index(sid)] = fb_epoch_;
+  }
+  fb_joins_.clear();
+  fb_removed_.clear();
+  fb_live_ = true;
+}
+
+std::size_t CloakRegion::FallbackGrowRing() const {
+  const int r = fb_rings_built_ + 1;
+  if (fb_rings_.size() < static_cast<std::size_t>(r - 1)) {
+    fb_rings_.resize(static_cast<std::size_t>(r - 1));
+    fb_ring_count_.resize(static_cast<std::size_t>(r - 1), 0);
+  }
+  auto& ring = fb_rings_[static_cast<std::size_t>(r - 2)];
+  ring.clear();
+  auto scan_source = [&](SegmentId v) {
+    net_->ForEachAdjacentSegment(v, [&](SegmentId w) {
+      const std::uint32_t wi = roadnet::Index(w);
+      if (member_[wi] != 0 || adjacent_members_[wi] > 0) return;
+      if (fb_dist_mark_[wi] == fb_epoch_) return;  // already at a dist < r
+      fb_dist_[wi] = static_cast<std::uint32_t>(r);
+      fb_dist_mark_[wi] = fb_epoch_;
+      ring.push_back(w);
+    });
+  };
+  if (fb_rings_built_ == 1) {
+    for (SegmentId v : frontier_) scan_source(v);
+  } else {
+    // Live entries of the current outermost ring are the BFS sources.
+    for (SegmentId v : fb_rings_[static_cast<std::size_t>(
+             fb_rings_built_ - 2)]) {
+      if (FallbackDist(v) == static_cast<std::uint32_t>(fb_rings_built_)) {
+        scan_source(v);
+      }
+    }
+  }
+  fb_ring_count_[static_cast<std::size_t>(r - 2)] = ring.size();
+  fb_rings_built_ = r;
+  return ring.size();
+}
+
+void CloakRegion::FallbackOnInsert(SegmentId id) {
+  const std::uint32_t i = roadnet::Index(id);
+  auto retire_ring_slot = [&](std::uint32_t seg) {
+    if (fb_dist_mark_[seg] == fb_epoch_) {
+      --fb_ring_count_[fb_dist_[seg] - 2];
+      fb_dist_mark_[seg] = 0;
+    }
+  };
+  // `id` is a member now: retire its ring slot and queue its removal from
+  // the merged output.
+  retire_ring_slot(i);
+  if (fb_out_mark_[i] == fb_epoch_) {
+    fb_out_mark_[i] = 0;
+    fb_removed_.push_back(id);
+  }
+  // Decrease-only BFS wave from the new member: a segment's distance to
+  // the region shrinks iff its distance to `id` is smaller, and the wave
+  // visits exactly those segments (bounded by the built horizon — deeper
+  // distances are unknown by invariant and stay unknown).
+  fb_wave_.clear();
+  fb_wave_dist_.clear();
+  net_->ForEachAdjacentSegment(id, [&](SegmentId v) {
+    const std::uint32_t vi = roadnet::Index(v);
+    if (member_[vi] != 0) return;
+    // Adjacency counters already include `id`: a second member neighbour
+    // means v was ring-1 before this insert, so nothing shrank.
+    if (adjacent_members_[vi] >= 2) return;
+    retire_ring_slot(vi);  // v moved into ring 1 (frontier hook queued it)
+    fb_wave_.push_back(v);
+    fb_wave_dist_.push_back(1);
+  });
+  for (std::size_t head = 0; head < fb_wave_.size(); ++head) {
+    const SegmentId v = fb_wave_[head];
+    const std::uint32_t cand = fb_wave_dist_[head] + 1;
+    if (cand > static_cast<std::uint32_t>(fb_rings_built_)) continue;
+    net_->ForEachAdjacentSegment(v, [&](SegmentId w) {
+      const std::uint32_t wi = roadnet::Index(w);
+      if (member_[wi] != 0 || adjacent_members_[wi] > 0) return;
+      const std::uint32_t old = fb_dist_mark_[wi] == fb_epoch_
+                                    ? fb_dist_[wi]
+                                    : kFbUnknown;
+      if (cand >= old) return;
+      if (old != kFbUnknown) --fb_ring_count_[old - 2];
+      fb_dist_[wi] = cand;
+      fb_dist_mark_[wi] = fb_epoch_;
+      ++fb_ring_count_[cand - 2];
+      fb_rings_[cand - 2].push_back(w);
+      if (fb_out_mark_[wi] != fb_epoch_) fb_joins_.push_back(w);
+      fb_wave_.push_back(w);
+      fb_wave_dist_.push_back(cand);
+    });
+  }
+}
+
 std::span<const SegmentId> CloakRegion::FrontierAtLeast(
     std::size_t min_size, int* rings_used) const {
   assert(!segments_.empty() && "frontier of empty region");
@@ -176,52 +310,94 @@ std::span<const SegmentId> CloakRegion::FrontierAtLeast(
     return frontier_;
   }
 
-  // Rare fallback: ring-1 is too small, expand ring by ring. Epoch-stamped
-  // visited marks make each ring O(ring size) instead of a linear rescan.
-  if (visit_mark_.size() != net_->segment_count()) {
-    visit_mark_.assign(net_->segment_count(), 0);
-    visit_epoch_ = 0;
-  }
-  if (++visit_epoch_ == 0) {  // epoch wrap: clear stale marks
-    std::fill(visit_mark_.begin(), visit_mark_.end(), 0);
-    visit_epoch_ = 1;
-  }
-  auto visited = [&](SegmentId sid) {
-    return visit_mark_[roadnet::Index(sid)] == visit_epoch_;
-  };
-  auto mark = [&](SegmentId sid) {
-    visit_mark_[roadnet::Index(sid)] = visit_epoch_;
-  };
+  // Ring-1 is too small: serve from the carried multi-ring structure,
+  // (re)building it only after an invalidating Erase/Clear.
+  if (!fb_live_) FallbackReset();
 
-  fallback_frontier_ = frontier_;
-  for (SegmentId sid : frontier_) mark(sid);
-  const std::size_t ring1_size = frontier_.size();
-  std::vector<SegmentId> current_ring = frontier_;
-  std::vector<SegmentId> next_ring;
+  // How many rings the target needs, growing the horizon as required.
+  // Ring counts are exact, so interior rings can never be empty while a
+  // deeper ring is populated; an empty next ring means the component is
+  // exhausted (matching the from-scratch BFS).
+  std::size_t cum = frontier_.size();
   int rings = 1;
-  while (fallback_frontier_.size() < target) {
-    next_ring.clear();
-    for (SegmentId sid : current_ring) {
-      net_->ForEachAdjacentSegment(sid, [&](SegmentId adj) {
-        if (Contains(adj) || visited(adj)) return;
-        mark(adj);
-        next_ring.push_back(adj);
-      });
+  while (cum < target) {
+    if (rings + 1 > fb_rings_built_) {
+      if (FallbackGrowRing() == 0) break;
     }
-    if (next_ring.empty()) break;  // component exhausted
+    const std::size_t count =
+        fb_ring_count_[static_cast<std::size_t>(rings - 1)];
+    if (count == 0) break;
     ++rings;
-    fallback_frontier_.insert(fallback_frontier_.end(), next_ring.begin(),
-                              next_ring.end());
-    current_ring.swap(next_ring);
+    cum += count;
   }
-  // Ring-1 is already length-sorted; sort only the outer rings and merge.
-  std::sort(fallback_frontier_.begin() + ring1_size, fallback_frontier_.end(),
-            LengthOrder{net_});
-  std::inplace_merge(fallback_frontier_.begin(),
-                     fallback_frontier_.begin() + ring1_size,
-                     fallback_frontier_.end(), LengthOrder{net_});
+
+  // Reconcile the merged output. Members leave point-wise; a shrunk
+  // radius filters one pass (and re-queues nothing — deeper rings stay
+  // materialized for the next growth).
+  if (rings < fb_rings_out_) {
+    fb_removed_.clear();  // the filter drops members as well
+    std::size_t kept = 0;
+    for (SegmentId sid : fb_sorted_) {
+      const std::uint32_t dist = FallbackDist(sid);
+      if (dist >= 1 && dist <= static_cast<std::uint32_t>(rings)) {
+        fb_sorted_[kept++] = sid;
+      } else {
+        fb_out_mark_[roadnet::Index(sid)] = 0;
+      }
+    }
+    fb_sorted_.resize(kept);
+  } else {
+    for (SegmentId sid : fb_removed_) {
+      const auto pos = std::lower_bound(fb_sorted_.begin(), fb_sorted_.end(),
+                                        sid, LengthOrder{net_});
+      assert(pos != fb_sorted_.end() && *pos == sid);
+      fb_sorted_.erase(pos);
+    }
+    fb_removed_.clear();
+  }
+
+  // Joins: wave-discovered / new ring-1 segments, plus whole rings that
+  // moved inside the output radius.
+  fb_join_batch_.clear();
+  for (SegmentId sid : fb_joins_) {
+    const std::uint32_t i = roadnet::Index(sid);
+    if (member_[i] != 0 || fb_out_mark_[i] == fb_epoch_) continue;
+    const std::uint32_t dist = FallbackDist(sid);
+    // Too-deep nodes are dropped here; their ring list re-surfaces them
+    // if the radius ever grows past them.
+    if (dist <= static_cast<std::uint32_t>(rings)) {
+      fb_join_batch_.push_back(sid);
+    }
+  }
+  fb_joins_.clear();
+  for (int r = std::max(fb_rings_out_ + 1, 2); r <= rings; ++r) {
+    for (SegmentId sid : fb_rings_[static_cast<std::size_t>(r - 2)]) {
+      if (FallbackDist(sid) == static_cast<std::uint32_t>(r) &&
+          fb_out_mark_[roadnet::Index(sid)] != fb_epoch_) {
+        fb_join_batch_.push_back(sid);
+      }
+    }
+  }
+  if (!fb_join_batch_.empty()) {
+    std::sort(fb_join_batch_.begin(), fb_join_batch_.end(),
+              LengthOrder{net_});
+    fb_join_batch_.erase(
+        std::unique(fb_join_batch_.begin(), fb_join_batch_.end()),
+        fb_join_batch_.end());
+    for (SegmentId sid : fb_join_batch_) {
+      fb_out_mark_[roadnet::Index(sid)] = fb_epoch_;
+    }
+    const std::size_t merged_from = fb_sorted_.size();
+    fb_sorted_.insert(fb_sorted_.end(), fb_join_batch_.begin(),
+                      fb_join_batch_.end());
+    std::inplace_merge(fb_sorted_.begin(),
+                       fb_sorted_.begin() +
+                           static_cast<std::ptrdiff_t>(merged_from),
+                       fb_sorted_.end(), LengthOrder{net_});
+  }
+  fb_rings_out_ = rings;
   if (rings_used != nullptr) *rings_used = rings;
-  return fallback_frontier_;
+  return fb_sorted_;
 }
 
 std::uint64_t CloakRegion::UserCount(

@@ -114,6 +114,12 @@ class CloakRegion {
   void FrontierInsertDeltas(SegmentId id);
   void FrontierEraseDeltas(SegmentId id);
 
+  // Multi-ring fallback engine (see the member block below).
+  std::uint32_t FallbackDist(SegmentId id) const noexcept;
+  void FallbackReset() const;
+  std::size_t FallbackGrowRing() const;
+  void FallbackOnInsert(SegmentId id);
+
   const roadnet::RoadNetwork* net_;
   // O(1) membership; one byte per network segment.
   std::vector<std::uint8_t> member_;
@@ -130,11 +136,39 @@ class CloakRegion {
   mutable bool frontier_enabled_ = false;
   mutable std::vector<std::uint32_t> adjacent_members_;
   mutable std::vector<SegmentId> frontier_;
-  // Multi-ring fallback scratch (kept to avoid reallocating; epoch-stamped
-  // visited marks give O(ring) dedup instead of linear scans).
-  mutable std::vector<SegmentId> fallback_frontier_;
-  mutable std::vector<std::uint32_t> visit_mark_;
-  mutable std::uint32_t visit_epoch_ = 0;
+
+  // ---- multi-ring fallback engine (carried across Inserts) ---------------
+  // When ring-1 cannot satisfy FrontierAtLeast, the fallback materializes
+  // BFS rings 2..R and KEEPS them: while the region only grows, every
+  // segment's distance-to-region only shrinks, so Insert() runs a bounded
+  // decrease-only BFS wave (classic dynamic-BFS edge insertion) instead of
+  // the next call re-walking and re-sorting the whole candidate ball —
+  // the path-topology hot spot of bench_e11. Erase/Clear invalidate; the
+  // next fallback call rebuilds from ring 1. All outputs stay bit-identical
+  // to the from-scratch BFS (pinned by region_engine_test).
+  //
+  // Distances are derived, not stored, for rings 0/1 (membership bitmap /
+  // adjacency counters); fb_dist_ holds exact distances >= 2 for every
+  // segment within the built horizon, valid iff its mark equals fb_epoch_.
+  mutable bool fb_live_ = false;
+  mutable std::uint32_t fb_epoch_ = 0;
+  mutable int fb_rings_built_ = 1;  // deepest materialized ring
+  mutable int fb_rings_out_ = 1;    // rings currently merged into fb_sorted_
+  mutable std::vector<std::uint32_t> fb_dist_;
+  mutable std::vector<std::uint32_t> fb_dist_mark_;
+  // Segment is in fb_sorted_ iff its mark equals fb_epoch_.
+  mutable std::vector<std::uint32_t> fb_out_mark_;
+  // Ring r (r >= 2) members at index r-2; entries are lazily deleted (an
+  // entry is live iff the segment's current distance still equals r).
+  mutable std::vector<std::vector<SegmentId>> fb_rings_;
+  mutable std::vector<std::size_t> fb_ring_count_;  // live entries per ring
+  // The fallback result: rings 1..fb_rings_out_, length-sorted.
+  mutable std::vector<SegmentId> fb_sorted_;
+  mutable std::vector<SegmentId> fb_joins_;    // pending output additions
+  mutable std::vector<SegmentId> fb_removed_;  // members pending removal
+  mutable std::vector<SegmentId> fb_join_batch_;  // per-call scratch
+  mutable std::vector<SegmentId> fb_wave_;        // BFS wave scratch
+  mutable std::vector<std::uint32_t> fb_wave_dist_;
 
   // ---- bounds cache ------------------------------------------------------
   mutable geo::BoundingBox bounds_;

@@ -2,6 +2,24 @@
 
 namespace rcloak::core {
 
+StatusOr<CloakRegion> ComputeValidityRegion(const Deanonymizer& deanonymizer,
+                                            const CloakedArtifact& artifact,
+                                            const crypto::KeyChain& keys,
+                                            const PrivacyProfile& profile,
+                                            int validity_level) {
+  const int validity = std::min(validity_level, profile.num_levels());
+  if (validity == profile.num_levels()) {
+    // FullRegion keeps the fingerprint/segment-validity checks of the
+    // keyed path while skipping the replay itself.
+    return deanonymizer.FullRegion(artifact);
+  }
+  std::map<int, crypto::AccessKey> granted;
+  for (int level = validity + 1; level <= profile.num_levels(); ++level) {
+    granted.emplace(level, keys.LevelKey(level));
+  }
+  return deanonymizer.Reduce(artifact, granted, validity);
+}
+
 ContinuousCloak::ContinuousCloak(Anonymizer& anonymizer,
                                  Deanonymizer& deanonymizer,
                                  PrivacyProfile profile, Algorithm algorithm,
@@ -10,76 +28,37 @@ ContinuousCloak::ContinuousCloak(Anonymizer& anonymizer,
                                  const ContinuousOptions& options)
     : anonymizer_(&anonymizer),
       deanonymizer_(&deanonymizer),
-      profile_(std::move(profile)),
-      algorithm_(algorithm),
-      user_id_(std::move(user_id)),
       key_provider_(std::move(key_provider)),
-      options_(options) {}
-
-Status ContinuousCloak::Recloak(double now_s, roadnet::SegmentId origin) {
-  const std::uint64_t epoch = epoch_ + 1;
-  const crypto::KeyChain keys = key_provider_(epoch);
-
-  AnonymizeRequest request;
-  request.origin = origin;
-  request.profile = profile_;
-  request.algorithm = algorithm_;
-  request.context = user_id_ + "/epoch-" + std::to_string(epoch);
-  auto result = anonymizer_->Anonymize(request, keys);
-  if (!result.ok()) return result.status();
-
-  // Validity region = the chosen level's region, computed once via the
-  // de-anonymizer (the owner holds all keys). When the validity level is
-  // the outermost level there is nothing to peel: the artifact's published
-  // region is the validity region, no keyed replay needed.
-  const int validity =
-      std::min(options_.validity_level, profile_.num_levels());
-  StatusOr<CloakRegion> region = Status::Internal("unset");
-  if (validity == profile_.num_levels()) {
-    // FullRegion keeps the fingerprint/segment-validity checks of the
-    // keyed path while skipping the replay itself.
-    region = deanonymizer_->FullRegion(result->artifact);
-  } else {
-    std::map<int, crypto::AccessKey> granted;
-    for (int level = validity + 1; level <= profile_.num_levels(); ++level) {
-      granted.emplace(level, keys.LevelKey(level));
-    }
-    region = deanonymizer_->Reduce(result->artifact, granted, validity);
-  }
-  if (!region.ok()) return region.status();
-
-  if (artifact_) {
-    stats_.validity_duration_s.Add(now_s - artifact_created_s_);
-  }
-  epoch_ = epoch;
-  artifact_ = std::move(result).value().artifact;
-  validity_region_ = std::move(region).value();
-  artifact_created_s_ = now_s;
-  stats_.last_recloak_time_s = now_s;
-  ++stats_.recloaks;
-  return Status::Ok();
-}
+      policy_(std::move(user_id), std::move(profile), algorithm, options) {}
 
 StatusOr<CloakedArtifact> ContinuousCloak::Update(
     double now_s, roadnet::SegmentId current_segment) {
-  ++stats_.updates;
-  const bool have = artifact_.has_value();
-  const bool inside =
-      have && validity_region_ && validity_region_->Contains(current_segment);
-  if (!inside) {
-    const bool throttled =
-        have && (now_s - stats_.last_recloak_time_s <
-                 options_.min_recloak_interval_s);
-    if (throttled) {
-      // Keep serving the stale artifact inside the throttle window (the
-      // region still k-anonymizes the *previous* position; position lag is
-      // the documented cost of throttling).
-      ++stats_.throttled_stale;
-      return *artifact_;
-    }
-    RCLOAK_RETURN_IF_ERROR(Recloak(now_s, current_segment));
+  switch (policy_.OnUpdate(now_s, current_segment)) {
+    case ContinuousPolicy::Action::kServe:
+    case ContinuousPolicy::Action::kServeStale:
+      return *policy_.artifact();
+    case ContinuousPolicy::Action::kRecloak:
+      break;
   }
-  return *artifact_;
+
+  const std::uint64_t epoch = policy_.next_epoch();
+  const crypto::KeyChain keys = key_provider_(epoch);
+  AnonymizeRequest request;
+  request.origin = current_segment;
+  request.profile = policy_.profile();
+  request.algorithm = policy_.algorithm();
+  request.context = policy_.EpochContext(epoch);
+  auto result = anonymizer_->Anonymize(request, keys);
+  if (!result.ok()) return result.status();
+
+  auto region =
+      ComputeValidityRegion(*deanonymizer_, result->artifact, keys,
+                            policy_.profile(), policy_.validity_level());
+  if (!region.ok()) return region.status();
+
+  policy_.CommitRecloak(now_s, std::move(result).value().artifact,
+                        std::move(region).value());
+  return *policy_.artifact();
 }
 
 }  // namespace rcloak::core

@@ -1,4 +1,4 @@
-// Continuous cloaking for moving users.
+// Continuous cloaking for moving users — single-user adapter.
 //
 // A cloaked artifact describes the origin segment at request time; once the
 // user drives out of the cloaked region the artifact is stale. The standard
@@ -7,33 +7,33 @@
 // re-cloaks on exit — trading update cost against how precisely an observer
 // can track region changes. A fresh key chain per epoch keeps epochs
 // unlinkable at the key level.
+//
+// The decision logic lives in the engine-free core::ContinuousPolicy
+// (core/continuous_policy.h); ContinuousCloak is the thin adapter that
+// binds one policy to one Anonymizer/Deanonymizer pair. It is kept both
+// for API compatibility and as the single-user semantics oracle the
+// server-side session pool (server/continuous_session_pool.h) is pinned
+// against byte-for-byte.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <optional>
 
+#include "core/continuous_policy.h"
 #include "core/reversecloak.h"
-#include "util/stats.h"
 
 namespace rcloak::core {
 
-struct ContinuousOptions {
-  // The artifact stays valid while the user is inside this level's region
-  // (1 = innermost). Higher levels re-cloak less often but expose stale
-  // positions for longer.
-  int validity_level = 1;
-  // Throttle: never re-cloak more often than this (seconds).
-  double min_recloak_interval_s = 1.0;
-};
-
-struct ContinuousStats {
-  std::uint64_t updates = 0;
-  std::uint64_t recloaks = 0;
-  std::uint64_t throttled_stale = 0;  // stale but within throttle window
-  double last_recloak_time_s = 0.0;
-  Samples validity_duration_s;
-};
+// The validity region for `artifact`: the chosen level's region, computed
+// once via the de-anonymizer (the owner holds all keys). When the validity
+// level is the outermost level there is nothing to peel — the artifact's
+// published region is the validity region, fingerprint/segment checks
+// included, no keyed replay needed.
+StatusOr<CloakRegion> ComputeValidityRegion(const Deanonymizer& deanonymizer,
+                                            const CloakedArtifact& artifact,
+                                            const crypto::KeyChain& keys,
+                                            const PrivacyProfile& profile,
+                                            int validity_level);
 
 class ContinuousCloak {
  public:
@@ -52,25 +52,15 @@ class ContinuousCloak {
   StatusOr<CloakedArtifact> Update(double now_s,
                                    roadnet::SegmentId current_segment);
 
-  const ContinuousStats& stats() const noexcept { return stats_; }
-  std::uint64_t epoch() const noexcept { return epoch_; }
+  const ContinuousStats& stats() const noexcept { return policy_.stats(); }
+  std::uint64_t epoch() const noexcept { return policy_.epoch(); }
+  const ContinuousPolicy& policy() const noexcept { return policy_; }
 
  private:
-  Status Recloak(double now_s, roadnet::SegmentId origin);
-
   Anonymizer* anonymizer_;
   Deanonymizer* deanonymizer_;
-  PrivacyProfile profile_;
-  Algorithm algorithm_;
-  std::string user_id_;
   KeyProvider key_provider_;
-  ContinuousOptions options_;
-
-  std::uint64_t epoch_ = 0;
-  std::optional<CloakedArtifact> artifact_;
-  std::optional<CloakRegion> validity_region_;
-  double artifact_created_s_ = 0.0;
-  ContinuousStats stats_;
+  ContinuousPolicy policy_;
 };
 
 }  // namespace rcloak::core

@@ -1,0 +1,39 @@
+#include "core/continuous_policy.h"
+
+namespace rcloak::core {
+
+std::string ContinuousPolicy::EpochContext(std::uint64_t epoch) const {
+  return user_id_ + "/epoch-" + std::to_string(epoch);
+}
+
+ContinuousPolicy::Action ContinuousPolicy::OnUpdate(
+    double now_s, roadnet::SegmentId current_segment) {
+  ++stats_.updates;
+  const bool have = artifact_.has_value();
+  const bool inside =
+      have && validity_region_ && validity_region_->Contains(current_segment);
+  if (inside) return Action::kServe;
+  const bool throttled =
+      have && (now_s - stats_.last_recloak_time_s <
+               options_.min_recloak_interval_s);
+  if (throttled) {
+    ++stats_.throttled_stale;
+    return Action::kServeStale;
+  }
+  return Action::kRecloak;
+}
+
+void ContinuousPolicy::CommitRecloak(double now_s, CloakedArtifact artifact,
+                                     CloakRegion validity_region) {
+  if (artifact_) {
+    stats_.validity_duration_s.Add(now_s - artifact_created_s_);
+  }
+  ++epoch_;
+  artifact_ = std::move(artifact);
+  validity_region_ = std::move(validity_region);
+  artifact_created_s_ = now_s;
+  stats_.last_recloak_time_s = now_s;
+  ++stats_.recloaks;
+}
+
+}  // namespace rcloak::core

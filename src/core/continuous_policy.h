@@ -1,0 +1,121 @@
+// Continuous-cloaking policy: the pure, engine-free state machine behind
+// moving-user cloaking.
+//
+// A ContinuousPolicy owns everything about one user's continuous session
+// that is NOT engine work: the artifact currently in force, its validity
+// region, the re-cloak throttle, the epoch counter that advances the
+// per-epoch key chain, and the session statistics. It never touches an
+// Anonymizer or Deanonymizer — classification (`OnUpdate`) is a pure
+// function of the stored state, and the caller performs the engine work a
+// kRecloak decision demands before committing the result back.
+//
+// Two drivers share this state machine and therefore agree bit-for-bit on
+// when to re-cloak and what request context each epoch uses:
+//   * core::ContinuousCloak   — the single-user adapter (core/continuous.h),
+//     kept as the API-compatible semantics oracle;
+//   * server::ContinuousSessionPool — thousands of policies sharded over
+//     the anonymization server (server/continuous_session_pool.h).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/artifact.h"
+#include "core/cloak_region.h"
+#include "core/privacy_profile.h"
+#include "util/stats.h"
+
+namespace rcloak::core {
+
+struct ContinuousOptions {
+  // The artifact stays valid while the user is inside this level's region
+  // (1 = innermost). Higher levels re-cloak less often but expose stale
+  // positions for longer.
+  int validity_level = 1;
+  // Throttle: never re-cloak more often than this (seconds).
+  double min_recloak_interval_s = 1.0;
+};
+
+struct ContinuousStats {
+  std::uint64_t updates = 0;
+  std::uint64_t recloaks = 0;
+  std::uint64_t throttled_stale = 0;  // stale but within throttle window
+  double last_recloak_time_s = 0.0;
+  Samples validity_duration_s;
+};
+
+class ContinuousPolicy {
+ public:
+  enum class Action : std::uint8_t {
+    // The artifact in force still covers the position: serve `artifact()`.
+    kServe,
+    // Outside the validity region but inside the throttle window: serve the
+    // stale `artifact()` (the region still k-anonymizes the previous
+    // position; position lag is the documented cost of throttling).
+    kServeStale,
+    // A fresh artifact must be cut at this position for `next_epoch()`,
+    // under the request context `EpochContext(next_epoch())`, then
+    // installed with `CommitRecloak`. Until then the policy state is
+    // unchanged (a failed engine call leaves the session as it was).
+    kRecloak,
+  };
+
+  ContinuousPolicy(std::string user_id, PrivacyProfile profile,
+                   Algorithm algorithm, const ContinuousOptions& options = {})
+      : user_id_(std::move(user_id)),
+        profile_(std::move(profile)),
+        algorithm_(algorithm),
+        options_(options) {}
+
+  // Classifies a position update (and bumps the update / throttled-stale
+  // counters). On kRecloak the caller runs the engine and either commits or
+  // drops the attempt.
+  Action OnUpdate(double now_s, roadnet::SegmentId current_segment);
+
+  // The epoch a kRecloak decision cloaks under (one past the epoch in
+  // force; the per-epoch key chain is derived from this counter).
+  std::uint64_t next_epoch() const noexcept { return epoch_ + 1; }
+
+  // Public request context binding the PRNG streams of one epoch:
+  // "<user_id>/epoch-<epoch>".
+  std::string EpochContext(std::uint64_t epoch) const;
+
+  // The level whose region keeps the artifact valid, clamped to the
+  // profile's level count.
+  int validity_level() const noexcept {
+    return std::min(options_.validity_level, profile_.num_levels());
+  }
+
+  // Installs the artifact cut for `next_epoch()` and its validity region,
+  // advancing the epoch and the re-cloak statistics.
+  void CommitRecloak(double now_s, CloakedArtifact artifact,
+                     CloakRegion validity_region);
+
+  const std::string& user_id() const noexcept { return user_id_; }
+  const PrivacyProfile& profile() const noexcept { return profile_; }
+  Algorithm algorithm() const noexcept { return algorithm_; }
+  const ContinuousOptions& options() const noexcept { return options_; }
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  // The artifact in force (nullopt before the first successful re-cloak).
+  const std::optional<CloakedArtifact>& artifact() const noexcept {
+    return artifact_;
+  }
+  const ContinuousStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::string user_id_;
+  PrivacyProfile profile_;
+  Algorithm algorithm_;
+  ContinuousOptions options_;
+
+  std::uint64_t epoch_ = 0;
+  std::optional<CloakedArtifact> artifact_;
+  std::optional<CloakRegion> validity_region_;
+  double artifact_created_s_ = 0.0;
+  ContinuousStats stats_;
+};
+
+}  // namespace rcloak::core

@@ -44,4 +44,23 @@ std::size_t MapContext::table_builds() const {
   return table_builds_;
 }
 
+const roadnet::LandmarkTable* MapContext::LandmarksFor(
+    int num_landmarks, roadnet::PathMetric metric) const {
+  const auto key = std::make_pair(num_landmarks, metric);
+  std::lock_guard<std::mutex> lock(landmarks_mutex_);
+  const auto it = landmarks_by_params_.find(key);
+  if (it != landmarks_by_params_.end()) return it->second.get();
+  auto built = std::make_unique<const roadnet::LandmarkTable>(
+      roadnet::LandmarkTable::Build(*net_, num_landmarks, metric));
+  ++landmark_builds_;
+  const roadnet::LandmarkTable* result = built.get();
+  landmarks_by_params_.emplace(key, std::move(built));
+  return result;
+}
+
+std::size_t MapContext::landmark_builds() const {
+  std::lock_guard<std::mutex> lock(landmarks_mutex_);
+  return landmark_builds_;
+}
+
 }  // namespace rcloak::core

@@ -23,8 +23,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "core/rple.h"
+#include "roadnet/alt_routing.h"
 #include "roadnet/road_network.h"
 #include "roadnet/spatial_index.h"
 #include "util/status.h"
@@ -58,6 +60,18 @@ class MapContext {
   // that co-located Anonymizer + Deanonymizer do not duplicate work.
   std::size_t table_builds() const;
 
+  // The ALT landmark distance tables for (num_landmarks, metric). Built on
+  // first use (thread-safe, build-once per distinct parameter pair) and
+  // memoized for the lifetime of the context, so routing consumers (the
+  // mobility simulator, query benches) stop paying the Dijkstra sweeps per
+  // run. Construct a roadnet::AltRouter over the returned pointer.
+  const roadnet::LandmarkTable* LandmarksFor(
+      int num_landmarks,
+      roadnet::PathMetric metric = roadnet::PathMetric::kDistance) const;
+
+  // How many landmark builds have run so far (memoization pin).
+  std::size_t landmark_builds() const;
+
  private:
   explicit MapContext(const roadnet::RoadNetwork& net);
   explicit MapContext(roadnet::RoadNetwork&& net);
@@ -68,12 +82,18 @@ class MapContext {
   roadnet::SpatialIndex index_;
   std::uint64_t fingerprint_;
 
-  // Build-once memo; unique_ptr values keep handed-out pointers stable
+  // Build-once memos; unique_ptr values keep handed-out pointers stable
   // across rehash-free std::map growth.
   mutable std::mutex tables_mutex_;
   mutable std::map<std::uint32_t, std::unique_ptr<const TransitionTables>>
       tables_by_T_;
   mutable std::size_t table_builds_ = 0;
+
+  mutable std::mutex landmarks_mutex_;
+  mutable std::map<std::pair<int, roadnet::PathMetric>,
+                   std::unique_ptr<const roadnet::LandmarkTable>>
+      landmarks_by_params_;
+  mutable std::size_t landmark_builds_ = 0;
 };
 
 }  // namespace rcloak::core

@@ -147,10 +147,10 @@ StatusOr<CloakRegion> Deanonymizer::FullRegion(
   return CloakRegion::FromSegments(ctx_->network(), artifact.region_segments);
 }
 
-StatusOr<CloakRegion> Deanonymizer::Reduce(
+StatusOr<CloakRegion> Deanonymizer::ReduceWith(
     const CloakedArtifact& artifact,
-    const std::map<int, crypto::AccessKey>& granted_keys,
-    int target_level) const {
+    const std::map<int, crypto::AccessKey>& granted_keys, int target_level,
+    ReduceSession& session) const {
   const int num_levels = artifact.num_levels();
   if (target_level < 0 || target_level > num_levels) {
     return Status::InvalidArgument("target level out of range");
@@ -162,7 +162,6 @@ StatusOr<CloakRegion> Deanonymizer::Reduce(
                                        artifact.algorithm)));
   }
   RCLOAK_ASSIGN_OR_RETURN(CloakRegion region, FullRegion(artifact));
-  ReduceSession session;
   RCLOAK_RETURN_IF_ERROR(algorithm->BeginReduce(*ctx_, artifact, session));
 
   // Peel levels outermost-first: L^N, L^{N-1}, ..., down to the target.
@@ -184,6 +183,42 @@ StatusOr<CloakRegion> Deanonymizer::Reduce(
         prev_size));
   }
   return region;
+}
+
+StatusOr<CloakRegion> Deanonymizer::Reduce(
+    const CloakedArtifact& artifact,
+    const std::map<int, crypto::AccessKey>& granted_keys,
+    int target_level) const {
+  ReduceSession session;
+  return ReduceWith(artifact, granted_keys, target_level, session);
+}
+
+std::vector<StatusOr<CloakRegion>> Deanonymizer::ReduceBatch(
+    const std::vector<ReduceJob>& jobs) const {
+  std::vector<StatusOr<CloakRegion>> results;
+  results.reserve(jobs.size());
+  // One session per (algorithm, rple_T) run: BeginReduce skips resolution
+  // it already did, so a homogeneous batch touches the table memo once.
+  // The session only carries T-keyed prerequisites, so reuse across
+  // artifacts of the same algorithm and T is exact.
+  ReduceSession session;
+  Algorithm session_algorithm{};
+  bool session_used = false;
+  for (const ReduceJob& job : jobs) {
+    if (job.artifact == nullptr || job.granted_keys == nullptr) {
+      results.emplace_back(
+          Status::InvalidArgument("reduce batch: null artifact or key map"));
+      continue;
+    }
+    if (session_used && session_algorithm != job.artifact->algorithm) {
+      session = ReduceSession{};
+    }
+    session_algorithm = job.artifact->algorithm;
+    session_used = true;
+    results.push_back(ReduceWith(*job.artifact, *job.granted_keys,
+                                 job.target_level, session));
+  }
+  return results;
 }
 
 }  // namespace rcloak::core

@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/algorithm.h"
 #include "core/artifact.h"
@@ -143,6 +144,23 @@ class Deanonymizer {
       const std::map<int, crypto::AccessKey>& granted_keys,
       int target_level) const;
 
+  // One reduction of a batch. Artifact and key map are borrowed; they must
+  // outlive the ReduceBatch call.
+  struct ReduceJob {
+    const CloakedArtifact* artifact = nullptr;
+    const std::map<int, crypto::AccessKey>* granted_keys = nullptr;
+    int target_level = 0;
+  };
+
+  // Batch path: element i of the result corresponds to jobs[i] and is
+  // byte-identical to Reduce(*jobs[i].artifact, ...). Per-artifact setup
+  // (strategy lookup, BeginReduce table resolution) is amortized by
+  // reusing one ReduceSession per (algorithm, rple_T) run instead of
+  // paying the context's memo lock once per artifact — the hot path of
+  // the session pool's epoch-rollover audit (validity-region) step.
+  std::vector<StatusOr<CloakRegion>> ReduceBatch(
+      const std::vector<ReduceJob>& jobs) const;
+
   // The region exposed with no keys at all (level N as published).
   StatusOr<CloakRegion> FullRegion(const CloakedArtifact& artifact) const;
 
@@ -151,6 +169,13 @@ class Deanonymizer {
   }
 
  private:
+  // Shared peel loop; `session` carries prerequisites across calls (the
+  // batch path reuses it, the single-shot path hands in a fresh one).
+  StatusOr<CloakRegion> ReduceWith(
+      const CloakedArtifact& artifact,
+      const std::map<int, crypto::AccessKey>& granted_keys, int target_level,
+      ReduceSession& session) const;
+
   std::shared_ptr<const MapContext> ctx_;
 };
 

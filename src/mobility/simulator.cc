@@ -82,8 +82,11 @@ void TraceSimulator::PlanRoute(std::size_t car_index, Xoshiro256& rng) {
       car.offset_m > spawn_segment.length / 2.0;
   const JunctionId start = start_from_b ? spawn_segment.b : spawn_segment.a;
 
-  const auto path = roadnet::ShortestPathAStar(
-      *net_, start, dest, roadnet::PathMetric::kTravelTime);
+  const auto path =
+      options_.router != nullptr
+          ? options_.router->Route(start, dest)
+          : roadnet::ShortestPathAStar(*net_, start, dest,
+                                       roadnet::PathMetric::kTravelTime);
   if (!path || path->segments.empty()) {
     car.arrived = true;
     ++arrived_count_;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "mobility/trace.h"
+#include "roadnet/alt_routing.h"
 #include "roadnet/road_network.h"
 #include "roadnet/spatial_index.h"
 #include "util/rng.h"
@@ -47,6 +48,11 @@ struct SimulationOptions {
   // Record a TraceRecord every `record_every` ticks (0 = no trace).
   std::uint32_t record_every = 0;
   std::uint64_t seed = 2;
+  // Optional routing override (e.g. a roadnet::AltRouter over the
+  // MapContext's memoized landmark tables, which spares the per-simulation
+  // preprocessing). Must route by travel time, like the default A*, and
+  // must outlive the simulator. nullptr: plain A*.
+  const roadnet::AltRouter* router = nullptr;
 };
 
 // Time-stepped movement: each car follows the shortest path (by travel

@@ -19,24 +19,24 @@ double EdgeCost(const RoadNetwork& net, SegmentId sid, PathMetric metric) {
 }
 }  // namespace
 
-AltRouter::AltRouter(const RoadNetwork& net, int num_landmarks,
-                     PathMetric metric)
-    : net_(&net), metric_(metric) {
+LandmarkTable LandmarkTable::Build(const RoadNetwork& net, int num_landmarks,
+                                   PathMetric metric) {
   assert(num_landmarks >= 1);
+  LandmarkTable table;
+  table.metric = metric;
   const std::size_t v_count = net.junction_count();
-  num_landmarks =
-      std::min<int>(num_landmarks, static_cast<int>(v_count));
-  landmarks_.reserve(static_cast<std::size_t>(num_landmarks));
-  landmark_dist_.reserve(static_cast<std::size_t>(num_landmarks) * v_count);
+  num_landmarks = std::min<int>(num_landmarks, static_cast<int>(v_count));
+  table.landmarks.reserve(static_cast<std::size_t>(num_landmarks));
+  table.dist.reserve(static_cast<std::size_t>(num_landmarks) * v_count);
 
   // Farthest-point landmark selection: start at junction 0, then repeatedly
   // take the junction farthest from all chosen landmarks.
   std::vector<double> min_dist(v_count, kInf);
   JunctionId next{0};
   for (int l = 0; l < num_landmarks; ++l) {
-    landmarks_.push_back(next);
-    const auto dist = ShortestPathTree(net, next, metric_);
-    landmark_dist_.insert(landmark_dist_.end(), dist.begin(), dist.end());
+    table.landmarks.push_back(next);
+    const auto dist = ShortestPathTree(net, next, metric);
+    table.dist.insert(table.dist.end(), dist.begin(), dist.end());
     double best = -1.0;
     for (std::size_t v = 0; v < v_count; ++v) {
       if (dist[v] < min_dist[v]) min_dist[v] = dist[v];
@@ -47,15 +47,31 @@ AltRouter::AltRouter(const RoadNetwork& net, int num_landmarks,
       }
     }
   }
+  return table;
+}
+
+AltRouter::AltRouter(const RoadNetwork& net, int num_landmarks,
+                     PathMetric metric)
+    : net_(&net),
+      owned_table_(std::make_unique<const LandmarkTable>(
+          LandmarkTable::Build(net, num_landmarks, metric))),
+      table_(owned_table_.get()) {}
+
+AltRouter::AltRouter(const RoadNetwork& net, const LandmarkTable* table)
+    : net_(&net), table_(table) {
+  assert(table != nullptr);
+  assert(table->dist.size() ==
+             table->landmarks.size() * net.junction_count() &&
+         "landmark table was built over a different network");
 }
 
 double AltRouter::Heuristic(std::uint32_t v,
                             std::uint32_t target) const noexcept {
   const std::size_t v_count = net_->junction_count();
   double best = 0.0;
-  for (std::size_t l = 0; l < landmarks_.size(); ++l) {
-    const double dl_t = landmark_dist_[l * v_count + target];
-    const double dl_v = landmark_dist_[l * v_count + v];
+  for (std::size_t l = 0; l < table_->landmarks.size(); ++l) {
+    const double dl_t = table_->dist[l * v_count + target];
+    const double dl_v = table_->dist[l * v_count + v];
     if (dl_t == kInf || dl_v == kInf) continue;
     best = std::max(best, std::fabs(dl_t - dl_v));
   }
@@ -92,7 +108,7 @@ std::optional<Path> AltRouter::Route(JunctionId source,
     const JunctionId u{u_raw};
     for (const SegmentId sid : net_->junction(u).incident) {
       const JunctionId v = net_->segment(sid).Other(u);
-      const double cand = dist[u_raw] + EdgeCost(*net_, sid, metric_);
+      const double cand = dist[u_raw] + EdgeCost(*net_, sid, table_->metric);
       if (cand < dist[Index(v)]) {
         dist[Index(v)] = cand;
         via[Index(v)] = sid;

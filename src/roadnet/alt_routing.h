@@ -6,9 +6,17 @@
 //   h(v) = max over landmarks L of |dist(L, target) - dist(L, v)|
 //
 // which the triangle inequality makes admissible and consistent.
+//
+// The landmark set and its distance tables are a pure function of
+// (network, num_landmarks, metric) and live in a LandmarkTable so they can
+// be built once and shared — core::MapContext memoizes them per parameter
+// pair (LandmarksFor) exactly like the RPLE transition tables, and any
+// number of AltRouters (one per thread, each with its own query stats) can
+// borrow one table concurrently.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -17,6 +25,24 @@
 
 namespace rcloak::roadnet {
 
+// Immutable landmark distance tables: farthest-point landmark selection
+// (deterministic, seeded at junction 0) plus one Dijkstra sweep per
+// landmark. Cost: num_landmarks sweeps, O(L * V) memory.
+struct LandmarkTable {
+  PathMetric metric = PathMetric::kDistance;
+  std::vector<JunctionId> landmarks;
+  // dist[l * junction_count + v] = dist(landmark l, v).
+  std::vector<double> dist;
+
+  static LandmarkTable Build(const RoadNetwork& net, int num_landmarks,
+                             PathMetric metric = PathMetric::kDistance);
+
+  std::size_t MemoryBytes() const noexcept {
+    return dist.size() * sizeof(double) +
+           landmarks.size() * sizeof(JunctionId);
+  }
+};
+
 class AltRouter {
  public:
   struct Stats {
@@ -24,33 +50,34 @@ class AltRouter {
     std::uint64_t nodes_settled = 0;
   };
 
-  // Preprocesses `num_landmarks` landmark distance tables (farthest-point
-  // selection starting from a deterministic seed junction). Cost:
-  // num_landmarks Dijkstra sweeps, O(L * V) memory.
+  // Compatibility constructor: builds and owns a private LandmarkTable.
   AltRouter(const RoadNetwork& net, int num_landmarks,
             PathMetric metric = PathMetric::kDistance);
+
+  // Borrows a shared table (e.g. core::MapContext::LandmarksFor); the
+  // table must outlive the router and match `net`.
+  AltRouter(const RoadNetwork& net, const LandmarkTable* table);
 
   // Same contract as ShortestPath; never worse than A* on settled nodes.
   std::optional<Path> Route(JunctionId source, JunctionId target) const;
 
-  std::size_t num_landmarks() const noexcept { return landmarks_.size(); }
+  std::size_t num_landmarks() const noexcept {
+    return table_->landmarks.size();
+  }
   const std::vector<JunctionId>& landmarks() const noexcept {
-    return landmarks_;
+    return table_->landmarks;
   }
-  std::size_t MemoryBytes() const noexcept {
-    return landmark_dist_.size() * sizeof(double) +
-           landmarks_.size() * sizeof(JunctionId);
-  }
+  std::size_t MemoryBytes() const noexcept { return table_->MemoryBytes(); }
+  const LandmarkTable& table() const noexcept { return *table_; }
   const Stats& stats() const noexcept { return stats_; }
 
  private:
   double Heuristic(std::uint32_t v, std::uint32_t target) const noexcept;
 
   const RoadNetwork* net_;
-  PathMetric metric_;
-  std::vector<JunctionId> landmarks_;
-  // landmark_dist_[l * V + v] = dist(landmark l, v).
-  std::vector<double> landmark_dist_;
+  // Set iff this router owns its table (compatibility constructor).
+  std::unique_ptr<const LandmarkTable> owned_table_;
+  const LandmarkTable* table_;
   mutable Stats stats_;
 };
 

@@ -1,0 +1,305 @@
+#include "server/continuous_session_pool.h"
+
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace rcloak::server {
+
+using core::ContinuousPolicy;
+
+ContinuousSessionPool::ContinuousSessionPool(AnonymizationServer& server,
+                                             const SessionPoolOptions& options)
+    : server_(&server), deanonymizer_(server.engine().context()) {
+  const int shards =
+      options.num_shards > 0 ? options.num_shards : server.num_workers();
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ContinuousSessionPool::Shard& ContinuousSessionPool::ShardFor(
+    const std::string& user_id) {
+  return *shards_[hash_(user_id) % shards_.size()];
+}
+
+const ContinuousSessionPool::Shard& ContinuousSessionPool::ShardFor(
+    const std::string& user_id) const {
+  return *shards_[hash_(user_id) % shards_.size()];
+}
+
+Status ContinuousSessionPool::Track(std::string user_id,
+                                    core::PrivacyProfile profile,
+                                    core::Algorithm algorithm,
+                                    KeyProvider key_provider,
+                                    const core::ContinuousOptions& options,
+                                    double now_s) {
+  RCLOAK_RETURN_IF_ERROR(profile.Validate());
+  if (!key_provider) {
+    return Status::InvalidArgument("track: key provider must be callable");
+  }
+  Shard& shard = ShardFor(user_id);
+  ContinuousPolicy policy(user_id, std::move(profile), algorithm, options);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto [it, inserted] = shard.sessions.emplace(
+      std::move(user_id),
+      Session(std::move(policy), std::move(key_provider)));
+  if (!inserted) {
+    return Status::FailedPrecondition("track: user already tracked: " +
+                                      it->first);
+  }
+  // Registration counts as activity: EvictIdle must not reap a session
+  // that was tracked late in simulation time but never updated yet.
+  it->second.last_update_s = now_s;
+  return Status::Ok();
+}
+
+bool ContinuousSessionPool::Evict(const std::string& user_id) {
+  Shard& shard = ShardFor(user_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.sessions.erase(user_id) == 0) return false;
+  ++shard.evicted;
+  return true;
+}
+
+std::size_t ContinuousSessionPool::EvictIdle(double now_s, double idle_s) {
+  std::size_t evicted = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->sessions.begin(); it != shard->sessions.end();) {
+      if (now_s - it->second.last_update_s > idle_s) {
+        it = shard->sessions.erase(it);
+        ++shard->evicted;
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return evicted;
+}
+
+void ContinuousSessionPool::RunRound(
+    const std::vector<PositionUpdate>& updates,
+    const std::vector<std::size_t>& round,
+    std::vector<StatusOr<core::CloakedArtifact>>& results) {
+  // ---- phase 1: classify under the shard locks; no engine work ----------
+  std::vector<PendingRecloak> pending;
+  std::vector<AnonymizationServer::BatchJob> jobs;
+  for (const std::size_t idx : round) {
+    const PositionUpdate& update = updates[idx];
+    const std::size_t shard_index = hash_(update.user_id) % shards_.size();
+    Shard& shard = *shards_[shard_index];
+    PendingRecloak recloak;
+    core::AnonymizeRequest request;
+    KeyProvider provider;
+    bool needs_recloak = false;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      ++shard.updates;
+      const auto it = shard.sessions.find(update.user_id);
+      if (it == shard.sessions.end()) {
+        ++shard.unknown_user;
+        results[idx] =
+            Status::NotFound("untracked user: " + update.user_id);
+        continue;
+      }
+      Session& session = it->second;
+      session.last_update_s = update.now_s;
+      switch (session.policy.OnUpdate(update.now_s, update.segment)) {
+        case ContinuousPolicy::Action::kServe:
+          ++shard.served_in_region;
+          results[idx] = *session.policy.artifact();
+          break;
+        case ContinuousPolicy::Action::kServeStale:
+          ++shard.throttled_stale;
+          results[idx] = *session.policy.artifact();
+          break;
+        case ContinuousPolicy::Action::kRecloak:
+          recloak.update_index = idx;
+          recloak.shard = shard_index;
+          recloak.epoch = session.policy.next_epoch();
+          recloak.validity_level = session.policy.validity_level();
+          recloak.profile = session.policy.profile();
+          request.origin = update.segment;
+          request.profile = recloak.profile;
+          request.algorithm = session.policy.algorithm();
+          request.context = session.policy.EpochContext(recloak.epoch);
+          // Copied so the user-supplied provider runs OUTSIDE the shard
+          // lock: it may be slow (KMS round-trips) or call back into the
+          // pool, and either must not stall or deadlock the shard.
+          provider = session.key_provider;
+          needs_recloak = true;
+          break;
+      }
+    }
+    if (!needs_recloak) continue;
+    recloak.keys = provider(recloak.epoch);
+    jobs.push_back({std::move(request), recloak.keys});
+    pending.push_back(std::move(recloak));
+  }
+  if (pending.empty()) return;
+
+  // ---- phase 2: one server batch for every region exit -------------------
+  auto futures = server_->SubmitBatch(std::move(jobs));
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (!futures[i].ok()) {
+      pending[i].result = futures[i].status();
+      continue;
+    }
+    pending[i].result = futures[i]->get();
+  }
+
+  // ---- phase 3: validity regions for the fresh artifacts, one batch -----
+  // The per-epoch granted key maps live here so ReduceBatch can borrow.
+  std::vector<std::map<int, crypto::AccessKey>> granted(pending.size());
+  std::vector<core::Deanonymizer::ReduceJob> reduce_jobs;
+  std::vector<std::size_t> reduce_owner;  // reduce job -> pending index
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    PendingRecloak& recloak = pending[i];
+    if (!recloak.result.ok()) continue;
+    const int num_levels = recloak.profile.num_levels();
+    for (int level = recloak.validity_level + 1; level <= num_levels;
+         ++level) {
+      granted[i].emplace(level, recloak.keys.LevelKey(level));
+    }
+    reduce_jobs.push_back({&recloak.result->artifact, &granted[i],
+                           recloak.validity_level});
+    reduce_owner.push_back(i);
+  }
+  auto regions = deanonymizer_.ReduceBatch(reduce_jobs);
+
+  // ---- phase 4: commit under the shard locks -----------------------------
+  std::vector<StatusOr<core::CloakRegion>*> region_of(pending.size(),
+                                                      nullptr);
+  for (std::size_t j = 0; j < reduce_owner.size(); ++j) {
+    region_of[reduce_owner[j]] = &regions[j];
+  }
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    PendingRecloak& recloak = pending[i];
+    const std::size_t idx = recloak.update_index;
+    Shard& shard = *shards_[recloak.shard];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (!recloak.result.ok()) {
+      ++shard.recloak_failures;
+      results[idx] = recloak.result.status();
+      continue;
+    }
+    StatusOr<core::CloakRegion>& region = *region_of[i];
+    if (!region.ok()) {
+      ++shard.recloak_failures;
+      results[idx] = region.status();
+      continue;
+    }
+    results[idx] = recloak.result->artifact;
+    const auto it = shard.sessions.find(updates[idx].user_id);
+    if (it == shard.sessions.end()) continue;  // evicted in flight
+    Session& session = it->second;
+    if (session.policy.next_epoch() != recloak.epoch) continue;  // raced
+    session.policy.CommitRecloak(updates[idx].now_s,
+                                 std::move(recloak.result).value().artifact,
+                                 std::move(region).value());
+    ++shard.recloaks;
+  }
+}
+
+std::vector<StatusOr<core::CloakedArtifact>>
+ContinuousSessionPool::UpdateBatch(const std::vector<PositionUpdate>& updates) {
+  std::vector<StatusOr<core::CloakedArtifact>> results;
+  results.reserve(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    results.emplace_back(Status::Internal("batch update not visited"));
+  }
+  std::vector<std::size_t> remaining(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) remaining[i] = i;
+
+  // A round holds at most one update per user, preserving input order, so
+  // a user's second update in a batch observes the first one's commit.
+  while (!remaining.empty()) {
+    std::vector<std::size_t> round;
+    std::vector<std::size_t> deferred;
+    std::unordered_set<std::string_view> users_in_round;
+    for (const std::size_t idx : remaining) {
+      if (users_in_round.insert(updates[idx].user_id).second) {
+        round.push_back(idx);
+      } else {
+        deferred.push_back(idx);
+      }
+    }
+    Stopwatch timer;
+    RunRound(updates, round, results);
+    const double per_update_ms =
+        round.empty() ? 0.0 : timer.ElapsedMillis() /
+                                  static_cast<double>(round.size());
+    {
+      std::lock_guard<std::mutex> lock(latency_mutex_);
+      for (std::size_t i = 0; i < round.size(); ++i) {
+        update_latency_ms_.Add(per_update_ms);
+      }
+    }
+    remaining = std::move(deferred);
+  }
+  return results;
+}
+
+StatusOr<core::CloakedArtifact> ContinuousSessionPool::Update(
+    const std::string& user_id, double now_s, roadnet::SegmentId segment) {
+  std::vector<PositionUpdate> one;
+  one.push_back({user_id, now_s, segment});
+  auto results = UpdateBatch(one);
+  return std::move(results.front());
+}
+
+StatusOr<std::uint64_t> ContinuousSessionPool::UserEpoch(
+    const std::string& user_id) const {
+  const Shard& shard = ShardFor(user_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.sessions.find(user_id);
+  if (it == shard.sessions.end()) {
+    return Status::NotFound("untracked user: " + user_id);
+  }
+  return it->second.policy.epoch();
+}
+
+StatusOr<core::ContinuousStats> ContinuousSessionPool::UserStats(
+    const std::string& user_id) const {
+  const Shard& shard = ShardFor(user_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.sessions.find(user_id);
+  if (it == shard.sessions.end()) {
+    return Status::NotFound("untracked user: " + user_id);
+  }
+  return it->second.policy.stats();
+}
+
+std::size_t ContinuousSessionPool::session_count() const {
+  std::size_t count = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    count += shard->sessions.size();
+  }
+  return count;
+}
+
+SessionPoolStats ContinuousSessionPool::stats() const {
+  SessionPoolStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.updates += shard->updates;
+    stats.served_in_region += shard->served_in_region;
+    stats.throttled_stale += shard->throttled_stale;
+    stats.recloaks += shard->recloaks;
+    stats.recloak_failures += shard->recloak_failures;
+    stats.unknown_user += shard->unknown_user;
+    stats.evicted += shard->evicted;
+    stats.active_sessions += shard->sessions.size();
+  }
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  stats.update_latency_ms = update_latency_ms_;
+  return stats;
+}
+
+}  // namespace rcloak::server

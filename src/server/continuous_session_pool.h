@@ -1,0 +1,167 @@
+// Continuous session pool: server-side fleet tracking over the sharded
+// anonymization server.
+//
+// One pool owns the core::ContinuousPolicy state of thousands of moving
+// users, sharded by user-id hash into per-shard session maps (own mutex
+// each) so no global lock appears on the update path. A position update
+// that stays inside the user's validity region resolves entirely in its
+// shard — policy check plus artifact copy, the engine is never touched.
+// Region exits batch into one AnonymizationServer::SubmitBatch round of
+// re-cloaks; the fresh artifacts' validity regions are then computed in
+// one Deanonymizer::ReduceBatch (the epoch-rollover audit path) and
+// committed back under the shard locks.
+//
+// Determinism: artifacts are a pure function of (request, keys, map,
+// occupancy epoch) and every policy decision is a pure function of the
+// user's own update sequence, so per-user artifact sequences are
+// byte-identical to the single-user core::ContinuousCloak oracle and
+// independent of the server's worker count
+// (tests/session_pool_test.cc pins both by SHA-256). Updates for one user
+// must be fed in order (one UpdateBatch round never reorders them; batches
+// containing several updates for one user are split into ordered rounds).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/continuous.h"
+#include "server/anonymization_server.h"
+#include "util/stats.h"
+
+namespace rcloak::server {
+
+struct SessionPoolOptions {
+  // Session shards (<= 0: one per server worker). Independent of the
+  // server's shard count — sessions shard by user id, jobs by round-robin.
+  int num_shards = 0;
+};
+
+struct SessionPoolStats {
+  std::uint64_t updates = 0;
+  std::uint64_t served_in_region = 0;  // resolved without the engine
+  std::uint64_t throttled_stale = 0;
+  std::uint64_t recloaks = 0;
+  std::uint64_t recloak_failures = 0;
+  std::uint64_t unknown_user = 0;
+  std::uint64_t evicted = 0;
+  std::size_t active_sessions = 0;
+  // Wall time per update, batch-amortized (one sample per update, each
+  // carrying its round's mean).
+  Samples update_latency_ms;
+};
+
+class ContinuousSessionPool {
+ public:
+  using KeyProvider = core::ContinuousCloak::KeyProvider;
+
+  struct PositionUpdate {
+    std::string user_id;
+    double now_s = 0.0;
+    roadnet::SegmentId segment = roadnet::kInvalidSegment;
+  };
+
+  // The server must outlive the pool. The pool's deanonymizer shares the
+  // server engine's MapContext, so no index or table is rebuilt.
+  explicit ContinuousSessionPool(AnonymizationServer& server,
+                                 const SessionPoolOptions& options = {});
+
+  ContinuousSessionPool(const ContinuousSessionPool&) = delete;
+  ContinuousSessionPool& operator=(const ContinuousSessionPool&) = delete;
+
+  // Registers a user session. Fails if the user is already tracked.
+  // `now_s` is the registration time on the update clock: EvictIdle
+  // measures idleness against it until the first position update lands.
+  Status Track(std::string user_id, core::PrivacyProfile profile,
+               core::Algorithm algorithm, KeyProvider key_provider,
+               const core::ContinuousOptions& options = {},
+               double now_s = 0.0);
+
+  // Removes a user session; false if the user was not tracked.
+  bool Evict(const std::string& user_id);
+
+  // Evicts every session whose last update is older than `idle_s` seconds
+  // before `now_s`; returns how many were evicted.
+  std::size_t EvictIdle(double now_s, double idle_s);
+
+  // Feeds one position update for a tracked user. Returns the artifact in
+  // force (freshly re-cloaked if the user left its validity region).
+  StatusOr<core::CloakedArtifact> Update(const std::string& user_id,
+                                         double now_s,
+                                         roadnet::SegmentId segment);
+
+  // The fleet tick path: classifies every update under its shard lock,
+  // re-cloaks all region exits in one server batch, computes the fresh
+  // validity regions in one ReduceBatch, and commits. Element i of the
+  // result corresponds to updates[i].
+  std::vector<StatusOr<core::CloakedArtifact>> UpdateBatch(
+      const std::vector<PositionUpdate>& updates);
+
+  // Per-user introspection (tests, monitoring).
+  StatusOr<std::uint64_t> UserEpoch(const std::string& user_id) const;
+  StatusOr<core::ContinuousStats> UserStats(const std::string& user_id) const;
+
+  std::size_t session_count() const;
+  // Aggregated over all shards (active_sessions filled at call time).
+  SessionPoolStats stats() const;
+
+  int num_shards() const noexcept { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Session {
+    Session(core::ContinuousPolicy policy, KeyProvider keys)
+        : policy(std::move(policy)), key_provider(std::move(keys)) {}
+    core::ContinuousPolicy policy;
+    KeyProvider key_provider;
+    double last_update_s = 0.0;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Session> sessions;
+    // Counters under `mutex`.
+    std::uint64_t updates = 0;
+    std::uint64_t served_in_region = 0;
+    std::uint64_t throttled_stale = 0;
+    std::uint64_t recloaks = 0;
+    std::uint64_t recloak_failures = 0;
+    std::uint64_t unknown_user = 0;
+    std::uint64_t evicted = 0;
+  };
+
+  // A round-member re-cloak in flight between the classify and commit
+  // phases. Keys are materialized at classify time so the commit does not
+  // re-enter the user-supplied provider.
+  struct PendingRecloak {
+    std::size_t update_index = 0;
+    std::size_t shard = 0;
+    std::uint64_t epoch = 0;
+    int validity_level = 0;
+    core::PrivacyProfile profile;
+    crypto::KeyChain keys = crypto::KeyChain::FromKeys({});
+    StatusOr<core::AnonymizeResult> result = Status::Internal("not run");
+  };
+
+  Shard& ShardFor(const std::string& user_id);
+  const Shard& ShardFor(const std::string& user_id) const;
+
+  // Runs one round (at most one update per user) end to end: classify,
+  // batch re-cloak, batch validity regions, commit.
+  void RunRound(const std::vector<PositionUpdate>& updates,
+                const std::vector<std::size_t>& round,
+                std::vector<StatusOr<core::CloakedArtifact>>& results);
+
+  AnonymizationServer* server_;
+  core::Deanonymizer deanonymizer_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::hash<std::string> hash_;
+
+  mutable std::mutex latency_mutex_;
+  Samples update_latency_ms_;
+};
+
+}  // namespace rcloak::server

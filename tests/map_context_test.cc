@@ -89,6 +89,37 @@ TEST(MapContextTest, TablesAreMemoizedPerT) {
   EXPECT_EQ(ctx->table_builds(), 2u);
 }
 
+TEST(MapContextTest, LandmarksAreMemoizedPerParams) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto ctx = MapContext::Create(net);
+  ASSERT_EQ(ctx->landmark_builds(), 0u);
+  const auto* first = ctx->LandmarksFor(4);
+  const auto* again = ctx->LandmarksFor(4);
+  EXPECT_EQ(first, again);  // pointer-stable memo
+  EXPECT_EQ(ctx->landmark_builds(), 1u);
+  const auto* travel_time =
+      ctx->LandmarksFor(4, roadnet::PathMetric::kTravelTime);
+  EXPECT_NE(first, travel_time);
+  const auto* more = ctx->LandmarksFor(6);
+  EXPECT_NE(first, more);
+  EXPECT_EQ(ctx->landmark_builds(), 3u);
+  EXPECT_EQ(first->landmarks.size(), 4u);
+  EXPECT_EQ(first->dist.size(), 4u * net.junction_count());
+
+  // A router over the shared table is exact: it agrees with Dijkstra, and
+  // with a router that built its own private table.
+  const roadnet::AltRouter shared(net, first);
+  const roadnet::AltRouter private_build(net, 4);
+  const roadnet::JunctionId s{0}, t{static_cast<std::uint32_t>(
+                                      net.junction_count() - 1)};
+  const auto via_shared = shared.Route(s, t);
+  const auto via_private = private_build.Route(s, t);
+  const auto via_dijkstra = roadnet::ShortestPath(net, s, t);
+  ASSERT_TRUE(via_shared && via_private && via_dijkstra);
+  EXPECT_NEAR(via_shared->cost, via_dijkstra->cost, 1e-9);
+  EXPECT_NEAR(via_private->cost, via_dijkstra->cost, 1e-9);
+}
+
 TEST(AlgorithmRegistryTest, BuiltinsAreRegistered) {
   const auto* rge = core::FindAlgorithm(Algorithm::kRge);
   const auto* rple = core::FindAlgorithm(Algorithm::kRple);

@@ -206,6 +206,51 @@ TEST(RegionEngineEquivalence, RandomizedInsertEraseSequences) {
   }
 }
 
+// The RGE expansion access pattern on path-like topologies: the region
+// only grows, FrontierAtLeast(size) runs after every insert, and the
+// multi-ring fallback fires on almost every step — exactly the regime the
+// carried ring frontier accelerates. Every output (set, order, ring count)
+// must match both the naive reference and a from-scratch CloakRegion.
+TEST(RegionEngineEquivalence, CarriedRingFallbackMatchesFromScratch) {
+  for (const bool cycle : {false, true}) {
+    const RoadNetwork net =
+        cycle ? roadnet::MakeCycle(120) : roadnet::MakeLine(121);
+    Xoshiro256 rng(cycle ? 21u : 12u);
+    CloakRegion carried(net);
+    NaiveRegion naive(net);
+    const SegmentId origin{60};
+    carried.Insert(origin);
+    naive.Insert(origin);
+    for (int step = 0; step < 90; ++step) {
+      int carried_rings = -1, naive_rings = -1;
+      const auto candidates =
+          carried.FrontierAtLeast(carried.size() + 1, &carried_rings);
+      const auto expected =
+          naive.FrontierAtLeast(naive.size() + 1, &naive_rings);
+      ASSERT_EQ(std::vector<SegmentId>(candidates.begin(), candidates.end()),
+                expected)
+          << (cycle ? "cycle" : "line") << " diverged at step " << step;
+      ASSERT_EQ(carried_rings, naive_rings) << "step " << step;
+      // A from-scratch region (no carried state) agrees too.
+      CloakRegion fresh =
+          CloakRegion::FromSegments(net, carried.segments_by_id());
+      int fresh_rings = -1;
+      const auto fresh_candidates =
+          fresh.FrontierAtLeast(fresh.size() + 1, &fresh_rings);
+      ASSERT_EQ(std::vector<SegmentId>(candidates.begin(), candidates.end()),
+                std::vector<SegmentId>(fresh_candidates.begin(),
+                                       fresh_candidates.end()))
+          << "carried state diverged from scratch at step " << step;
+      ASSERT_EQ(carried_rings, fresh_rings);
+      if (expected.empty()) break;
+      // Insert like the transition table would: some draw over candidates.
+      const SegmentId next = expected[rng.NextBounded(expected.size())];
+      carried.Insert(next);
+      naive.Insert(next);
+    }
+  }
+}
+
 TEST(RegionEngineEquivalence, RunningUserCountTracksSnapshotMutation) {
   const RoadNetwork net = roadnet::MakeGrid({5, 5, 100.0});
   mobility::OccupancySnapshot occupancy(net.segment_count());

@@ -237,6 +237,64 @@ TEST(ArtifactCodecTest, RoundTrip) {
   EXPECT_EQ(decoded->region_segments, artifact.region_segments);
 }
 
+// ReduceBatch is the amortized path (one table resolution per algorithm/T
+// run): every element must be byte-identical to the looped Reduce it
+// replaces, including the error cases.
+TEST(DeanonymizerBatchTest, ReduceBatchMatchesLoopedReduce) {
+  const RoadNetwork net = roadnet::MakeGrid({14, 14, 100.0});
+  const auto ctx = MapContext::Create(net);
+  Anonymizer anonymizer(ctx, OnePerSegment(net), /*rple_T=*/6);
+  Deanonymizer deanonymizer(ctx);
+
+  // A mixed batch: RGE and RPLE artifacts, several origins and targets,
+  // plus a non-reversible baseline artifact and a missing-key job.
+  std::vector<CloakedArtifact> artifacts;
+  std::vector<crypto::KeyChain> chains;
+  for (int i = 0; i < 6; ++i) {
+    AnonymizeRequest request;
+    request.origin = SegmentId{static_cast<std::uint32_t>(20 + 31 * i)};
+    request.profile = PrivacyProfile({{5, 3, 1e9}, {14, 6, 1e9}});
+    request.algorithm = i < 3 ? Algorithm::kRge
+                              : (i < 5 ? Algorithm::kRple
+                                       : Algorithm::kRandomExpand);
+    request.context = "batch/" + std::to_string(i);
+    chains.push_back(crypto::KeyChain::FromSeed(4400 + i, 2));
+    const auto result = anonymizer.Anonymize(request, chains.back());
+    ASSERT_TRUE(result.ok()) << i << ": " << result.status().ToString();
+    artifacts.push_back(result->artifact);
+  }
+
+  std::vector<std::map<int, crypto::AccessKey>> granted;
+  for (const auto& chain : chains) granted.push_back(AllKeys(chain));
+  const std::map<int, crypto::AccessKey> no_keys;
+
+  std::vector<Deanonymizer::ReduceJob> jobs;
+  for (std::size_t i = 0; i < artifacts.size(); ++i) {
+    jobs.push_back({&artifacts[i], &granted[i], static_cast<int>(i % 3)});
+  }
+  jobs.push_back({&artifacts[0], &no_keys, 0});  // missing keys
+  jobs.push_back({nullptr, &granted[0], 0});     // malformed job
+
+  const auto batched = deanonymizer.ReduceBatch(jobs);
+  ASSERT_EQ(batched.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].artifact == nullptr) {
+      EXPECT_EQ(batched[i].status().code(), ErrorCode::kInvalidArgument);
+      continue;
+    }
+    const auto looped = deanonymizer.Reduce(
+        *jobs[i].artifact, *jobs[i].granted_keys, jobs[i].target_level);
+    ASSERT_EQ(batched[i].ok(), looped.ok()) << i;
+    if (looped.ok()) {
+      EXPECT_EQ(batched[i]->segments_by_id(), looped->segments_by_id()) << i;
+    } else {
+      EXPECT_EQ(batched[i].status().code(), looped.status().code()) << i;
+    }
+  }
+  // One table build serves anonymization and every batched RPLE reduce.
+  EXPECT_EQ(ctx->table_builds(), 1u);
+}
+
 TEST(ArtifactCodecTest, RejectsCorruption) {
   CloakedArtifact artifact;
   artifact.algorithm = Algorithm::kRge;

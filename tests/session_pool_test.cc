@@ -1,0 +1,379 @@
+// Continuous session pool: the server-side multi-user session layer must
+// be observationally identical to the single-user ContinuousCloak oracle —
+// per-user artifact sequences byte-identical (by SHA-256) for fixed traces
+// and for any worker count — plus eviction / throttle / epoch-advance edge
+// cases and a concurrency smoke the TSAN CI job runs race-clean.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/continuous.h"
+#include "crypto/sha256.h"
+#include "mobility/simulator.h"
+#include "roadnet/generators.h"
+#include "roadnet/spatial_index.h"
+#include "server/continuous_session_pool.h"
+
+namespace rcloak {
+namespace {
+
+using core::Algorithm;
+using core::PrivacyProfile;
+using roadnet::RoadNetwork;
+using roadnet::SegmentId;
+using server::AnonymizationServer;
+using server::ContinuousSessionPool;
+
+mobility::OccupancySnapshot OnePerSegment(const RoadNetwork& net) {
+  mobility::OccupancySnapshot occupancy(net.segment_count());
+  for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+    occupancy.Add(SegmentId{i});
+  }
+  return occupancy;
+}
+
+// Per-user, per-epoch key chains: derived from the user's numeric id so
+// the pool and the oracle agree without shared state.
+ContinuousSessionPool::KeyProvider KeysFor(std::uint64_t user_seed) {
+  return [user_seed](std::uint64_t epoch) {
+    return crypto::KeyChain::FromSeed(user_seed * 1000 + epoch, 2);
+  };
+}
+
+PrivacyProfile FleetProfile() {
+  return PrivacyProfile({{6, 3, 1e9}, {18, 6, 1e9}});
+}
+
+std::string ArtifactSha256(const core::CloakedArtifact& artifact) {
+  const auto digest = crypto::Sha256::Hash(core::EncodeArtifact(artifact));
+  return ToHex(Bytes(digest.begin(), digest.end()));
+}
+
+// Fixed fleet traces: one record per car per tick, grouped per tick.
+struct FleetTraces {
+  RoadNetwork net;
+  std::vector<std::vector<mobility::TraceRecord>> ticks;
+  std::uint32_t num_cars = 0;
+};
+
+FleetTraces MakeFleetTraces(std::uint32_t num_cars, double duration_s) {
+  FleetTraces traces{roadnet::MakeGrid({12, 12, 100.0}), {}, num_cars};
+  const roadnet::SpatialIndex index(traces.net);
+  mobility::SpawnOptions spawn;
+  spawn.num_cars = num_cars;
+  spawn.seed = 77;
+  auto cars = mobility::SpawnCars(traces.net, index, spawn);
+  mobility::SimulationOptions sim;
+  sim.tick_s = 1.0;
+  sim.duration_s = duration_s;
+  sim.record_every = 1;
+  mobility::TraceSimulator simulator(traces.net, std::move(cars), sim);
+  simulator.Run();
+  std::map<double, std::vector<mobility::TraceRecord>> by_time;
+  for (const auto& rec : simulator.trace()) {
+    by_time[rec.time_s].push_back(rec);
+  }
+  for (auto& [time, records] : by_time) {
+    traces.ticks.push_back(std::move(records));
+  }
+  return traces;
+}
+
+core::ContinuousOptions FleetOptions() {
+  core::ContinuousOptions options;
+  options.validity_level = 1;
+  options.min_recloak_interval_s = 0.0;
+  return options;
+}
+
+// Drives the fleet through a pool over `workers` server workers and
+// returns, per user, the SHA-256 of every served artifact in update order.
+std::map<std::string, std::vector<std::string>> RunPool(
+    const std::shared_ptr<const core::MapContext>& ctx,
+    const mobility::OccupancySnapshot& occupancy, const FleetTraces& traces,
+    int workers) {
+  core::Anonymizer engine(ctx, occupancy);
+  server::ServerOptions server_options;
+  server_options.num_workers = workers;
+  server_options.max_queue = 4096;
+  AnonymizationServer server(std::move(engine), server_options);
+  ContinuousSessionPool pool(server);
+  for (std::uint32_t car = 0; car < traces.num_cars; ++car) {
+    EXPECT_TRUE(pool.Track("car" + std::to_string(car), FleetProfile(),
+                           Algorithm::kRge, KeysFor(car), FleetOptions())
+                    .ok());
+  }
+  std::map<std::string, std::vector<std::string>> sequences;
+  for (const auto& tick : traces.ticks) {
+    std::vector<ContinuousSessionPool::PositionUpdate> batch;
+    for (const auto& rec : tick) {
+      batch.push_back({"car" + std::to_string(rec.car_id), rec.time_s,
+                       rec.segment});
+    }
+    const auto results = pool.UpdateBatch(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_TRUE(results[i].ok()) << results[i].status().ToString();
+      if (results[i].ok()) {
+        sequences[batch[i].user_id].push_back(ArtifactSha256(*results[i]));
+      }
+    }
+  }
+  return sequences;
+}
+
+TEST(SessionPoolTest, MatchesSingleUserOracleByteForByte) {
+  const auto traces = MakeFleetTraces(/*num_cars=*/6, /*duration_s=*/60.0);
+  const auto ctx = core::MapContext::Create(traces.net);
+  const auto occupancy = OnePerSegment(traces.net);
+
+  // Oracle: one ContinuousCloak per car over the same context/occupancy.
+  core::Anonymizer anonymizer(ctx, occupancy);
+  core::Deanonymizer deanonymizer(ctx);
+  std::map<std::string, std::vector<std::string>> oracle;
+  for (std::uint32_t car = 0; car < traces.num_cars; ++car) {
+    const std::string user = "car" + std::to_string(car);
+    core::ContinuousCloak continuous(anonymizer, deanonymizer,
+                                     FleetProfile(), Algorithm::kRge, user,
+                                     KeysFor(car), FleetOptions());
+    for (const auto& tick : traces.ticks) {
+      for (const auto& rec : tick) {
+        if (rec.car_id != car) continue;
+        const auto artifact = continuous.Update(rec.time_s, rec.segment);
+        ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+        oracle[user].push_back(ArtifactSha256(*artifact));
+      }
+    }
+    ASSERT_GE(continuous.stats().recloaks, 1u);
+  }
+
+  const auto pooled = RunPool(ctx, occupancy, traces, /*workers=*/2);
+  EXPECT_EQ(pooled, oracle);
+}
+
+TEST(SessionPoolTest, ArtifactSequencesIdenticalAcrossWorkerCounts) {
+  const auto traces = MakeFleetTraces(/*num_cars=*/8, /*duration_s=*/45.0);
+  const auto ctx = core::MapContext::Create(traces.net);
+  const auto occupancy = OnePerSegment(traces.net);
+
+  const auto single = RunPool(ctx, occupancy, traces, /*workers=*/1);
+  ASSERT_EQ(single.size(), traces.num_cars);
+  for (const int workers : {2, 4}) {
+    const auto sharded = RunPool(ctx, occupancy, traces, workers);
+    EXPECT_EQ(sharded, single) << workers << " workers";
+  }
+  // All pools shared one context: the server's up-front pre-assignment ran
+  // exactly once across the three servers and their deanonymizers.
+  EXPECT_EQ(ctx->table_builds(), 1u);
+}
+
+TEST(SessionPoolTest, InRegionUpdatesNeverTouchTheServer) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  AnonymizationServer server(std::move(engine), {});
+  ContinuousSessionPool pool(server);
+  ASSERT_TRUE(pool.Track("alice", FleetProfile(), Algorithm::kRge,
+                         KeysFor(1), FleetOptions())
+                  .ok());
+  // First update cuts an artifact; staying on the same segment serves it
+  // from the session shard without a single further server job.
+  for (int t = 0; t < 10; ++t) {
+    const auto artifact = pool.Update("alice", t, SegmentId{60});
+    ASSERT_TRUE(artifact.ok());
+  }
+  EXPECT_EQ(server.stats().accepted, 1u);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.updates, 10u);
+  EXPECT_EQ(stats.recloaks, 1u);
+  EXPECT_EQ(stats.served_in_region, 9u);
+  const auto user_stats = pool.UserStats("alice");
+  ASSERT_TRUE(user_stats.ok());
+  EXPECT_EQ(user_stats->recloaks, 1u);
+}
+
+TEST(SessionPoolTest, ThrottledStaleBurstServesOldArtifactWithoutEpochAdvance) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  AnonymizationServer server(std::move(engine), {});
+  ContinuousSessionPool pool(server);
+  core::ContinuousOptions options;
+  options.min_recloak_interval_s = 100.0;
+  ASSERT_TRUE(pool.Track("bob", PrivacyProfile({{6, 3, 1e9}}),
+                         Algorithm::kRple, KeysFor(2), options)
+                  .ok());
+  const auto first = pool.Update("bob", 0.0, SegmentId{0});
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(*pool.UserEpoch("bob"), 1u);
+  // A burst of far-away updates inside the throttle window: the stale
+  // artifact is served unchanged every time, no epoch advances.
+  for (int burst = 1; burst <= 5; ++burst) {
+    const auto stale = pool.Update("bob", 0.5 + 0.1 * burst, SegmentId{120});
+    ASSERT_TRUE(stale.ok());
+    EXPECT_EQ(core::EncodeArtifact(*stale), core::EncodeArtifact(*first));
+  }
+  EXPECT_EQ(*pool.UserEpoch("bob"), 1u);
+  EXPECT_EQ(pool.stats().throttled_stale, 5u);
+  // Past the window the same position finally rolls the epoch over.
+  const auto fresh = pool.Update("bob", 200.0, SegmentId{120});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*pool.UserEpoch("bob"), 2u);
+  EXPECT_NE(core::EncodeArtifact(*fresh), core::EncodeArtifact(*first));
+}
+
+TEST(SessionPoolTest, EvictionAndStaleUsers) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  AnonymizationServer server(std::move(engine), {});
+  ContinuousSessionPool pool(server);
+
+  // Unknown user fails fast, with a counter.
+  EXPECT_EQ(pool.Update("ghost", 0.0, SegmentId{3}).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(pool.stats().unknown_user, 1u);
+
+  for (int u = 0; u < 4; ++u) {
+    ASSERT_TRUE(pool.Track("u" + std::to_string(u), FleetProfile(),
+                           Algorithm::kRge, KeysFor(10 + u), FleetOptions())
+                    .ok());
+  }
+  // Double-track is refused.
+  EXPECT_FALSE(pool.Track("u0", FleetProfile(), Algorithm::kRge, KeysFor(10))
+                   .ok());
+  EXPECT_EQ(pool.session_count(), 4u);
+
+  // u0 and u1 update late, u2/u3 go idle.
+  for (int u = 0; u < 4; ++u) {
+    ASSERT_TRUE(
+        pool.Update("u" + std::to_string(u), 10.0, SegmentId{30}).ok());
+  }
+  ASSERT_TRUE(pool.Update("u0", 100.0, SegmentId{30}).ok());
+  ASSERT_TRUE(pool.Update("u1", 101.0, SegmentId{30}).ok());
+  EXPECT_EQ(pool.EvictIdle(/*now_s=*/130.0, /*idle_s=*/60.0), 2u);
+  EXPECT_EQ(pool.session_count(), 2u);
+  EXPECT_TRUE(pool.UserEpoch("u0").ok());
+  EXPECT_EQ(pool.UserEpoch("u2").status().code(), ErrorCode::kNotFound);
+
+  // Explicit eviction; a subsequent update is an unknown-user error and a
+  // re-track starts a fresh session at epoch 0.
+  EXPECT_TRUE(pool.Evict("u0"));
+  EXPECT_FALSE(pool.Evict("u0"));
+  EXPECT_EQ(pool.Update("u0", 140.0, SegmentId{30}).status().code(),
+            ErrorCode::kNotFound);
+  ASSERT_TRUE(pool.Track("u0", FleetProfile(), Algorithm::kRge, KeysFor(10),
+                         FleetOptions())
+                  .ok());
+  EXPECT_EQ(*pool.UserEpoch("u0"), 0u);
+  EXPECT_EQ(pool.stats().evicted, 3u);
+}
+
+// A session tracked late in simulation time but never updated measures
+// idleness from its registration time, not from time zero.
+TEST(SessionPoolTest, LateTrackedSessionSurvivesEvictIdle) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  AnonymizationServer server(std::move(engine), {});
+  ContinuousSessionPool pool(server);
+  ASSERT_TRUE(pool.Track("late", FleetProfile(), Algorithm::kRge,
+                         KeysFor(99), FleetOptions(), /*now_s=*/10000.0)
+                  .ok());
+  EXPECT_EQ(pool.EvictIdle(/*now_s=*/10010.0, /*idle_s=*/60.0), 0u);
+  EXPECT_TRUE(pool.UserEpoch("late").ok());
+  // Once genuinely idle past the window, it goes.
+  EXPECT_EQ(pool.EvictIdle(/*now_s=*/10100.0, /*idle_s=*/60.0), 1u);
+  EXPECT_FALSE(pool.UserEpoch("late").ok());
+}
+
+// Disjoint user sets driven from several threads: exercises the per-shard
+// locking under TSAN (the CI job runs this binary race-clean).
+TEST(SessionPoolTest, ConcurrentDisjointDrivers) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  server::ServerOptions server_options;
+  server_options.num_workers = 4;
+  AnonymizationServer server(std::move(engine), server_options);
+  ContinuousSessionPool pool(server);
+
+  constexpr int kThreads = 4;
+  constexpr int kUsersPerThread = 3;
+  constexpr int kUpdates = 25;
+  for (int thread = 0; thread < kThreads; ++thread) {
+    for (int u = 0; u < kUsersPerThread; ++u) {
+      const std::string user =
+          "t" + std::to_string(thread) + "/u" + std::to_string(u);
+      ASSERT_TRUE(pool.Track(user, FleetProfile(), Algorithm::kRge,
+                             KeysFor(100 + thread * 10 + u), FleetOptions())
+                      .ok());
+    }
+  }
+  std::vector<std::thread> drivers;
+  for (int thread = 0; thread < kThreads; ++thread) {
+    drivers.emplace_back([&pool, thread, &net] {
+      for (int step = 0; step < kUpdates; ++step) {
+        for (int u = 0; u < kUsersPerThread; ++u) {
+          const std::string user =
+              "t" + std::to_string(thread) + "/u" + std::to_string(u);
+          const SegmentId here{static_cast<std::uint32_t>(
+              (thread * 31 + u * 7 + step * 5) % net.segment_count())};
+          const auto artifact = pool.Update(user, step, here);
+          ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+        }
+      }
+    });
+  }
+  for (auto& driver : drivers) driver.join();
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.updates,
+            static_cast<std::uint64_t>(kThreads * kUsersPerThread * kUpdates));
+  EXPECT_EQ(stats.recloak_failures, 0u);
+  EXPECT_GE(stats.recloaks, static_cast<std::uint64_t>(kThreads));
+}
+
+// A batch carrying several updates for one user commits them in order: the
+// second update observes the first one's region (matching what the oracle
+// would do fed sequentially).
+TEST(SessionPoolTest, MultipleUpdatesForOneUserInOneBatchStayOrdered) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  const auto occupancy = OnePerSegment(net);
+
+  core::Anonymizer oracle_engine(ctx, occupancy);
+  core::Deanonymizer oracle_deanonymizer(ctx);
+  core::ContinuousCloak oracle(oracle_engine, oracle_deanonymizer,
+                               FleetProfile(), Algorithm::kRge, "carol",
+                               KeysFor(3), FleetOptions());
+  const std::vector<SegmentId> positions{SegmentId{5}, SegmentId{60},
+                                         SegmentId{61}, SegmentId{130}};
+  std::vector<std::string> expected;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const auto artifact = oracle.Update(static_cast<double>(i), positions[i]);
+    ASSERT_TRUE(artifact.ok());
+    expected.push_back(ArtifactSha256(*artifact));
+  }
+
+  core::Anonymizer engine(ctx, occupancy);
+  AnonymizationServer server(std::move(engine), {});
+  ContinuousSessionPool pool(server);
+  ASSERT_TRUE(pool.Track("carol", FleetProfile(), Algorithm::kRge, KeysFor(3),
+                         FleetOptions())
+                  .ok());
+  std::vector<ContinuousSessionPool::PositionUpdate> batch;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    batch.push_back({"carol", static_cast<double>(i), positions[i]});
+  }
+  const auto results = pool.UpdateBatch(batch);
+  ASSERT_EQ(results.size(), expected.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    EXPECT_EQ(ArtifactSha256(*results[i]), expected[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace rcloak
