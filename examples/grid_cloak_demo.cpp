@@ -1,0 +1,85 @@
+// Grid/Hilbert-cell backend walkthrough: the free-space (non-road-
+// constrained) cloaking scenario.
+//
+// Cloaks a user with the Grid strategy over three privacy levels, shows
+// the cell structure the walk pulled in, then reduces level by level with
+// the per-level keys — down to the exact origin segment — demonstrating
+// that the grid backend honors the same reversibility contract as RGE and
+// RPLE through the unchanged Deanonymizer.
+#include <iostream>
+#include <map>
+
+#include "core/grid_cloak.h"
+#include "core/reversecloak.h"
+#include "roadnet/generators.h"
+
+using namespace rcloak;
+
+int main() {
+  const auto net = roadnet::MakeGrid({16, 16, 120.0});
+  mobility::OccupancySnapshot occupancy(net.segment_count());
+  for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+    occupancy.Add(roadnet::SegmentId{i});
+  }
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer anonymizer(ctx, std::move(occupancy), /*rple_T=*/6);
+  core::Deanonymizer deanonymizer(ctx);
+
+  const auto grid = ctx->GridFor();
+  if (!grid.ok()) {
+    std::cerr << grid.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "Cell index: " << (*grid)->side() << "x" << (*grid)->side()
+            << " grid, " << (*grid)->occupied_cells() << " occupied cells, "
+            << net.segment_count() << " segments\n";
+
+  const roadnet::SegmentId origin{200};
+  const auto keys = crypto::KeyChain::FromSeed(2024, 3);
+  core::AnonymizeRequest request;
+  request.origin = origin;
+  request.profile =
+      core::PrivacyProfile({{5, 3, 1e9}, {15, 9, 1e9}, {40, 20, 1e9}});
+  request.algorithm = core::Algorithm::kGrid;
+  request.context = "grid-demo/req0";
+  const auto result = anonymizer.Anonymize(request, keys);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  const auto& artifact = result->artifact;
+  std::cout << "\nCloaked with " << core::AlgorithmName(artifact.algorithm)
+            << ": origin cell " << (*grid)->CellOf(origin) << " (Hilbert rank "
+            << (*grid)->HilbertRank((*grid)->CellOf(origin)) << ")\n"
+            << "  walk: " << result->grid_stats.walk_steps << " steps, "
+            << result->grid_stats.cells_added << " cells pulled in, "
+            << result->grid_stats.revisits << " revisits\n";
+  for (int level = 1; level <= artifact.num_levels(); ++level) {
+    std::cout << "  L" << level << ": "
+              << artifact.levels[static_cast<std::size_t>(level - 1)]
+                     .region_size
+              << " segments\n";
+  }
+
+  std::map<int, crypto::AccessKey> granted;
+  for (int level = 1; level <= keys.num_levels(); ++level) {
+    granted.emplace(level, keys.LevelKey(level));
+  }
+  std::cout << "\nReducing level by level:\n";
+  for (int target = artifact.num_levels() - 1; target >= 0; --target) {
+    const auto reduced = deanonymizer.Reduce(artifact, granted, target);
+    if (!reduced.ok()) {
+      std::cerr << reduced.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "  -> L" << target << ": " << reduced->size()
+              << " segment(s)\n";
+    if (target == 0) {
+      const bool exact = reduced->segments_by_id().front() == origin;
+      std::cout << "  exact origin recovered: "
+                << (exact ? "yes" : "NO (bug!)") << "\n";
+      if (!exact) return 1;
+    }
+  }
+  return 0;
+}

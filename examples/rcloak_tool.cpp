@@ -7,7 +7,7 @@
 //             --out trace.txt
 //   keygen    --levels N --out keys.rcks --passphrase PW [--print]
 //   anonymize --map map.rcmap --trace trace.txt --origin SEG
-//             --keys keys.rcks --passphrase PW --algo rge|rple
+//             --keys keys.rcks --passphrase PW --algo rge|rple|grid
 //             --k K1,K2,... --out artifact.bin [--svg region.svg]
 //   reduce    --map map.rcmap --artifact artifact.bin --keys keys.rcks
 //             --passphrase PW --level L
@@ -206,9 +206,17 @@ int Anonymize(const Args& args) {
   request.origin = roadnet::SegmentId{
       static_cast<std::uint32_t>(args.Int("origin", 0))};
   request.profile = core::PrivacyProfile(levels);
-  request.algorithm =
-      args.Get("algo", "rge") == "rple" ? core::Algorithm::kRple
-                                        : core::Algorithm::kRge;
+  const std::string algo = args.Get("algo", "rge");
+  if (algo == "rple") {
+    request.algorithm = core::Algorithm::kRple;
+  } else if (algo == "grid") {
+    request.algorithm = core::Algorithm::kGrid;
+  } else if (algo == "rge") {
+    request.algorithm = core::Algorithm::kRge;
+  } else {
+    return Fail("anonymize: unknown --algo '" + algo +
+                "' (expected rge, rple or grid)");
+  }
   request.context = args.Get("context", "rcloak-tool/req");
   const auto result = anonymizer.Anonymize(request, *keys);
   if (!result.ok()) return Fail(result.status().ToString());

@@ -143,6 +143,76 @@ class RandomExpandStrategy final : public CloakAlgorithm {
   }
 };
 
+class GridStrategy final : public CloakAlgorithm {
+ public:
+  Algorithm id() const noexcept override { return Algorithm::kGrid; }
+  std::string_view name() const noexcept override { return "Grid"; }
+
+  Status Begin(const MapContext& ctx, EngineSession& session,
+               std::uint32_t rple_T) const override {
+    if (session.grid == nullptr) {
+      RCLOAK_ASSIGN_OR_RETURN(session.grid, ctx.GridFor());
+    }
+    if (session.grid_tables == nullptr || session.grid_tables_T != rple_T) {
+      RCLOAK_ASSIGN_OR_RETURN(session.grid_tables,
+                              session.grid->TablesFor(rple_T));
+      session.grid_tables_T = rple_T;
+    }
+    // The cell-walk chain starts at the origin's cell (session.chain is
+    // the origin right after Reset).
+    session.grid_cell = session.grid->CellOf(session.chain);
+    return Status::Ok();
+  }
+
+  StatusOr<LevelRecord> AnonymizeLevel(
+      const MapContext&, EngineSession& session, const crypto::AccessKey& key,
+      const std::string& request_context, int level_index,
+      const LevelRequirement& requirement) const override {
+    if (session.grid == nullptr || session.grid_tables == nullptr) {
+      return Status::Internal("grid: session has no grid (Begin not run)");
+    }
+    return GridAnonymizeLevel(*session.grid, *session.grid_tables,
+                              *session.users, session.region,
+                              session.grid_cell, key, request_context,
+                              level_index, requirement, &session.grid_stats);
+  }
+
+  Status BeginReduce(const MapContext& ctx, const CloakedArtifact& artifact,
+                     ReduceSession& session) const override {
+    if (session.grid == nullptr) {
+      RCLOAK_ASSIGN_OR_RETURN(session.grid, ctx.GridFor());
+    }
+    if (session.grid_tables != nullptr &&
+        session.grid_tables_T == artifact.rple_T) {
+      return Status::Ok();  // resolved by an earlier artifact, still valid
+    }
+    RCLOAK_ASSIGN_OR_RETURN(session.grid_tables,
+                            session.grid->TablesFor(artifact.rple_T));
+    session.grid_tables_T = artifact.rple_T;
+    return Status::Ok();
+  }
+
+  Status DeanonymizeLevel(const MapContext&, const CloakedArtifact& artifact,
+                          ReduceSession& session, CloakRegion& region,
+                          const crypto::AccessKey& key, int level_index,
+                          const LevelRecord& record,
+                          std::uint32_t prev_region_size) const override {
+    if (session.grid == nullptr || session.grid_tables == nullptr) {
+      return Status::Internal(
+          "grid: reduce has no grid (BeginReduce not run)");
+    }
+    RCLOAK_RETURN_IF_ERROR(GridDeanonymizeLevel(
+        *session.grid, *session.grid_tables, region, key, artifact.context,
+        level_index, record));
+    if (region.size() != prev_region_size) {
+      return Status::DataLoss(
+          "grid de-anonymize: reduced region size mismatch (wrong key or "
+          "corrupt artifact)");
+    }
+    return Status::Ok();
+  }
+};
+
 // The built-ins resolve lock-free (magic-static init, immutable after):
 // FindAlgorithm sits on every request's hot path and must not become a
 // process-wide serialization point. Only out-of-tree registrations — rare,
@@ -151,8 +221,9 @@ std::span<const CloakAlgorithm* const> Builtins() {
   static const RgeStrategy rge;
   static const RpleStrategy rple;
   static const RandomExpandStrategy random_expand;
+  static const GridStrategy grid;
   static const CloakAlgorithm* const builtins[] = {&rge, &rple,
-                                                   &random_expand};
+                                                   &random_expand, &grid};
   return builtins;
 }
 

@@ -20,6 +20,7 @@
 
 #include "core/artifact.h"
 #include "core/cloak_region.h"
+#include "core/grid_cloak.h"
 #include "core/map_context.h"
 #include "core/privacy_profile.h"
 #include "core/rge.h"
@@ -50,6 +51,7 @@ struct EngineSession {
     users = nullptr;
     rge_stats = RgeStats{};
     rple_stats = RpleStats{};
+    grid_stats = GridStats{};
     baseline_expansions = 0;
   }
 
@@ -67,8 +69,17 @@ struct EngineSession {
   // context's memo lock entirely.
   const TransitionTables* tables = nullptr;
   std::uint32_t tables_T = 0;
+  // Grid backend: the context's cell index and per-T cell-transition
+  // tables, resolved on first use like `tables` above; `grid_cell` is the
+  // cell-walk chain position (the grid analogue of `chain`), re-derived
+  // from the origin by GridCloak's Begin on every request.
+  const GridContext* grid = nullptr;
+  const GridTransitionTables* grid_tables = nullptr;
+  std::uint32_t grid_tables_T = 0;
+  std::uint32_t grid_cell = 0;
   RgeStats rge_stats;
   RpleStats rple_stats;
+  GridStats grid_stats;
   std::uint64_t baseline_expansions = 0;
 };
 
@@ -81,6 +92,10 @@ struct ReduceSession {
   const TransitionTables* tables = nullptr;
   // The T the resolved tables belong to (meaningful iff tables != nullptr).
   std::uint32_t tables_T = 0;
+  // Grid backend prerequisites (same reuse contract as `tables`).
+  const GridContext* grid = nullptr;
+  const GridTransitionTables* grid_tables = nullptr;
+  std::uint32_t grid_tables_T = 0;
 };
 
 // A cloaking backend. Implementations are stateless (all methods const,
@@ -126,7 +141,7 @@ class CloakAlgorithm {
                                   std::uint32_t prev_region_size) const = 0;
 };
 
-// Registry. The three built-ins (RGE, RPLE, RandomExpand) are always
+// Registry. The four built-ins (RGE, RPLE, RandomExpand, Grid) are always
 // present; RegisterAlgorithm adds out-of-tree strategies. Lookup is by the
 // wire id. FindAlgorithm returns nullptr for unknown ids.
 const CloakAlgorithm* FindAlgorithm(Algorithm id) noexcept;

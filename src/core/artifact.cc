@@ -9,7 +9,16 @@ namespace rcloak::core {
 
 namespace {
 constexpr std::uint32_t kMagic = 0x524B4C43;  // "CLKR" little-endian
-constexpr std::uint8_t kVersion = 1;
+// Version 1: RGE / RPLE / baseline artifacts (unchanged bytes — golden SHA
+// pins hold). Version 2: same layout, introduced with the grid backend so
+// version-1-only decoders reject grid artifacts instead of misreading the
+// grid seal/walk semantics.
+constexpr std::uint8_t kVersionRoad = 1;
+constexpr std::uint8_t kVersionGrid = 2;
+
+constexpr std::uint8_t VersionFor(Algorithm algorithm) noexcept {
+  return algorithm == Algorithm::kGrid ? kVersionGrid : kVersionRoad;
+}
 // Fixed public key: fingerprints are integrity checks, not secrets.
 constexpr crypto::SipKey kFingerprintKey = {
     'r', 'c', 'l', 'o', 'a', 'k', '/', 'm',
@@ -21,6 +30,7 @@ std::string_view AlgorithmName(Algorithm algorithm) noexcept {
     case Algorithm::kRge: return "RGE";
     case Algorithm::kRple: return "RPLE";
     case Algorithm::kRandomExpand: return "RandomExpand";
+    case Algorithm::kGrid: return "Grid";
   }
   return "?";
 }
@@ -47,7 +57,7 @@ std::uint64_t FingerprintNetwork(const roadnet::RoadNetwork& net) {
 Bytes EncodeArtifact(const CloakedArtifact& artifact) {
   Bytes out;
   PutU32le(out, kMagic);
-  out.push_back(kVersion);
+  out.push_back(VersionFor(artifact.algorithm));
   out.push_back(static_cast<std::uint8_t>(artifact.algorithm));
   PutVarint(out, artifact.context.size());
   out.insert(out.end(), artifact.context.begin(), artifact.context.end());
@@ -79,9 +89,11 @@ StatusOr<CloakedArtifact> DecodeArtifact(const Bytes& data) {
   if (!magic || *magic != kMagic) {
     return Status::DataLoss("artifact: bad magic");
   }
-  if (off >= data.size() || data[off++] != kVersion) {
+  if (off >= data.size() ||
+      (data[off] != kVersionRoad && data[off] != kVersionGrid)) {
     return Status::DataLoss("artifact: unsupported version");
   }
+  const std::uint8_t version = data[off++];
   if (off >= data.size()) return Status::DataLoss("artifact: truncated");
   const std::uint8_t algorithm_raw = data[off++];
   // Valid ids are whatever the strategy registry knows — built-ins plus
@@ -89,6 +101,9 @@ StatusOr<CloakedArtifact> DecodeArtifact(const Bytes& data) {
   // round-trip the wire format without codec changes.
   if (FindAlgorithm(static_cast<Algorithm>(algorithm_raw)) == nullptr) {
     return Status::DataLoss("artifact: bad algorithm");
+  }
+  if (version != VersionFor(static_cast<Algorithm>(algorithm_raw))) {
+    return Status::DataLoss("artifact: version/algorithm mismatch");
   }
 
   CloakedArtifact artifact;

@@ -31,6 +31,10 @@ enum class Algorithm : std::uint8_t {
   // artifacts publish the outer region but cannot be reduced level by
   // level; Deanonymizer::Reduce reports Unimplemented for them.
   kRandomExpand = 2,
+  // Grid/Hilbert-cell cloaking for the non-road-constrained case
+  // (core/grid_cloak.h). Reversible; encodes with wire version 2 (older
+  // decoders reject grid artifacts cleanly instead of misreading them).
+  kGrid = 3,
 };
 
 std::string_view AlgorithmName(Algorithm algorithm) noexcept;
@@ -55,7 +59,8 @@ struct CloakedArtifact {
   // Structural fingerprint of the road network the artifact was built on;
   // de-anonymization refuses to run against a different map.
   std::uint64_t map_fingerprint = 0;
-  // RPLE transition-list length T (0 for RGE).
+  // Keyed-walk fan-out T: the RPLE transition-list length / the grid
+  // cell-walk fan-out (0 for RGE and the baseline).
   std::uint32_t rple_T = 0;
   // Levels L^1..L^N in order.
   std::vector<LevelRecord> levels;

@@ -44,6 +44,25 @@ std::size_t MapContext::table_builds() const {
   return table_builds_;
 }
 
+StatusOr<const GridContext*> MapContext::GridFor(std::uint32_t side) const {
+  // Normalize so explicit DefaultSide and 0 share one memo entry.
+  if (side == 0) side = GridContext::DefaultSide(*net_);
+  std::lock_guard<std::mutex> lock(grids_mutex_);
+  const auto it = grids_by_side_.find(side);
+  if (it != grids_by_side_.end()) return it->second.get();
+  auto built = GridContext::Build(*net_, side);
+  if (!built.ok()) return built.status();
+  ++grid_builds_;
+  const GridContext* result = built->get();
+  grids_by_side_.emplace(side, std::move(built).value());
+  return result;
+}
+
+std::size_t MapContext::grid_builds() const {
+  std::lock_guard<std::mutex> lock(grids_mutex_);
+  return grid_builds_;
+}
+
 const roadnet::LandmarkTable* MapContext::LandmarksFor(
     int num_landmarks, roadnet::PathMetric metric) const {
   const auto key = std::make_pair(num_landmarks, metric);

@@ -25,6 +25,7 @@
 #include <mutex>
 #include <utility>
 
+#include "core/grid_cloak.h"
 #include "core/rple.h"
 #include "roadnet/alt_routing.h"
 #include "roadnet/road_network.h"
@@ -60,6 +61,17 @@ class MapContext {
   // that co-located Anonymizer + Deanonymizer do not duplicate work.
   std::size_t table_builds() const;
 
+  // The grid/Hilbert cell index for the non-road-constrained backend
+  // (core/grid_cloak.h). side == 0 uses GridContext::DefaultSide, so both
+  // protocol sides agree without a wire field. Built on first use
+  // (thread-safe, build-once per distinct side) and memoized for the
+  // lifetime of the context; the returned pointer is stable and the grid
+  // is immutable (its own per-T table memo synchronizes internally).
+  StatusOr<const GridContext*> GridFor(std::uint32_t side = 0) const;
+
+  // How many grid builds have run so far (memoization pin).
+  std::size_t grid_builds() const;
+
   // The ALT landmark distance tables for (num_landmarks, metric). Built on
   // first use (thread-safe, build-once per distinct parameter pair) and
   // memoized for the lifetime of the context, so routing consumers (the
@@ -94,6 +106,11 @@ class MapContext {
                    std::unique_ptr<const roadnet::LandmarkTable>>
       landmarks_by_params_;
   mutable std::size_t landmark_builds_ = 0;
+
+  mutable std::mutex grids_mutex_;
+  mutable std::map<std::uint32_t, std::unique_ptr<const GridContext>>
+      grids_by_side_;
+  mutable std::size_t grid_builds_ = 0;
 };
 
 }  // namespace rcloak::core

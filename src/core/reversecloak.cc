@@ -45,6 +45,11 @@ Status Anonymizer::EnsurePreassigned() const {
   return ctx_->TablesFor(rple_T_).status();
 }
 
+Status Anonymizer::EnsureGridReady() const {
+  RCLOAK_ASSIGN_OR_RETURN(const GridContext* grid, ctx_->GridFor());
+  return grid->TablesFor(rple_T_).status();
+}
+
 StatusOr<AnonymizeResult> Anonymizer::Anonymize(
     const AnonymizeRequest& request, const crypto::KeyChain& keys) const {
   EngineSession session(*ctx_);
@@ -118,11 +123,14 @@ StatusOr<AnonymizeResult> Anonymizer::Anonymize(
   result.artifact.algorithm = request.algorithm;
   result.artifact.context = request.context;
   result.artifact.map_fingerprint = ctx_->fingerprint();
-  result.artifact.rple_T =
-      request.algorithm == Algorithm::kRple ? rple_T_ : 0;
+  result.artifact.rple_T = request.algorithm == Algorithm::kRple ||
+                                   request.algorithm == Algorithm::kGrid
+                               ? rple_T_
+                               : 0;
   result.artifact.region_segments = session.region.segments_by_id();
   result.rge_stats = session.rge_stats;
   result.rple_stats = session.rple_stats;
+  result.grid_stats = session.grid_stats;
   result.baseline_expansions = session.baseline_expansions;
   return result;
 }

@@ -50,6 +50,7 @@ struct AnonymizeResult {
   CloakedArtifact artifact;
   RgeStats rge_stats;
   RpleStats rple_stats;
+  GridStats grid_stats;
   std::uint64_t baseline_expansions = 0;
 };
 
@@ -98,6 +99,11 @@ class Anonymizer {
 
   // Forces RPLE pre-assignment now (e.g. to measure it); otherwise lazy.
   Status EnsurePreassigned() const;
+
+  // Forces the grid cell index + cell-transition tables for this engine's
+  // T now (the server warms them so workers never contend on the lazy
+  // build); otherwise lazy on the first grid request.
+  Status EnsureGridReady() const;
 
   const std::shared_ptr<const MapContext>& context() const noexcept {
     return ctx_;

@@ -4,22 +4,9 @@
 #include <cassert>
 
 #include "core/transition_table.h"
+#include "core/walk_codec.h"
 
 namespace rcloak::core {
-
-namespace {
-
-std::string LevelContext(const std::string& context, int level_index) {
-  return context + "/L" + std::to_string(level_index);
-}
-
-bool Satisfied(const CloakRegion& region, const UserCounter& users,
-               const LevelRequirement& requirement) {
-  return region.size() >= requirement.delta_l &&
-         users.Count(region) >= requirement.delta_k;
-}
-
-}  // namespace
 
 std::uint64_t SealRank(const CloakRegion& region, SegmentId member,
                        const crypto::KeyedPrng& prng) {
@@ -45,7 +32,7 @@ StatusOr<LevelRecord> RgeAnonymizeLevel(
   if (region.empty()) {
     return Status::FailedPrecondition("RGE level expansion on empty region");
   }
-  const crypto::KeyedPrng prng(key, LevelContext(context, level_index));
+  const crypto::KeyedPrng prng(key, LevelStreamContext(context, level_index));
 
   // Snapshot for rollback on failure.
   const std::vector<SegmentId> region_before = region.segments_by_id();
@@ -56,7 +43,7 @@ StatusOr<LevelRecord> RgeAnonymizeLevel(
   };
 
   std::uint64_t transition = 0;
-  while (!Satisfied(region, users, requirement)) {
+  while (!LevelSatisfied(region, users, requirement)) {
     int rings = 0;
     const auto candidates = region.FrontierAtLeast(region.size(), &rings);
     if (candidates.size() < region.size()) {
@@ -108,7 +95,7 @@ Status RgeDeanonymizeLevel(CloakRegion& region, const crypto::AccessKey& key,
   const std::uint64_t to_remove = record.region_size - prev_region_size;
   if (to_remove == 0) return Status::Ok();
 
-  const crypto::KeyedPrng prng(key, LevelContext(context, level_index));
+  const crypto::KeyedPrng prng(key, LevelStreamContext(context, level_index));
   RCLOAK_ASSIGN_OR_RETURN(SegmentId current, OpenSeal(region, record.seal, prng));
 
   // Remove λ_n .. λ_1; transition j (1-based) used draw j-1.

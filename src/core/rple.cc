@@ -6,7 +6,8 @@
 #include <thread>
 #include <unordered_set>
 
-#include "core/rge.h"  // SealRank / OpenSeal / level context conventions
+#include "core/rge.h"  // SealRank / OpenSeal
+#include "core/walk_codec.h"
 
 namespace rcloak::core {
 
@@ -16,19 +17,6 @@ using roadnet::Index;
 using roadnet::kInvalidSegment;
 using roadnet::RoadNetwork;
 using roadnet::SpatialIndex;
-
-std::string LevelContext(const std::string& context, int level_index) {
-  return context + "/L" + std::to_string(level_index);
-}
-std::string MetaContext(const std::string& context, int level_index) {
-  return LevelContext(context, level_index) + "/meta";
-}
-
-bool Satisfied(const CloakRegion& region, const UserCounter& users,
-               const LevelRequirement& requirement) {
-  return region.size() >= requirement.delta_l &&
-         users.Count(region) >= requirement.delta_k;
-}
 
 // Per-segment link candidates: graph-adjacent segments first (cloaking
 // should stay road-continuous), then spatially nearest others; both groups
@@ -392,8 +380,9 @@ StatusOr<LevelRecord> RpleAnonymizeLevel(
   if (region.empty()) {
     return Status::FailedPrecondition("RPLE level expansion on empty region");
   }
-  const crypto::KeyedPrng prng(key, LevelContext(context, level_index));
-  const crypto::KeyedPrng meta_prng(key, MetaContext(context, level_index));
+  const crypto::KeyedPrng prng(key, LevelStreamContext(context, level_index));
+  const crypto::KeyedPrng meta_prng(key,
+                                    LevelMetaContext(context, level_index));
   const std::uint32_t T = tables.T();
 
   const std::vector<SegmentId> region_before = region.segments_by_id();
@@ -405,9 +394,8 @@ StatusOr<LevelRecord> RpleAnonymizeLevel(
 
   std::vector<bool> added_bits;
   std::uint64_t step = 0;
-  const std::uint64_t max_steps =
-      4096 + 512ULL * (requirement.delta_k + requirement.delta_l);
-  while (!Satisfied(region, users, requirement)) {
+  const std::uint64_t max_steps = WalkBudget(requirement);
+  while (!LevelSatisfied(region, users, requirement)) {
     if (step >= max_steps) {
       rollback();
       return Status::ResourceExhausted(
@@ -440,22 +428,7 @@ StatusOr<LevelRecord> RpleAnonymizeLevel(
   record.walk_len_blinded =
       static_cast<std::uint32_t>(step) ^
       static_cast<std::uint32_t>(prng.Prf("walklen"));
-
-  // Pack step bits, pad to a 16-byte multiple (blurs the exact walk length
-  // without a key), blind everything with the meta keystream.
-  const std::size_t packed = (added_bits.size() + 7) / 8;
-  const std::size_t padded = ((packed + 15) / 16) * 16;
-  record.step_bits_blinded.assign(std::max<std::size_t>(padded, 16), 0);
-  for (std::size_t i = 0; i < added_bits.size(); ++i) {
-    if (added_bits[i]) {
-      record.step_bits_blinded[i / 8] |=
-          static_cast<std::uint8_t>(1u << (i % 8));
-    }
-  }
-  for (std::size_t i = 0; i < record.step_bits_blinded.size(); ++i) {
-    record.step_bits_blinded[i] ^=
-        static_cast<std::uint8_t>(meta_prng.Draw(i) & 0xFF);
-  }
+  record.step_bits_blinded = PackStepBits(added_bits, meta_prng);
   return record;
 }
 
@@ -467,8 +440,9 @@ Status RpleDeanonymizeLevel(const TransitionTables& tables,
     return Status::FailedPrecondition(
         "RPLE de-anonymize: region size does not match level record");
   }
-  const crypto::KeyedPrng prng(key, LevelContext(context, level_index));
-  const crypto::KeyedPrng meta_prng(key, MetaContext(context, level_index));
+  const crypto::KeyedPrng prng(key, LevelStreamContext(context, level_index));
+  const crypto::KeyedPrng meta_prng(key,
+                                    LevelMetaContext(context, level_index));
   const std::uint32_t T = tables.T();
 
   const std::uint32_t walk_len =
@@ -476,26 +450,14 @@ Status RpleDeanonymizeLevel(const TransitionTables& tables,
       static_cast<std::uint32_t>(prng.Prf("walklen"));
   if (walk_len == 0) return Status::Ok();
 
-  // Bits-capacity check doubles as a wrong-key detector: a bad key decodes
-  // walk_len to a near-uniform 32-bit value that cannot fit the bit array.
-  const std::size_t needed = (static_cast<std::size_t>(walk_len) + 7) / 8;
-  if (needed > record.step_bits_blinded.size()) {
-    return Status::DataLoss(
-        "RPLE de-anonymize: walk length exceeds step-bit payload (wrong key "
-        "or corrupt artifact)");
-  }
-  Bytes bits = record.step_bits_blinded;
-  for (std::size_t i = 0; i < bits.size(); ++i) {
-    bits[i] ^= static_cast<std::uint8_t>(meta_prng.Draw(i) & 0xFF);
-  }
-  auto bit_at = [&](std::uint64_t j) {
-    return (bits[static_cast<std::size_t>(j / 8)] >> (j % 8)) & 1u;
-  };
+  RCLOAK_ASSIGN_OR_RETURN(
+      const Bytes bits,
+      UnblindStepBits(record.step_bits_blinded, meta_prng, walk_len, "RPLE"));
 
   RCLOAK_ASSIGN_OR_RETURN(SegmentId walk,
                           OpenSeal(region, record.seal, prng));
   for (std::uint64_t j = walk_len; j-- > 0;) {
-    if (bit_at(j)) {
+    if (StepBitAt(bits, j)) {
       if (!region.Contains(walk)) {
         return Status::DataLoss(
             "RPLE de-anonymize: walk erased a non-member segment (wrong key "

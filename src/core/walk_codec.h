@@ -1,0 +1,69 @@
+// Shared scaffolding of the keyed-walk backends (RGE, RPLE, Grid): the
+// per-level PRNG context strings, the satisfaction predicate, the walk
+// budget, and the key-blinded "step added something" bit codec.
+//
+// This is wire-format-defining code — the context strings bind the PRNG
+// streams and the bit packing (pad to a 16-byte multiple, blind with the
+// meta keystream) is replayed byte-exactly by the de-anonymizer — so it
+// lives in exactly one place. The golden artifact SHA pins would catch any
+// drift, but sharing makes drift impossible by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cloak_region.h"
+#include "core/privacy_profile.h"
+#include "core/user_counter.h"
+#include "crypto/keyed_prng.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace rcloak::core {
+
+// Per-level PRNG stream contexts: "<request>/L<i>" for the walk draws and
+// seals, "<request>/L<i>/meta" for the step-bit blinding keystream.
+inline std::string LevelStreamContext(const std::string& context,
+                                      int level_index) {
+  return context + "/L" + std::to_string(level_index);
+}
+inline std::string LevelMetaContext(const std::string& context,
+                                    int level_index) {
+  return LevelStreamContext(context, level_index) + "/meta";
+}
+
+// The level-expansion stop condition shared by every backend: enough
+// segments (l-diversity) and enough users (k-anonymity). sigma_s is
+// checked separately, per inserted step.
+inline bool LevelSatisfied(const CloakRegion& region, const UserCounter& users,
+                           const LevelRequirement& requirement) {
+  return region.size() >= requirement.delta_l &&
+         users.Count(region) >= requirement.delta_k;
+}
+
+// Walk-step budget before a level expansion gives up (unreachable
+// requirements must fail, not spin).
+inline std::uint64_t WalkBudget(const LevelRequirement& requirement) {
+  return 4096 + 512ULL * (requirement.delta_k + requirement.delta_l);
+}
+
+// Packs the per-step "added something new" bits: pad to a 16-byte multiple
+// (blurs the exact walk length without a key), then blind every byte with
+// the meta keystream.
+Bytes PackStepBits(const std::vector<bool>& added_bits,
+                   const crypto::KeyedPrng& meta_prng);
+
+// Inverse of PackStepBits: checks the blinded payload can hold `walk_len`
+// bits (the capacity check doubles as a wrong-key detector — a bad key
+// decodes walk_len to a near-uniform 32-bit value that cannot fit) and
+// returns the unblinded bytes. `what` names the backend for the error.
+StatusOr<Bytes> UnblindStepBits(const Bytes& step_bits_blinded,
+                                const crypto::KeyedPrng& meta_prng,
+                                std::uint32_t walk_len, const char* what);
+
+inline bool StepBitAt(const Bytes& bits, std::uint64_t j) {
+  return ((bits[static_cast<std::size_t>(j / 8)] >> (j % 8)) & 1u) != 0;
+}
+
+}  // namespace rcloak::core

@@ -11,9 +11,11 @@ namespace rcloak::server {
 AnonymizationServer::AnonymizationServer(core::Anonymizer engine,
                                          const ServerOptions& options)
     : engine_(std::move(engine)), options_(options) {
-  // Pre-assignment up front: afterwards the MapContext is fully warm and
-  // Anonymize() only reads shared state, so one engine serves all shards.
+  // Pre-assignment (RPLE tables) and the grid cell index up front:
+  // afterwards the MapContext is fully warm and Anonymize() only reads
+  // shared state, so one engine serves all shards.
   (void)engine_.EnsurePreassigned();
+  (void)engine_.EnsureGridReady();
   const int workers = std::max(1, options_.num_workers);
   per_shard_queue_ = std::max<std::size_t>(
       1, options_.max_queue / static_cast<std::size_t>(workers));

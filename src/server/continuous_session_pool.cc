@@ -60,7 +60,10 @@ Status ContinuousSessionPool::Track(std::string user_id,
 bool ContinuousSessionPool::Evict(const std::string& user_id) {
   Shard& shard = ShardFor(user_id);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  if (shard.sessions.erase(user_id) == 0) return false;
+  const auto it = shard.sessions.find(user_id);
+  if (it == shard.sessions.end()) return false;
+  shard.RetireSession(it->second);
+  shard.sessions.erase(it);
   ++shard.evicted;
   return true;
 }
@@ -71,8 +74,10 @@ std::size_t ContinuousSessionPool::EvictIdle(double now_s, double idle_s) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     for (auto it = shard->sessions.begin(); it != shard->sessions.end();) {
       if (now_s - it->second.last_update_s > idle_s) {
+        shard->RetireSession(it->second);
         it = shard->sessions.erase(it);
         ++shard->evicted;
+        ++shard->evicted_idle;
         ++evicted;
       } else {
         ++it;
@@ -295,6 +300,10 @@ SessionPoolStats ContinuousSessionPool::stats() const {
     stats.recloak_failures += shard->recloak_failures;
     stats.unknown_user += shard->unknown_user;
     stats.evicted += shard->evicted;
+    stats.evicted_idle += shard->evicted_idle;
+    stats.retired_updates += shard->retired_updates;
+    stats.retired_recloaks += shard->retired_recloaks;
+    stats.retired_throttled_stale += shard->retired_throttled_stale;
     stats.active_sessions += shard->sessions.size();
   }
   std::lock_guard<std::mutex> lock(latency_mutex_);

@@ -49,6 +49,13 @@ struct SessionPoolStats {
   std::uint64_t recloak_failures = 0;
   std::uint64_t unknown_user = 0;
   std::uint64_t evicted = 0;
+  // Subset of `evicted` reaped by EvictIdle (vs explicit Evict).
+  std::uint64_t evicted_idle = 0;
+  // Lifetime totals folded in from evicted sessions at eviction time, so
+  // dropping a session never silently discards its per-user statistics.
+  std::uint64_t retired_updates = 0;
+  std::uint64_t retired_recloaks = 0;
+  std::uint64_t retired_throttled_stale = 0;
   std::size_t active_sessions = 0;
   // Wall time per update, batch-amortized (one sample per update, each
   // carrying its round's mean).
@@ -85,7 +92,10 @@ class ContinuousSessionPool {
   bool Evict(const std::string& user_id);
 
   // Evicts every session whose last update is older than `idle_s` seconds
-  // before `now_s`; returns how many were evicted.
+  // before `now_s`; returns how many were evicted. The reaped sessions'
+  // per-user statistics are folded into the per-shard retired_* counters
+  // (visible via stats()) rather than dropped, and each eviction bumps the
+  // shard's evicted + evicted_idle counters.
   std::size_t EvictIdle(double now_s, double idle_s);
 
   // Feeds one position update for a tracked user. Returns the artifact in
@@ -131,6 +141,18 @@ class ContinuousSessionPool {
     std::uint64_t recloak_failures = 0;
     std::uint64_t unknown_user = 0;
     std::uint64_t evicted = 0;
+    std::uint64_t evicted_idle = 0;
+    std::uint64_t retired_updates = 0;
+    std::uint64_t retired_recloaks = 0;
+    std::uint64_t retired_throttled_stale = 0;
+
+    // Folds a departing session's lifetime stats into the retired
+    // counters; call under `mutex` before erasing the session.
+    void RetireSession(const Session& session) {
+      retired_updates += session.policy.stats().updates;
+      retired_recloaks += session.policy.stats().recloaks;
+      retired_throttled_stale += session.policy.stats().throttled_stale;
+    }
   };
 
   // A round-member re-cloak in flight between the classify and commit

@@ -126,10 +126,16 @@ class [[nodiscard]] StatusOr {
     if (!rcloak_status_.ok()) return rcloak_status_;   \
   } while (false)
 
+// Two-level concat so __LINE__ expands: several assignments may share one
+// scope without the temporaries colliding.
+#define RCLOAK_SOR_CONCAT_(a, b) a##b
+#define RCLOAK_SOR_CONCAT(a, b) RCLOAK_SOR_CONCAT_(a, b)
+#define RCLOAK_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)   \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
 #define RCLOAK_ASSIGN_OR_RETURN(lhs, expr)             \
-  auto rcloak_sor_##__LINE__ = (expr);                 \
-  if (!rcloak_sor_##__LINE__.ok())                     \
-    return rcloak_sor_##__LINE__.status();             \
-  lhs = std::move(rcloak_sor_##__LINE__).value()
+  RCLOAK_ASSIGN_OR_RETURN_IMPL(                        \
+      RCLOAK_SOR_CONCAT(rcloak_sor_, __LINE__), lhs, expr)
 
 }  // namespace rcloak

@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "core/algorithm.h"
 #include "core/artifact.h"
 #include "core/reversecloak.h"
 #include "roadnet/generators.h"
@@ -140,8 +141,76 @@ INSTANTIATE_TEST_SUITE_P(
         PropertyCase{MapKind::kPerturbed, Algorithm::kRple, 4},
         PropertyCase{MapKind::kPerturbed, Algorithm::kRple, 16},
         PropertyCase{MapKind::kRadial, Algorithm::kRge, 8},
-        PropertyCase{MapKind::kRadial, Algorithm::kRple, 8}),
+        PropertyCase{MapKind::kRadial, Algorithm::kRple, 8},
+        PropertyCase{MapKind::kGrid, Algorithm::kGrid, 4},
+        PropertyCase{MapKind::kGrid, Algorithm::kGrid, 16},
+        PropertyCase{MapKind::kPerturbed, Algorithm::kGrid, 16},
+        PropertyCase{MapKind::kRadial, Algorithm::kGrid, 8}),
     CaseName);
+
+// Registry-wide harness: every registered reversible backend — current and
+// future — inherits the Anonymize → Reduce identity and monotone-growth
+// coverage below for free; non-reversible backends must refuse Reduce
+// loudly instead of corrupting a region.
+TEST(RegistryPropertyTest, EveryRegisteredBackendHonorsTheContract) {
+  const RoadNetwork net = MakeMap(MapKind::kGrid);
+  const auto ctx = core::MapContext::Create(net);
+  Anonymizer anonymizer(ctx, OnePerSegment(net), /*rple_T=*/5);
+  Deanonymizer deanonymizer(ctx);
+
+  const auto backends = RegisteredAlgorithms();
+  ASSERT_GE(backends.size(), 4u);  // RGE, RPLE, RandomExpand, Grid
+  for (const CloakAlgorithm* backend : backends) {
+    SCOPED_TRACE(std::string(backend->name()));
+    // The registry must agree with itself about the wire id.
+    EXPECT_EQ(FindAlgorithm(backend->id()), backend);
+
+    const auto keys = crypto::KeyChain::FromSeed(
+        4000 + static_cast<std::uint64_t>(backend->id()), 2);
+    AnonymizeRequest request;
+    request.origin = SegmentId{55};
+    request.profile = PrivacyProfile({{5, 2, 1e9}, {14, 5, 1e9}});
+    request.algorithm = backend->id();
+    request.context = "registry/" + std::string(backend->name());
+    const auto result = anonymizer.Anonymize(request, keys);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    // Monotone region growth across levels, published region matches the
+    // outermost record, codec round trip for every backend.
+    const auto& levels = result->artifact.levels;
+    for (std::size_t i = 1; i < levels.size(); ++i) {
+      EXPECT_GE(levels[i].region_size, levels[i - 1].region_size);
+    }
+    EXPECT_EQ(levels.back().region_size,
+              result->artifact.region_segments.size());
+    const auto decoded = DecodeArtifact(EncodeArtifact(result->artifact));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+    std::map<int, crypto::AccessKey> granted{{1, keys.LevelKey(1)},
+                                             {2, keys.LevelKey(2)}};
+    if (!backend->reversible()) {
+      const auto reduced = deanonymizer.Reduce(*decoded, granted, 0);
+      EXPECT_EQ(reduced.status().code(), ErrorCode::kUnimplemented);
+      continue;
+    }
+    // Anonymize → Reduce identity at every level: each target's size must
+    // equal the corresponding level record, L0 is the exact origin, and
+    // the reduced regions nest.
+    const auto l1 = deanonymizer.Reduce(*decoded, granted, 1);
+    ASSERT_TRUE(l1.ok()) << l1.status().ToString();
+    EXPECT_EQ(l1->size(), levels[0].region_size);
+    const auto l0 = deanonymizer.Reduce(*decoded, granted, 0);
+    ASSERT_TRUE(l0.ok()) << l0.status().ToString();
+    ASSERT_EQ(l0->size(), 1u);
+    EXPECT_EQ(l0->segments_by_id().front(), request.origin);
+    const auto l2 = deanonymizer.FullRegion(*decoded);
+    ASSERT_TRUE(l2.ok());
+    for (const SegmentId sid : l1->segments_by_id()) {
+      EXPECT_TRUE(l2->Contains(sid));
+    }
+    EXPECT_TRUE(l1->Contains(request.origin));
+  }
+}
 
 // Determinism: identical request + keys produce byte-identical artifacts
 // (required for the de-anonymizer's replay to be well-defined).

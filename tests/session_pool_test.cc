@@ -271,6 +271,59 @@ TEST(SessionPoolTest, EvictionAndStaleUsers) {
   EXPECT_EQ(pool.stats().evicted, 3u);
 }
 
+// Eviction must not silently lose the evicted users' lifetime statistics:
+// EvictIdle returns the reaped count, bumps the idle-eviction counter, and
+// both eviction paths fold the per-user stats into the retired_* counters.
+TEST(SessionPoolTest, EvictionRetiresPerUserStatsInsteadOfDroppingThem) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  AnonymizationServer server(std::move(engine), {});
+  ContinuousSessionPool pool(server);
+
+  for (int u = 0; u < 3; ++u) {
+    ASSERT_TRUE(pool.Track("r" + std::to_string(u), FleetProfile(),
+                           Algorithm::kRge, KeysFor(20 + u), FleetOptions())
+                    .ok());
+  }
+  // Distinct update counts per user: r0 gets 1, r1 gets 2, r2 gets 3.
+  std::uint64_t expected_updates = 0, expected_recloaks = 0;
+  for (int u = 0; u < 3; ++u) {
+    const std::string user = "r" + std::to_string(u);
+    for (int i = 0; i <= u; ++i) {
+      ASSERT_TRUE(
+          pool.Update(user, 10.0 * (i + 1), SegmentId{40}).ok());
+    }
+    const auto stats = pool.UserStats(user);
+    ASSERT_TRUE(stats.ok());
+    expected_updates += stats->updates;
+    expected_recloaks += stats->recloaks;
+  }
+  ASSERT_EQ(expected_updates, 6u);
+  ASSERT_GE(expected_recloaks, 3u);  // at least the initial cloak each
+
+  // r0 idles out; r1 is evicted explicitly; r2 stays.
+  ASSERT_TRUE(pool.Update("r1", 200.0, SegmentId{40}).ok());
+  ASSERT_TRUE(pool.Update("r2", 201.0, SegmentId{40}).ok());
+  expected_updates += 2;
+  EXPECT_EQ(pool.EvictIdle(/*now_s=*/230.0, /*idle_s=*/60.0), 1u);
+  EXPECT_TRUE(pool.Evict("r1"));
+
+  const auto live = pool.UserStats("r2");
+  ASSERT_TRUE(live.ok());
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.evicted, 2u);
+  EXPECT_EQ(stats.evicted_idle, 1u);
+  // Retired + still-live accounting covers every update and re-cloak ever
+  // fed to the pool — nothing was dropped with the sessions.
+  EXPECT_EQ(stats.retired_updates + live->updates, expected_updates);
+  EXPECT_EQ(stats.retired_recloaks + live->recloaks, stats.recloaks);
+  EXPECT_EQ(stats.retired_throttled_stale + live->throttled_stale,
+            stats.throttled_stale);
+  EXPECT_GT(stats.retired_updates, 0u);
+  EXPECT_GT(stats.retired_recloaks, 0u);
+}
+
 // A session tracked late in simulation time but never updated measures
 // idleness from its registration time, not from time zero.
 TEST(SessionPoolTest, LateTrackedSessionSurvivesEvictIdle) {
