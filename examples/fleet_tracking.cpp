@@ -62,7 +62,7 @@ int main() {
         },
         continuous);
     if (!status.ok()) {
-      std::printf("track failed: %s\n", status.ToString().c_str());
+      std::printf("track failed: %s\n", status.status().ToString().c_str());
       return 1;
     }
   }

@@ -1,6 +1,29 @@
 #include "core/continuous_policy.h"
 
+#include <bit>
+
+#include "roadnet/road_network.h"
+
 namespace rcloak::core {
+
+namespace {
+
+// Spill blob format version (bumped on any layout change).
+constexpr std::uint8_t kPolicyBlobVersion = 1;
+
+void PutDouble(Bytes& out, double v) {
+  PutU64le(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::optional<double> GetDouble(const Bytes& in, std::size_t* offset) {
+  const auto bits = GetU64le(in, offset);
+  if (!bits) return std::nullopt;
+  return std::bit_cast<double>(*bits);
+}
+
+Status Truncated() { return Status::DataLoss("policy blob truncated"); }
+
+}  // namespace
 
 std::string ContinuousPolicy::EpochContext(std::uint64_t epoch) const {
   return user_id_ + "/epoch-" + std::to_string(epoch);
@@ -9,7 +32,7 @@ std::string ContinuousPolicy::EpochContext(std::uint64_t epoch) const {
 ContinuousPolicy::Action ContinuousPolicy::OnUpdate(
     double now_s, roadnet::SegmentId current_segment) {
   ++stats_.updates;
-  const bool have = artifact_.has_value();
+  const bool have = artifact_ != nullptr;
   const bool inside =
       have && validity_region_ && validity_region_->Contains(current_segment);
   if (inside) return Action::kServe;
@@ -25,6 +48,14 @@ ContinuousPolicy::Action ContinuousPolicy::OnUpdate(
 
 void ContinuousPolicy::CommitRecloak(double now_s, CloakedArtifact artifact,
                                      CloakRegion validity_region) {
+  CommitRecloak(now_s,
+                std::make_shared<const CloakedArtifact>(std::move(artifact)),
+                std::move(validity_region));
+}
+
+void ContinuousPolicy::CommitRecloak(
+    double now_s, std::shared_ptr<const CloakedArtifact> artifact,
+    CloakRegion validity_region) {
   if (artifact_) {
     stats_.validity_duration_s.Add(now_s - artifact_created_s_);
   }
@@ -34,6 +65,141 @@ void ContinuousPolicy::CommitRecloak(double now_s, CloakedArtifact artifact,
   artifact_created_s_ = now_s;
   stats_.last_recloak_time_s = now_s;
   ++stats_.recloaks;
+}
+
+Bytes ContinuousPolicy::Serialize() const {
+  Bytes out;
+  out.push_back(kPolicyBlobVersion);
+  PutVarint(out, user_id_.size());
+  out.insert(out.end(), user_id_.begin(), user_id_.end());
+  out.push_back(static_cast<std::uint8_t>(algorithm_));
+  PutVarint(out, static_cast<std::uint64_t>(profile_.num_levels()));
+  for (int level = 1; level <= profile_.num_levels(); ++level) {
+    const LevelRequirement& req = profile_.level(level);
+    PutVarint(out, req.delta_k);
+    PutVarint(out, req.delta_l);
+    PutDouble(out, req.sigma_s);
+  }
+  PutVarint(out, static_cast<std::uint64_t>(options_.validity_level));
+  PutDouble(out, options_.min_recloak_interval_s);
+  PutVarint(out, epoch_);
+  out.push_back(artifact_ ? 1 : 0);
+  if (artifact_) {
+    const Bytes encoded = EncodeArtifact(*artifact_);
+    PutVarint(out, encoded.size());
+    out.insert(out.end(), encoded.begin(), encoded.end());
+  }
+  out.push_back(validity_region_ ? 1 : 0);
+  if (validity_region_) {
+    const auto& segments = validity_region_->segments_by_id();
+    PutVarint(out, segments.size());
+    for (const roadnet::SegmentId sid : segments) {
+      PutVarint(out, roadnet::Index(sid));
+    }
+  }
+  PutDouble(out, artifact_created_s_);
+  PutVarint(out, stats_.updates);
+  PutVarint(out, stats_.recloaks);
+  PutVarint(out, stats_.throttled_stale);
+  PutDouble(out, stats_.last_recloak_time_s);
+  PutVarint(out, stats_.validity_duration_s.count());
+  for (const double sample : stats_.validity_duration_s.data()) {
+    PutDouble(out, sample);
+  }
+  return out;
+}
+
+StatusOr<ContinuousPolicy> ContinuousPolicy::Deserialize(
+    const Bytes& data, const roadnet::RoadNetwork& net) {
+  std::size_t offset = 0;
+  if (data.empty() || data[offset++] != kPolicyBlobVersion) {
+    return Status::InvalidArgument("policy blob: bad magic/version");
+  }
+  ContinuousPolicy policy;
+  const auto id_length = GetVarint(data, &offset);
+  // Subtract-side compare: a hostile length near 2^64 must not wrap.
+  if (!id_length || *id_length > data.size() - offset) return Truncated();
+  policy.user_id_.assign(
+      reinterpret_cast<const char*>(data.data()) + offset,
+      static_cast<std::size_t>(*id_length));
+  offset += *id_length;
+  if (offset >= data.size()) return Truncated();
+  policy.algorithm_ = static_cast<Algorithm>(data[offset++]);
+  const auto num_levels = GetVarint(data, &offset);
+  if (!num_levels) return Truncated();
+  std::vector<LevelRequirement> levels;
+  for (std::uint64_t i = 0; i < *num_levels; ++i) {
+    LevelRequirement req;
+    const auto delta_k = GetVarint(data, &offset);
+    const auto delta_l = GetVarint(data, &offset);
+    const auto sigma_s = GetDouble(data, &offset);
+    if (!delta_k || !delta_l || !sigma_s) return Truncated();
+    req.delta_k = static_cast<std::uint32_t>(*delta_k);
+    req.delta_l = static_cast<std::uint32_t>(*delta_l);
+    req.sigma_s = *sigma_s;
+    levels.push_back(req);
+  }
+  policy.profile_ = PrivacyProfile(std::move(levels));
+  RCLOAK_RETURN_IF_ERROR(policy.profile_.Validate());
+  const auto validity_level = GetVarint(data, &offset);
+  const auto throttle_s = GetDouble(data, &offset);
+  const auto epoch = GetVarint(data, &offset);
+  if (!validity_level || !throttle_s || !epoch) return Truncated();
+  policy.options_.validity_level = static_cast<int>(*validity_level);
+  policy.options_.min_recloak_interval_s = *throttle_s;
+  policy.epoch_ = *epoch;
+  if (offset >= data.size()) return Truncated();
+  if (data[offset++] != 0) {
+    const auto artifact_size = GetVarint(data, &offset);
+    if (!artifact_size || *artifact_size > data.size() - offset) {
+      return Truncated();
+    }
+    const Bytes encoded(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                        data.begin() + static_cast<std::ptrdiff_t>(
+                                           offset + *artifact_size));
+    offset += *artifact_size;
+    RCLOAK_ASSIGN_OR_RETURN(auto artifact, DecodeArtifact(encoded));
+    policy.artifact_ =
+        std::make_shared<const CloakedArtifact>(std::move(artifact));
+  }
+  if (offset >= data.size()) return Truncated();
+  if (data[offset++] != 0) {
+    const auto segment_count = GetVarint(data, &offset);
+    if (!segment_count) return Truncated();
+    std::vector<roadnet::SegmentId> segments;
+    for (std::uint64_t i = 0; i < *segment_count; ++i) {
+      const auto raw = GetVarint(data, &offset);
+      if (!raw) return Truncated();
+      const roadnet::SegmentId sid{static_cast<std::uint32_t>(*raw)};
+      if (!net.IsValid(sid)) {
+        return Status::DataLoss(
+            "policy blob: validity region references unknown segment");
+      }
+      segments.push_back(sid);
+    }
+    policy.validity_region_ = CloakRegion::FromSegments(net, segments);
+  }
+  const auto created_s = GetDouble(data, &offset);
+  const auto updates = GetVarint(data, &offset);
+  const auto recloaks = GetVarint(data, &offset);
+  const auto throttled = GetVarint(data, &offset);
+  const auto last_recloak_s = GetDouble(data, &offset);
+  const auto sample_count = GetVarint(data, &offset);
+  if (!created_s || !updates || !recloaks || !throttled || !last_recloak_s ||
+      !sample_count) {
+    return Truncated();
+  }
+  policy.artifact_created_s_ = *created_s;
+  policy.stats_.updates = *updates;
+  policy.stats_.recloaks = *recloaks;
+  policy.stats_.throttled_stale = *throttled;
+  policy.stats_.last_recloak_time_s = *last_recloak_s;
+  for (std::uint64_t i = 0; i < *sample_count; ++i) {
+    const auto sample = GetDouble(data, &offset);
+    if (!sample) return Truncated();
+    policy.stats_.validity_duration_s.Add(*sample);
+  }
+  return policy;
 }
 
 }  // namespace rcloak::core

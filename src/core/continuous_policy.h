@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -26,6 +27,7 @@
 #include "core/artifact.h"
 #include "core/cloak_region.h"
 #include "core/privacy_profile.h"
+#include "util/bytes.h"
 #include "util/stats.h"
 
 namespace rcloak::core {
@@ -90,29 +92,54 @@ class ContinuousPolicy {
   }
 
   // Installs the artifact cut for `next_epoch()` and its validity region,
-  // advancing the epoch and the re-cloak statistics.
+  // advancing the epoch and the re-cloak statistics. The shared overload
+  // adopts an already-wrapped artifact without re-copying (the session
+  // pool shares one wrapping between the commit and the serve result).
   void CommitRecloak(double now_s, CloakedArtifact artifact,
                      CloakRegion validity_region);
+  void CommitRecloak(double now_s,
+                     std::shared_ptr<const CloakedArtifact> artifact,
+                     CloakRegion validity_region);
+
+  // Spill/restore: serializes the complete session state — identity,
+  // profile, options, epoch counter, artifact in force, validity region,
+  // clocks and statistics — so an idle session can leave memory and a
+  // returning user resumes its epoch chain bit-for-bit (the restored
+  // policy's decision and artifact sequence is byte-identical to one that
+  // never left; pinned in tests/session_pool_test.cc). Key material is
+  // deliberately NOT serialized: the caller re-supplies its KeyProvider on
+  // restore.
+  Bytes Serialize() const;
+  // `net` rebuilds the validity region (regions are stored as segment
+  // lists) and must be the network the artifact was cut on.
+  static StatusOr<ContinuousPolicy> Deserialize(
+      const Bytes& data, const roadnet::RoadNetwork& net);
 
   const std::string& user_id() const noexcept { return user_id_; }
   const PrivacyProfile& profile() const noexcept { return profile_; }
   Algorithm algorithm() const noexcept { return algorithm_; }
   const ContinuousOptions& options() const noexcept { return options_; }
   std::uint64_t epoch() const noexcept { return epoch_; }
-  // The artifact in force (nullopt before the first successful re-cloak).
-  const std::optional<CloakedArtifact>& artifact() const noexcept {
+  // The artifact in force (null before the first successful re-cloak),
+  // shared immutably: the steady-state serve path hands out refcounted
+  // references instead of deep-copying level records and segment lists on
+  // every in-region update.
+  const std::shared_ptr<const CloakedArtifact>& artifact() const noexcept {
     return artifact_;
   }
   const ContinuousStats& stats() const noexcept { return stats_; }
 
  private:
+  // Deserialize fills every field directly.
+  ContinuousPolicy() = default;
+
   std::string user_id_;
   PrivacyProfile profile_;
   Algorithm algorithm_;
   ContinuousOptions options_;
 
   std::uint64_t epoch_ = 0;
-  std::optional<CloakedArtifact> artifact_;
+  std::shared_ptr<const CloakedArtifact> artifact_;
   std::optional<CloakRegion> validity_region_;
   double artifact_created_s_ = 0.0;
   ContinuousStats stats_;

@@ -201,30 +201,26 @@ StatusOr<CloakRegion> Deanonymizer::Reduce(
   return ReduceWith(artifact, granted_keys, target_level, session);
 }
 
+StatusOr<CloakRegion> Deanonymizer::ReduceOne(const ReduceJob& job,
+                                              ReduceSession& session) const {
+  if (job.artifact == nullptr || job.granted_keys == nullptr) {
+    return Status::InvalidArgument("reduce batch: null artifact or key map");
+  }
+  return ReduceWith(*job.artifact, *job.granted_keys, job.target_level,
+                    session);
+}
+
 std::vector<StatusOr<CloakRegion>> Deanonymizer::ReduceBatch(
     const std::vector<ReduceJob>& jobs) const {
   std::vector<StatusOr<CloakRegion>> results;
   results.reserve(jobs.size());
-  // One session per (algorithm, rple_T) run: BeginReduce skips resolution
-  // it already did, so a homogeneous batch touches the table memo once.
-  // The session only carries T-keyed prerequisites, so reuse across
-  // artifacts of the same algorithm and T is exact.
+  // One session for the run: each backend's BeginReduce keeps its own
+  // prerequisites (keyed by the artifact's T) and re-resolves only on
+  // mismatch, so a homogeneous batch touches the table memo once and a
+  // mixed batch is still exact.
   ReduceSession session;
-  Algorithm session_algorithm{};
-  bool session_used = false;
   for (const ReduceJob& job : jobs) {
-    if (job.artifact == nullptr || job.granted_keys == nullptr) {
-      results.emplace_back(
-          Status::InvalidArgument("reduce batch: null artifact or key map"));
-      continue;
-    }
-    if (session_used && session_algorithm != job.artifact->algorithm) {
-      session = ReduceSession{};
-    }
-    session_algorithm = job.artifact->algorithm;
-    session_used = true;
-    results.push_back(ReduceWith(*job.artifact, *job.granted_keys,
-                                 job.target_level, session));
+    results.push_back(ReduceOne(job, session));
   }
   return results;
 }

@@ -1,6 +1,6 @@
 #include "server/continuous_session_pool.h"
 
-#include <string_view>
+#include <bit>
 #include <unordered_set>
 #include <utility>
 
@@ -10,9 +10,55 @@ namespace rcloak::server {
 
 using core::ContinuousPolicy;
 
+namespace {
+
+// Spill envelope: the pool-level session fields around the policy blob.
+Bytes EncodeSpillEnvelope(const Bytes& policy_blob, double last_update_s,
+                          roadnet::SegmentId last_segment) {
+  Bytes out;
+  PutVarint(out, policy_blob.size());
+  out.insert(out.end(), policy_blob.begin(), policy_blob.end());
+  PutU64le(out, std::bit_cast<std::uint64_t>(last_update_s));
+  PutVarint(out, roadnet::Index(last_segment));
+  return out;
+}
+
+struct SpillEnvelope {
+  Bytes policy_blob;
+  double last_update_s = 0.0;
+  roadnet::SegmentId last_segment = roadnet::kInvalidSegment;
+};
+
+StatusOr<SpillEnvelope> DecodeSpillEnvelope(const Bytes& data) {
+  SpillEnvelope envelope;
+  std::size_t offset = 0;
+  const auto blob_size = GetVarint(data, &offset);
+  // Subtract-side compare: a hostile length near 2^64 must not wrap.
+  if (!blob_size || *blob_size > data.size() - offset) {
+    return Status::DataLoss("spilled session truncated");
+  }
+  envelope.policy_blob.assign(
+      data.begin() + static_cast<std::ptrdiff_t>(offset),
+      data.begin() + static_cast<std::ptrdiff_t>(offset + *blob_size));
+  offset += *blob_size;
+  const auto clock_bits = GetU64le(data, &offset);
+  const auto segment = GetVarint(data, &offset);
+  if (!clock_bits || !segment) {
+    return Status::DataLoss("spilled session truncated");
+  }
+  envelope.last_update_s = std::bit_cast<double>(*clock_bits);
+  envelope.last_segment =
+      roadnet::SegmentId{static_cast<std::uint32_t>(*segment)};
+  return envelope;
+}
+
+}  // namespace
+
 ContinuousSessionPool::ContinuousSessionPool(AnonymizationServer& server,
                                              const SessionPoolOptions& options)
-    : server_(&server), deanonymizer_(server.engine().context()) {
+    : server_(&server),
+      deanonymizer_(server.engine().context()),
+      options_(options) {
   const int shards =
       options.num_shards > 0 ? options.num_shards : server.num_workers();
   shards_.reserve(static_cast<std::size_t>(shards));
@@ -21,49 +67,59 @@ ContinuousSessionPool::ContinuousSessionPool(AnonymizationServer& server,
   }
 }
 
-ContinuousSessionPool::Shard& ContinuousSessionPool::ShardFor(
-    const std::string& user_id) {
-  return *shards_[hash_(user_id) % shards_.size()];
+StatusOr<util::UserId> ContinuousSessionPool::TrackPolicy(
+    core::ContinuousPolicy policy, KeyProvider key_provider, double now_s,
+    roadnet::SegmentId last_segment, bool restored) {
+  const util::UserId id = interner_.Intern(policy.user_id());
+  Shard& shard = *shards_[ShardIndexFor(id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto [session, inserted] = shard.sessions.TryEmplace(
+      id, Session(std::move(policy), std::move(key_provider)));
+  if (!inserted) {
+    return Status::FailedPrecondition(
+        "track: user already tracked: " +
+        std::string(interner_.NameOf(id)));
+  }
+  // Registration counts as activity: EvictIdle must not reap a session
+  // that was tracked late in simulation time but never updated yet.
+  session->last_update_s = now_s;
+  session->last_segment = last_segment;
+  if (restored) ++shard.restored;
+  return id;
 }
 
-const ContinuousSessionPool::Shard& ContinuousSessionPool::ShardFor(
-    const std::string& user_id) const {
-  return *shards_[hash_(user_id) % shards_.size()];
-}
-
-Status ContinuousSessionPool::Track(std::string user_id,
-                                    core::PrivacyProfile profile,
-                                    core::Algorithm algorithm,
-                                    KeyProvider key_provider,
-                                    const core::ContinuousOptions& options,
-                                    double now_s) {
+StatusOr<util::UserId> ContinuousSessionPool::Track(
+    std::string_view user_id, core::PrivacyProfile profile,
+    core::Algorithm algorithm, KeyProvider key_provider,
+    const core::ContinuousOptions& options, double now_s) {
   RCLOAK_RETURN_IF_ERROR(profile.Validate());
   if (!key_provider) {
     return Status::InvalidArgument("track: key provider must be callable");
   }
-  Shard& shard = ShardFor(user_id);
-  ContinuousPolicy policy(user_id, std::move(profile), algorithm, options);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto [it, inserted] = shard.sessions.emplace(
-      std::move(user_id),
-      Session(std::move(policy), std::move(key_provider)));
-  if (!inserted) {
-    return Status::FailedPrecondition("track: user already tracked: " +
-                                      it->first);
-  }
-  // Registration counts as activity: EvictIdle must not reap a session
-  // that was tracked late in simulation time but never updated yet.
-  it->second.last_update_s = now_s;
-  return Status::Ok();
+  ContinuousPolicy policy(std::string(user_id), std::move(profile), algorithm,
+                          options);
+  return TrackPolicy(std::move(policy), std::move(key_provider), now_s,
+                     roadnet::kInvalidSegment, /*restored=*/false);
 }
 
-bool ContinuousSessionPool::Evict(const std::string& user_id) {
-  Shard& shard = ShardFor(user_id);
+StatusOr<util::UserId> ContinuousSessionPool::UserIdOf(
+    std::string_view user_id) const {
+  const util::UserId id = interner_.Find(user_id);
+  if (!id.valid()) {
+    return Status::NotFound("untracked user: " + std::string(user_id));
+  }
+  return id;
+}
+
+bool ContinuousSessionPool::Evict(std::string_view user_id) {
+  const util::UserId id = interner_.Find(user_id);
+  if (!id.valid()) return false;
+  Shard& shard = *shards_[ShardIndexFor(id)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.sessions.find(user_id);
-  if (it == shard.sessions.end()) return false;
-  shard.RetireSession(it->second);
-  shard.sessions.erase(it);
+  Session* session = shard.sessions.Find(id);
+  if (session == nullptr) return false;
+  shard.RetireSession(*session);
+  shard.sessions.Erase(id);
   ++shard.evicted;
   return true;
 }
@@ -72,31 +128,86 @@ std::size_t ContinuousSessionPool::EvictIdle(double now_s, double idle_s) {
   std::size_t evicted = 0;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    for (auto it = shard->sessions.begin(); it != shard->sessions.end();) {
-      if (now_s - it->second.last_update_s > idle_s) {
-        shard->RetireSession(it->second);
-        it = shard->sessions.erase(it);
-        ++shard->evicted;
-        ++shard->evicted_idle;
-        ++evicted;
-      } else {
-        ++it;
-      }
-    }
+    evicted += shard->sessions.EraseIf(
+        [&](util::UserId, Session& session) {
+          if (now_s - session.last_update_s <= idle_s) return false;
+          shard->RetireSession(session);
+          ++shard->evicted;
+          ++shard->evicted_idle;
+          return true;
+        });
   }
   return evicted;
 }
 
+StatusOr<ContinuousSessionPool::SpilledSession> ContinuousSessionPool::Spill(
+    std::string_view user_id) {
+  const util::UserId id = interner_.Find(user_id);
+  if (!id.valid()) {
+    return Status::NotFound("untracked user: " + std::string(user_id));
+  }
+  Shard& shard = *shards_[ShardIndexFor(id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Session* session = shard.sessions.Find(id);
+  if (session == nullptr) {
+    return Status::NotFound("untracked user: " + std::string(user_id));
+  }
+  SpilledSession spilled;
+  spilled.user_id = std::string(user_id);
+  spilled.state = EncodeSpillEnvelope(session->policy.Serialize(),
+                                      session->last_update_s,
+                                      session->last_segment);
+  shard.sessions.Erase(id);
+  ++shard.spilled;
+  return spilled;
+}
+
+std::vector<ContinuousSessionPool::SpilledSession>
+ContinuousSessionPool::EvictIdleSpill(double now_s, double idle_s) {
+  std::vector<SpilledSession> spilled;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->sessions.EraseIf([&](util::UserId id, Session& session) {
+      if (now_s - session.last_update_s <= idle_s) return false;
+      SpilledSession out;
+      out.user_id = std::string(interner_.NameOf(id));
+      out.state = EncodeSpillEnvelope(session.policy.Serialize(),
+                                      session.last_update_s,
+                                      session.last_segment);
+      spilled.push_back(std::move(out));
+      ++shard->spilled;
+      return true;
+    });
+  }
+  return spilled;
+}
+
+StatusOr<util::UserId> ContinuousSessionPool::Restore(
+    const SpilledSession& spilled, KeyProvider key_provider) {
+  if (!key_provider) {
+    return Status::InvalidArgument("restore: key provider must be callable");
+  }
+  RCLOAK_ASSIGN_OR_RETURN(SpillEnvelope envelope,
+                          DecodeSpillEnvelope(spilled.state));
+  RCLOAK_ASSIGN_OR_RETURN(
+      ContinuousPolicy policy,
+      ContinuousPolicy::Deserialize(envelope.policy_blob,
+                                    server_->engine().network()));
+  return TrackPolicy(std::move(policy), std::move(key_provider),
+                     envelope.last_update_s, envelope.last_segment,
+                     /*restored=*/true);
+}
+
 void ContinuousSessionPool::RunRound(
-    const std::vector<PositionUpdate>& updates,
+    const std::vector<IdPositionUpdate>& updates,
     const std::vector<std::size_t>& round,
-    std::vector<StatusOr<core::CloakedArtifact>>& results) {
+    std::vector<StatusOr<SharedArtifact>>& results) {
   // ---- phase 1: classify under the shard locks; no engine work ----------
   std::vector<PendingRecloak> pending;
   std::vector<AnonymizationServer::BatchJob> jobs;
   for (const std::size_t idx : round) {
-    const PositionUpdate& update = updates[idx];
-    const std::size_t shard_index = hash_(update.user_id) % shards_.size();
+    const IdPositionUpdate& update = updates[idx];
+    const std::size_t shard_index = ShardIndexFor(update.user);
     Shard& shard = *shards_[shard_index];
     PendingRecloak recloak;
     core::AnonymizeRequest request;
@@ -105,38 +216,40 @@ void ContinuousSessionPool::RunRound(
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
       ++shard.updates;
-      const auto it = shard.sessions.find(update.user_id);
-      if (it == shard.sessions.end()) {
+      Session* session = shard.sessions.Find(update.user);
+      if (session == nullptr) {
         ++shard.unknown_user;
-        results[idx] =
-            Status::NotFound("untracked user: " + update.user_id);
+        results[idx] = Status::NotFound(
+            "untracked user: " + std::string(interner_.NameOf(update.user)));
         continue;
       }
-      Session& session = it->second;
-      session.last_update_s = update.now_s;
-      switch (session.policy.OnUpdate(update.now_s, update.segment)) {
+      session->last_update_s = update.now_s;
+      session->last_segment = update.segment;
+      switch (session->policy.OnUpdate(update.now_s, update.segment)) {
         case ContinuousPolicy::Action::kServe:
           ++shard.served_in_region;
-          results[idx] = *session.policy.artifact();
+          // Refcount bump only — the in-region path allocates nothing.
+          results[idx] = session->policy.artifact();
           break;
         case ContinuousPolicy::Action::kServeStale:
           ++shard.throttled_stale;
-          results[idx] = *session.policy.artifact();
+          results[idx] = session->policy.artifact();
           break;
         case ContinuousPolicy::Action::kRecloak:
           recloak.update_index = idx;
+          recloak.user = update.user;
           recloak.shard = shard_index;
-          recloak.epoch = session.policy.next_epoch();
-          recloak.validity_level = session.policy.validity_level();
-          recloak.profile = session.policy.profile();
+          recloak.epoch = session->policy.next_epoch();
+          recloak.validity_level = session->policy.validity_level();
+          recloak.profile = session->policy.profile();
           request.origin = update.segment;
           request.profile = recloak.profile;
-          request.algorithm = session.policy.algorithm();
-          request.context = session.policy.EpochContext(recloak.epoch);
+          request.algorithm = session->policy.algorithm();
+          request.context = session->policy.EpochContext(recloak.epoch);
           // Copied so the user-supplied provider runs OUTSIDE the shard
           // lock: it may be slow (KMS round-trips) or call back into the
           // pool, and either must not stall or deadlock the shard.
-          provider = session.key_provider;
+          provider = session->key_provider;
           needs_recloak = true;
           break;
       }
@@ -158,8 +271,8 @@ void ContinuousSessionPool::RunRound(
     pending[i].result = futures[i]->get();
   }
 
-  // ---- phase 3: validity regions for the fresh artifacts, one batch -----
-  // The per-epoch granted key maps live here so ReduceBatch can borrow.
+  // ---- phase 3: validity regions for the fresh artifacts -----------------
+  // The per-epoch granted key maps live here so the reduce jobs can borrow.
   std::vector<std::map<int, crypto::AccessKey>> granted(pending.size());
   std::vector<core::Deanonymizer::ReduceJob> reduce_jobs;
   std::vector<std::size_t> reduce_owner;  // reduce job -> pending index
@@ -175,7 +288,18 @@ void ContinuousSessionPool::RunRound(
                            recloak.validity_level});
     reduce_owner.push_back(i);
   }
-  auto regions = deanonymizer_.ReduceBatch(reduce_jobs);
+  // Large exit rounds fan the audit step across the server workers (per-
+  // worker ReduceSession reuse, the calling thread as an extra lane);
+  // small ones stay serial — byte-identical either way.
+  std::vector<StatusOr<core::CloakRegion>> regions;
+  if (options_.min_reduce_fanout > 0 &&
+      reduce_jobs.size() >= options_.min_reduce_fanout &&
+      server_->num_workers() > 1) {
+    regions = server_->ReduceOnWorkers(deanonymizer_, std::move(reduce_jobs));
+    reduce_fanouts_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    regions = deanonymizer_.ReduceBatch(reduce_jobs);
+  }
 
   // ---- phase 4: commit under the shard locks -----------------------------
   std::vector<StatusOr<core::CloakRegion>*> region_of(pending.size(),
@@ -199,36 +323,52 @@ void ContinuousSessionPool::RunRound(
       results[idx] = region.status();
       continue;
     }
-    results[idx] = recloak.result->artifact;
-    const auto it = shard.sessions.find(updates[idx].user_id);
-    if (it == shard.sessions.end()) continue;  // evicted in flight
-    Session& session = it->second;
-    if (session.policy.next_epoch() != recloak.epoch) continue;  // raced
-    session.policy.CommitRecloak(updates[idx].now_s,
-                                 std::move(recloak.result).value().artifact,
-                                 std::move(region).value());
+    // One wrapping shared between the serve result and the committed
+    // session state.
+    auto artifact = std::make_shared<const core::CloakedArtifact>(
+        std::move(recloak.result).value().artifact);
+    results[idx] = artifact;
+    Session* session = shard.sessions.Find(recloak.user);
+    if (session == nullptr) continue;  // evicted in flight
+    if (session->policy.next_epoch() != recloak.epoch) continue;  // raced
+    session->policy.CommitRecloak(updates[idx].now_s, std::move(artifact),
+                                  std::move(region).value());
     ++shard.recloaks;
   }
 }
 
-std::vector<StatusOr<core::CloakedArtifact>>
-ContinuousSessionPool::UpdateBatch(const std::vector<PositionUpdate>& updates) {
-  std::vector<StatusOr<core::CloakedArtifact>> results;
+std::vector<StatusOr<ContinuousSessionPool::SharedArtifact>>
+ContinuousSessionPool::UpdateBatch(
+    const std::vector<IdPositionUpdate>& updates) {
+  std::vector<StatusOr<SharedArtifact>> results;
   results.reserve(updates.size());
   for (std::size_t i = 0; i < updates.size(); ++i) {
     results.emplace_back(Status::Internal("batch update not visited"));
   }
-  std::vector<std::size_t> remaining(updates.size());
-  for (std::size_t i = 0; i < updates.size(); ++i) remaining[i] = i;
+  std::vector<std::size_t> remaining;
+  remaining.reserve(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (updates[i].user.valid()) {
+      remaining.push_back(i);
+      continue;
+    }
+    // Never-interned handle: there is no id shard to charge, so the
+    // boundary charges the first shard.
+    Shard& shard = *shards_.front();
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.updates;
+    ++shard.unknown_user;
+    results[i] = Status::NotFound("untracked user");
+  }
 
   // A round holds at most one update per user, preserving input order, so
   // a user's second update in a batch observes the first one's commit.
   while (!remaining.empty()) {
     std::vector<std::size_t> round;
     std::vector<std::size_t> deferred;
-    std::unordered_set<std::string_view> users_in_round;
+    std::unordered_set<std::uint32_t> users_in_round;
     for (const std::size_t idx : remaining) {
-      if (users_in_round.insert(updates[idx].user_id).second) {
+      if (users_in_round.insert(updates[idx].user.value).second) {
         round.push_back(idx);
       } else {
         deferred.push_back(idx);
@@ -250,34 +390,91 @@ ContinuousSessionPool::UpdateBatch(const std::vector<PositionUpdate>& updates) {
   return results;
 }
 
+std::vector<StatusOr<core::CloakedArtifact>>
+ContinuousSessionPool::UpdateBatch(const std::vector<PositionUpdate>& updates) {
+  // One boundary hash per update; unknown names fail fast below (invalid
+  // handles are resolved inside the id batch).
+  std::vector<IdPositionUpdate> ids;
+  ids.reserve(updates.size());
+  for (const PositionUpdate& update : updates) {
+    ids.push_back(
+        {interner_.Find(update.user_id), update.now_s, update.segment});
+  }
+  const auto shared = UpdateBatch(ids);
+  // Compatibility boundary: copy each served artifact out by value.
+  std::vector<StatusOr<core::CloakedArtifact>> results;
+  results.reserve(shared.size());
+  for (std::size_t i = 0; i < shared.size(); ++i) {
+    if (!ids[i].user.valid()) {
+      results.emplace_back(
+          Status::NotFound("untracked user: " + updates[i].user_id));
+    } else if (!shared[i].ok()) {
+      results.emplace_back(shared[i].status());
+    } else {
+      results.emplace_back(**shared[i]);
+    }
+  }
+  return results;
+}
+
 StatusOr<core::CloakedArtifact> ContinuousSessionPool::Update(
-    const std::string& user_id, double now_s, roadnet::SegmentId segment) {
+    std::string_view user_id, double now_s, roadnet::SegmentId segment) {
   std::vector<PositionUpdate> one;
-  one.push_back({user_id, now_s, segment});
+  one.push_back({std::string(user_id), now_s, segment});
   auto results = UpdateBatch(one);
   return std::move(results.front());
 }
 
-StatusOr<std::uint64_t> ContinuousSessionPool::UserEpoch(
-    const std::string& user_id) const {
-  const Shard& shard = ShardFor(user_id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.sessions.find(user_id);
-  if (it == shard.sessions.end()) {
-    return Status::NotFound("untracked user: " + user_id);
+mobility::OccupancySnapshot ContinuousSessionPool::BuildOccupancy() const {
+  mobility::OccupancySnapshot occupancy(
+      server_->engine().network().segment_count());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->sessions.ForEach([&occupancy](util::UserId,
+                                         const Session& session) {
+      if (session.last_segment != roadnet::kInvalidSegment) {
+        occupancy.Add(session.last_segment);
+      }
+    });
   }
-  return it->second.policy.epoch();
+  return occupancy;
+}
+
+StatusOr<std::uint64_t> ContinuousSessionPool::UserEpoch(
+    util::UserId user) const {
+  if (!user.valid()) return Status::NotFound("untracked user");
+  const Shard& shard = *shards_[ShardIndexFor(user)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const Session* session = shard.sessions.Find(user);
+  if (session == nullptr) {
+    return Status::NotFound("untracked user: " +
+                            std::string(interner_.NameOf(user)));
+  }
+  return session->policy.epoch();
+}
+
+StatusOr<std::uint64_t> ContinuousSessionPool::UserEpoch(
+    std::string_view user_id) const {
+  const util::UserId id = interner_.Find(user_id);
+  if (!id.valid()) {
+    return Status::NotFound("untracked user: " + std::string(user_id));
+  }
+  return UserEpoch(id);
 }
 
 StatusOr<core::ContinuousStats> ContinuousSessionPool::UserStats(
-    const std::string& user_id) const {
-  const Shard& shard = ShardFor(user_id);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.sessions.find(user_id);
-  if (it == shard.sessions.end()) {
-    return Status::NotFound("untracked user: " + user_id);
+    std::string_view user_id) const {
+  const util::UserId id = interner_.Find(user_id);
+  if (!id.valid()) {
+    return Status::NotFound("untracked user: " + std::string(user_id));
   }
-  return it->second.policy.stats();
+  const Shard& shard = *shards_[ShardIndexFor(id)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const Session* session = shard.sessions.Find(id);
+  if (session == nullptr) {
+    return Status::NotFound("untracked user: " + std::string(user_id));
+  }
+  return session->policy.stats();
 }
 
 std::size_t ContinuousSessionPool::session_count() const {
@@ -301,11 +498,14 @@ SessionPoolStats ContinuousSessionPool::stats() const {
     stats.unknown_user += shard->unknown_user;
     stats.evicted += shard->evicted;
     stats.evicted_idle += shard->evicted_idle;
+    stats.spilled += shard->spilled;
+    stats.restored += shard->restored;
     stats.retired_updates += shard->retired_updates;
     stats.retired_recloaks += shard->retired_recloaks;
     stats.retired_throttled_stale += shard->retired_throttled_stale;
     stats.active_sessions += shard->sessions.size();
   }
+  stats.reduce_fanouts = reduce_fanouts_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(latency_mutex_);
   stats.update_latency_ms = update_latency_ms_;
   return stats;

@@ -1,36 +1,46 @@
 // Continuous session pool: server-side fleet tracking over the sharded
 // anonymization server.
 //
-// One pool owns the core::ContinuousPolicy state of thousands of moving
-// users, sharded by user-id hash into per-shard session maps (own mutex
-// each) so no global lock appears on the update path. A position update
-// that stays inside the user's validity region resolves entirely in its
-// shard — policy check plus artifact copy, the engine is never touched.
+// One pool owns the core::ContinuousPolicy state of up to millions of
+// moving users. User-id strings are interned once at the API boundary
+// (util::StringInterner) into stable 32-bit UserId handles; sessions live
+// in per-shard open-addressed id tables (own mutex each), so the
+// steady-state in-region update path does no allocation, no string
+// hashing and no string compares — one FNV hash at the boundary (zero for
+// callers holding IdPositionUpdate handles), then integer probes. A
+// position update that stays inside the user's validity region resolves
+// entirely in its shard — policy check plus artifact copy, the engine is
+// never touched.
+//
 // Region exits batch into one AnonymizationServer::SubmitBatch round of
-// re-cloaks; the fresh artifacts' validity regions are then computed in
-// one Deanonymizer::ReduceBatch (the epoch-rollover audit path) and
-// committed back under the shard locks.
+// re-cloaks; the fresh artifacts' validity regions (the epoch-rollover
+// audit step) then fan out across the server workers via ReduceOnWorkers —
+// per-worker ReduceSession reuse, the calling thread as an extra lane —
+// instead of a serial ReduceBatch on the caller, and are committed back
+// under the shard locks.
 //
 // Determinism: artifacts are a pure function of (request, keys, map,
 // occupancy epoch) and every policy decision is a pure function of the
 // user's own update sequence, so per-user artifact sequences are
 // byte-identical to the single-user core::ContinuousCloak oracle and
-// independent of the server's worker count
-// (tests/session_pool_test.cc pins both by SHA-256). Updates for one user
-// must be fed in order (one UpdateBatch round never reorders them; batches
-// containing several updates for one user are split into ordered rounds).
+// independent of the server's worker count, of work stealing and of the
+// reduce fan-out (tests/session_pool_test.cc pins all of it by SHA-256).
+// Updates for one user must be fed in order (one UpdateBatch round never
+// reorders them; batches containing several updates for one user are
+// split into ordered rounds).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "core/continuous.h"
 #include "server/anonymization_server.h"
+#include "util/interner.h"
 #include "util/stats.h"
 
 namespace rcloak::server {
@@ -39,6 +49,12 @@ struct SessionPoolOptions {
   // Session shards (<= 0: one per server worker). Independent of the
   // server's shard count — sessions shard by user id, jobs by round-robin.
   int num_shards = 0;
+  // Fan the validity-region reduce of a region-exit round across the
+  // server workers once at least this many re-cloaks are pending; smaller
+  // rounds (and 0 = never) run the serial ReduceBatch on the calling
+  // thread. Purely a performance knob — artifacts are byte-identical
+  // either way.
+  std::size_t min_reduce_fanout = 4;
 };
 
 struct SessionPoolStats {
@@ -51,6 +67,14 @@ struct SessionPoolStats {
   std::uint64_t evicted = 0;
   // Subset of `evicted` reaped by EvictIdle (vs explicit Evict).
   std::uint64_t evicted_idle = 0;
+  // Sessions serialized out of / back into the pool (spill/restore). A
+  // spilled session's per-user statistics travel in the blob, so they are
+  // NOT folded into the retired_* counters.
+  std::uint64_t spilled = 0;
+  std::uint64_t restored = 0;
+  // Region-exit rounds whose validity regions ran fanned across the
+  // server workers (vs the serial ReduceBatch path).
+  std::uint64_t reduce_fanouts = 0;
   // Lifetime totals folded in from evicted sessions at eviction time, so
   // dropping a session never silently discards its per-user statistics.
   std::uint64_t retired_updates = 0;
@@ -65,11 +89,32 @@ struct SessionPoolStats {
 class ContinuousSessionPool {
  public:
   using KeyProvider = core::ContinuousCloak::KeyProvider;
+  // Artifacts are served as refcounted immutable references: the steady-
+  // state in-region path never deep-copies level records or segment lists
+  // (and so never allocates). Callers needing an owned copy dereference.
+  using SharedArtifact = std::shared_ptr<const core::CloakedArtifact>;
 
   struct PositionUpdate {
     std::string user_id;
     double now_s = 0.0;
     roadnet::SegmentId segment = roadnet::kInvalidSegment;
+  };
+
+  // The allocation-free fast path: callers that kept the UserId handle
+  // Track returned (or looked it up once via UserIdOf) skip the boundary
+  // hash entirely.
+  struct IdPositionUpdate {
+    util::UserId user;
+    double now_s = 0.0;
+    roadnet::SegmentId segment = roadnet::kInvalidSegment;
+  };
+
+  // A session serialized out of the pool (Spill / EvictIdleSpill). The
+  // blob is self-contained (core::ContinuousPolicy::Serialize) except for
+  // key material: Restore takes the KeyProvider again.
+  struct SpilledSession {
+    std::string user_id;
+    Bytes state;
   };
 
   // The server must outlive the pool. The pool's deanonymizer shares the
@@ -80,16 +125,23 @@ class ContinuousSessionPool {
   ContinuousSessionPool(const ContinuousSessionPool&) = delete;
   ContinuousSessionPool& operator=(const ContinuousSessionPool&) = delete;
 
-  // Registers a user session. Fails if the user is already tracked.
-  // `now_s` is the registration time on the update clock: EvictIdle
-  // measures idleness against it until the first position update lands.
-  Status Track(std::string user_id, core::PrivacyProfile profile,
-               core::Algorithm algorithm, KeyProvider key_provider,
-               const core::ContinuousOptions& options = {},
-               double now_s = 0.0);
+  // Registers a user session and returns its stable id handle. Fails if
+  // the user is already tracked. `now_s` is the registration time on the
+  // update clock: EvictIdle measures idleness against it until the first
+  // position update lands.
+  StatusOr<util::UserId> Track(std::string_view user_id,
+                               core::PrivacyProfile profile,
+                               core::Algorithm algorithm,
+                               KeyProvider key_provider,
+                               const core::ContinuousOptions& options = {},
+                               double now_s = 0.0);
+
+  // The id handle for a user ever tracked by this pool (handles are never
+  // recycled — an evicted user keeps its id); kNotFound otherwise.
+  StatusOr<util::UserId> UserIdOf(std::string_view user_id) const;
 
   // Removes a user session; false if the user was not tracked.
-  bool Evict(const std::string& user_id);
+  bool Evict(std::string_view user_id);
 
   // Evicts every session whose last update is older than `idle_s` seconds
   // before `now_s`; returns how many were evicted. The reaped sessions'
@@ -98,22 +150,48 @@ class ContinuousSessionPool {
   // shard's evicted + evicted_idle counters.
   std::size_t EvictIdle(double now_s, double idle_s);
 
+  // Spill/restore: the full-fidelity alternative to dropping a session.
+  // Spill removes the session and serializes its complete policy state —
+  // epoch chain, artifact in force, validity region, clocks, statistics —
+  // so Restore resumes it bit-for-bit (the artifact sequence continues
+  // exactly as if the session never left; pinned against the oracle in
+  // tests/session_pool_test.cc).
+  StatusOr<SpilledSession> Spill(std::string_view user_id);
+  // Spills every session idle longer than `idle_s` (EvictIdle's criterion)
+  // instead of dropping them.
+  std::vector<SpilledSession> EvictIdleSpill(double now_s, double idle_s);
+  // Re-registers a spilled session under a fresh KeyProvider. Fails if the
+  // user is tracked again already or the blob does not parse.
+  StatusOr<util::UserId> Restore(const SpilledSession& spilled,
+                                 KeyProvider key_provider);
+
   // Feeds one position update for a tracked user. Returns the artifact in
   // force (freshly re-cloaked if the user left its validity region).
-  StatusOr<core::CloakedArtifact> Update(const std::string& user_id,
+  StatusOr<core::CloakedArtifact> Update(std::string_view user_id,
                                          double now_s,
                                          roadnet::SegmentId segment);
 
   // The fleet tick path: classifies every update under its shard lock,
-  // re-cloaks all region exits in one server batch, computes the fresh
-  // validity regions in one ReduceBatch, and commits. Element i of the
-  // result corresponds to updates[i].
+  // re-cloaks all region exits in one server batch, fans the fresh
+  // validity regions across the workers, and commits. Element i of the
+  // result corresponds to updates[i]. The string overload copies each
+  // artifact out (API compatibility); the id overload serves shared
+  // references — the allocation-free fast path.
   std::vector<StatusOr<core::CloakedArtifact>> UpdateBatch(
       const std::vector<PositionUpdate>& updates);
+  std::vector<StatusOr<SharedArtifact>> UpdateBatch(
+      const std::vector<IdPositionUpdate>& updates);
+
+  // Occupancy from the fleet itself: one user counted on each tracked
+  // session's last reported segment (sessions that never updated are
+  // skipped). Feed it to AnonymizationServer::SetOccupancy between ticks
+  // so k-anonymity counts the actual fleet instead of a static snapshot.
+  mobility::OccupancySnapshot BuildOccupancy() const;
 
   // Per-user introspection (tests, monitoring).
-  StatusOr<std::uint64_t> UserEpoch(const std::string& user_id) const;
-  StatusOr<core::ContinuousStats> UserStats(const std::string& user_id) const;
+  StatusOr<std::uint64_t> UserEpoch(std::string_view user_id) const;
+  StatusOr<std::uint64_t> UserEpoch(util::UserId user) const;
+  StatusOr<core::ContinuousStats> UserStats(std::string_view user_id) const;
 
   std::size_t session_count() const;
   // Aggregated over all shards (active_sessions filled at call time).
@@ -128,11 +206,14 @@ class ContinuousSessionPool {
     core::ContinuousPolicy policy;
     KeyProvider key_provider;
     double last_update_s = 0.0;
+    // Last reported position (BuildOccupancy); invalid until the first
+    // update lands.
+    roadnet::SegmentId last_segment = roadnet::kInvalidSegment;
   };
 
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<std::string, Session> sessions;
+    util::IdMap<Session> sessions;
     // Counters under `mutex`.
     std::uint64_t updates = 0;
     std::uint64_t served_in_region = 0;
@@ -142,6 +223,8 @@ class ContinuousSessionPool {
     std::uint64_t unknown_user = 0;
     std::uint64_t evicted = 0;
     std::uint64_t evicted_idle = 0;
+    std::uint64_t spilled = 0;
+    std::uint64_t restored = 0;
     std::uint64_t retired_updates = 0;
     std::uint64_t retired_recloaks = 0;
     std::uint64_t retired_throttled_stale = 0;
@@ -160,6 +243,7 @@ class ContinuousSessionPool {
   // re-enter the user-supplied provider.
   struct PendingRecloak {
     std::size_t update_index = 0;
+    util::UserId user;
     std::size_t shard = 0;
     std::uint64_t epoch = 0;
     int validity_level = 0;
@@ -168,19 +252,28 @@ class ContinuousSessionPool {
     StatusOr<core::AnonymizeResult> result = Status::Internal("not run");
   };
 
-  Shard& ShardFor(const std::string& user_id);
-  const Shard& ShardFor(const std::string& user_id) const;
+  std::size_t ShardIndexFor(util::UserId user) const noexcept {
+    return util::MixId(user.value) % shards_.size();
+  }
+
+  // Registers `policy` (fresh or restored) under its interned id.
+  StatusOr<util::UserId> TrackPolicy(core::ContinuousPolicy policy,
+                                     KeyProvider key_provider, double now_s,
+                                     roadnet::SegmentId last_segment,
+                                     bool restored);
 
   // Runs one round (at most one update per user) end to end: classify,
-  // batch re-cloak, batch validity regions, commit.
-  void RunRound(const std::vector<PositionUpdate>& updates,
+  // batch re-cloak, fanned validity regions, commit.
+  void RunRound(const std::vector<IdPositionUpdate>& updates,
                 const std::vector<std::size_t>& round,
-                std::vector<StatusOr<core::CloakedArtifact>>& results);
+                std::vector<StatusOr<SharedArtifact>>& results);
 
   AnonymizationServer* server_;
   core::Deanonymizer deanonymizer_;
+  SessionPoolOptions options_;
+  util::StringInterner interner_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::hash<std::string> hash_;
+  std::atomic<std::uint64_t> reduce_fanouts_{0};
 
   mutable std::mutex latency_mutex_;
   Samples update_latency_ms_;

@@ -1,0 +1,93 @@
+#include "util/interner.h"
+
+#include <cstring>
+#include <mutex>
+
+namespace rcloak::util {
+
+UserId StringInterner::FindLocked(std::string_view s,
+                                  std::uint64_t hash) const {
+  if (slots_.empty()) return kInvalidUserId;
+  const std::uint64_t mask = slots_.size() - 1;
+  std::size_t index = hash & mask;
+  for (;;) {
+    const std::uint32_t entry_index = slots_[index];
+    if (entry_index == kEmptySlot) return kInvalidUserId;
+    const Entry& entry = entries_[entry_index];
+    if (entry.hash == hash && entry.length == s.size() &&
+        std::memcmp(entry.data, s.data(), s.size()) == 0) {
+      return UserId{entry_index};
+    }
+    index = (index + 1) & mask;
+  }
+}
+
+UserId StringInterner::Find(std::string_view s) const {
+  const std::uint64_t hash = HashBytes(s);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return FindLocked(s, hash);
+}
+
+UserId StringInterner::Intern(std::string_view s) {
+  const std::uint64_t hash = HashBytes(s);
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    const UserId existing = FindLocked(s, hash);
+    if (existing.valid()) return existing;
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  // Re-probe: another thread may have interned it between the locks.
+  const UserId existing = FindLocked(s, hash);
+  if (existing.valid()) return existing;
+  GrowLocked(entries_.size() + 1);
+  const char* stored = StoreLocked(s);
+  const UserId id{static_cast<std::uint32_t>(entries_.size())};
+  entries_.push_back(
+      Entry{stored, static_cast<std::uint32_t>(s.size()), hash});
+  const std::uint64_t mask = slots_.size() - 1;
+  std::size_t index = hash & mask;
+  while (slots_[index] != kEmptySlot) index = (index + 1) & mask;
+  slots_[index] = id.value;
+  return id;
+}
+
+std::string_view StringInterner::NameOf(UserId id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  if (!id.valid() || id.value >= entries_.size()) return {};
+  const Entry& entry = entries_[id.value];
+  return {entry.data, entry.length};
+}
+
+std::size_t StringInterner::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return entries_.size();
+}
+
+const char* StringInterner::StoreLocked(std::string_view s) {
+  const std::size_t need = s.size();
+  if (arena_.empty() || arena_used_ + need > kArenaChunk) {
+    // Oversized names get a dedicated chunk so the common chunks stay full.
+    const std::size_t chunk = need > kArenaChunk ? need : kArenaChunk;
+    arena_.push_back(std::make_unique<char[]>(chunk));
+    arena_used_ = 0;
+  }
+  char* dest = arena_.back().get() + arena_used_;
+  std::memcpy(dest, s.data(), need);
+  arena_used_ += need;
+  return dest;
+}
+
+void StringInterner::GrowLocked(std::size_t min_entries) {
+  if (!slots_.empty() && min_entries * 8 < slots_.size() * 7) return;
+  std::size_t new_capacity = slots_.empty() ? 64 : slots_.size();
+  while (min_entries * 8 >= new_capacity * 7) new_capacity *= 2;
+  slots_.assign(new_capacity, kEmptySlot);
+  const std::uint64_t mask = new_capacity - 1;
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    std::size_t index = entries_[i].hash & mask;
+    while (slots_[index] != kEmptySlot) index = (index + 1) & mask;
+    slots_[index] = i;
+  }
+}
+
+}  // namespace rcloak::util

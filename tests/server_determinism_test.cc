@@ -165,5 +165,71 @@ TEST(ServerDeterminismTest, OccupancyEpochSwapTakesEffect) {
             sparse_result->artifact.region_segments.size());
 }
 
+// The fanned reduce path (worker lanes + the calling thread, per-worker
+// ReduceSession reuse, stealable fan-out tasks) must be byte-identical to
+// the serial ReduceBatch — including error propagation for non-reversible
+// artifacts. Runs under TSAN in CI against live worker threads.
+TEST(ServerDeterminismTest, ReduceOnWorkersMatchesSerialReduceBatch) {
+  const RoadNetwork net = roadnet::MakeGrid({14, 14, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  const auto occupancy = OnePerSegment(net);
+  constexpr int kJobs = 60;
+
+  core::Anonymizer engine(ctx, occupancy, /*rple_T=*/4);
+  server::ServerOptions options;
+  options.num_workers = 4;
+  options.max_queue = 4096;
+  server::AnonymizationServer server(std::move(engine), options);
+
+  // Mixed-algorithm artifacts (every third is RandomExpand, whose Reduce
+  // fails UNIMPLEMENTED — errors must fan out identically too).
+  std::vector<server::AnonymizationServer::BatchJob> batch;
+  for (int i = 0; i < kJobs; ++i) {
+    batch.push_back({FixedRequest(net, i), FixedKeys(i)});
+  }
+  auto futures = server.SubmitBatch(std::move(batch));
+  std::vector<core::CloakedArtifact> artifacts;
+  for (auto& submitted : futures) {
+    ASSERT_TRUE(submitted.ok());
+    auto result = submitted->get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    artifacts.push_back(std::move(result->artifact));
+  }
+
+  std::vector<std::map<int, crypto::AccessKey>> granted(artifacts.size());
+  std::vector<core::Deanonymizer::ReduceJob> jobs;
+  for (int i = 0; i < kJobs; ++i) {
+    const auto keys = FixedKeys(i);
+    for (int level = 1; level <= keys.num_levels(); ++level) {
+      granted[static_cast<std::size_t>(i)].emplace(level,
+                                                   keys.LevelKey(level));
+    }
+    jobs.push_back({&artifacts[static_cast<std::size_t>(i)],
+                    &granted[static_cast<std::size_t>(i)],
+                    /*target_level=*/0});
+  }
+
+  const core::Deanonymizer deanonymizer(ctx);
+  const auto serial = deanonymizer.ReduceBatch(jobs);
+  const auto fanned = server.ReduceOnWorkers(deanonymizer, jobs);
+  ASSERT_EQ(fanned.size(), serial.size());
+  for (int i = 0; i < kJobs; ++i) {
+    const auto& s = serial[static_cast<std::size_t>(i)];
+    const auto& f = fanned[static_cast<std::size_t>(i)];
+    ASSERT_EQ(f.ok(), s.ok()) << i;
+    if (s.ok()) {
+      EXPECT_TRUE(f->segments_by_id() == s->segments_by_id()) << i;
+    } else {
+      EXPECT_EQ(f.status().code(), s.status().code()) << i;
+    }
+  }
+  // Steal accounting stays consistent whether or not idle workers stole
+  // jobs or fan-out lanes this run.
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.succeeded, static_cast<std::uint64_t>(kJobs));
+  EXPECT_LE(stats.steals, stats.accepted + stats.fanout_tasks);
+  EXPECT_LE(stats.fanout_tasks, 4u);
+}
+
 }  // namespace
 }  // namespace rcloak

@@ -428,5 +428,230 @@ TEST(SessionPoolTest, MultipleUpdatesForOneUserInOneBatchStayOrdered) {
   }
 }
 
+// The allocation-free id fast path (UserId handles from Track, id-keyed
+// UpdateBatch) must serve byte-identical artifact sequences to the
+// string-boundary path.
+TEST(SessionPoolTest, IdFastPathMatchesStringPath) {
+  const auto traces = MakeFleetTraces(/*num_cars=*/6, /*duration_s=*/40.0);
+  const auto ctx = core::MapContext::Create(traces.net);
+  const auto occupancy = OnePerSegment(traces.net);
+  const auto by_string = RunPool(ctx, occupancy, traces, /*workers=*/2);
+
+  core::Anonymizer engine(ctx, occupancy);
+  server::ServerOptions server_options;
+  server_options.num_workers = 2;
+  AnonymizationServer server(std::move(engine), server_options);
+  ContinuousSessionPool pool(server);
+  std::vector<util::UserId> ids(traces.num_cars);
+  for (std::uint32_t car = 0; car < traces.num_cars; ++car) {
+    const auto tracked = pool.Track("car" + std::to_string(car),
+                                    FleetProfile(), Algorithm::kRge,
+                                    KeysFor(car), FleetOptions());
+    ASSERT_TRUE(tracked.ok());
+    ids[car] = *tracked;
+    // The handle is stable and re-derivable at the boundary.
+    ASSERT_EQ(*pool.UserIdOf("car" + std::to_string(car)), *tracked);
+  }
+  std::map<std::string, std::vector<std::string>> sequences;
+  for (const auto& tick : traces.ticks) {
+    std::vector<ContinuousSessionPool::IdPositionUpdate> batch;
+    for (const auto& rec : tick) {
+      batch.push_back({ids[rec.car_id], rec.time_s, rec.segment});
+    }
+    const auto results = pool.UpdateBatch(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+      sequences["car" + std::to_string(tick[i].car_id)].push_back(
+          ArtifactSha256(**results[i]));
+    }
+  }
+  EXPECT_EQ(sequences, by_string);
+  // An invalid handle fails fast without touching any session.
+  std::vector<ContinuousSessionPool::IdPositionUpdate> bad;
+  bad.push_back({util::kInvalidUserId, 999.0, SegmentId{0}});
+  const auto bad_results = pool.UpdateBatch(bad);
+  EXPECT_EQ(bad_results[0].status().code(), ErrorCode::kNotFound);
+}
+
+// Fanning the validity-region reduce across the workers must not change a
+// byte relative to the serial ReduceBatch path, and must actually run.
+TEST(SessionPoolTest, FannedReduceByteIdenticalToSerial) {
+  const auto traces = MakeFleetTraces(/*num_cars=*/8, /*duration_s=*/40.0);
+  const auto ctx = core::MapContext::Create(traces.net);
+  const auto occupancy = OnePerSegment(traces.net);
+
+  auto run = [&](std::size_t min_reduce_fanout) {
+    core::Anonymizer engine(ctx, occupancy);
+    server::ServerOptions server_options;
+    server_options.num_workers = 4;
+    server_options.max_queue = 4096;
+    AnonymizationServer server(std::move(engine), server_options);
+    server::SessionPoolOptions pool_options;
+    pool_options.min_reduce_fanout = min_reduce_fanout;
+    ContinuousSessionPool pool(server, pool_options);
+    for (std::uint32_t car = 0; car < traces.num_cars; ++car) {
+      EXPECT_TRUE(pool.Track("car" + std::to_string(car), FleetProfile(),
+                             Algorithm::kRge, KeysFor(car), FleetOptions())
+                      .ok());
+    }
+    std::map<std::string, std::vector<std::string>> sequences;
+    for (const auto& tick : traces.ticks) {
+      std::vector<ContinuousSessionPool::PositionUpdate> batch;
+      for (const auto& rec : tick) {
+        batch.push_back({"car" + std::to_string(rec.car_id), rec.time_s,
+                         rec.segment});
+      }
+      const auto results = pool.UpdateBatch(batch);
+      for (std::size_t j = 0; j < batch.size(); ++j) {
+        EXPECT_TRUE(results[j].ok());
+        sequences[batch[j].user_id].push_back(ArtifactSha256(*results[j]));
+      }
+    }
+    return std::make_pair(std::move(sequences), pool.stats().reduce_fanouts);
+  };
+
+  const auto [serial, serial_fanouts] = run(/*min_reduce_fanout=*/0);
+  const auto [fanned, fanned_fanouts] = run(/*min_reduce_fanout=*/1);
+  EXPECT_EQ(fanned, serial);
+  EXPECT_EQ(serial_fanouts, 0u);
+  // Every tick re-cloaks at least the first round's exits; with the
+  // threshold at 1 every such round fans out.
+  EXPECT_GT(fanned_fanouts, 0u);
+}
+
+// Spill/restore: a session serialized out of the pool and restored later
+// resumes its epoch chain bit-for-bit — the artifact sequence equals the
+// single-user oracle that never paused.
+TEST(SessionPoolTest, SpillRestoreResumesEpochChainByteForByte) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  const auto occupancy = OnePerSegment(net);
+
+  // Position walk with several region exits on both sides of the spill.
+  std::vector<SegmentId> positions;
+  for (int i = 0; i < 12; ++i) {
+    positions.push_back(SegmentId{static_cast<std::uint32_t>((i * 37) %
+                                                             net.segment_count())});
+  }
+
+  core::Anonymizer oracle_engine(ctx, occupancy);
+  core::Deanonymizer oracle_deanonymizer(ctx);
+  core::ContinuousCloak oracle(oracle_engine, oracle_deanonymizer,
+                               FleetProfile(), Algorithm::kRge, "dora",
+                               KeysFor(4), FleetOptions());
+  std::vector<std::string> expected;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const auto artifact = oracle.Update(static_cast<double>(i), positions[i]);
+    ASSERT_TRUE(artifact.ok());
+    expected.push_back(ArtifactSha256(*artifact));
+  }
+  ASSERT_GE(oracle.stats().recloaks, 3u);
+
+  core::Anonymizer engine(ctx, occupancy);
+  AnonymizationServer server(std::move(engine), {});
+  ContinuousSessionPool pool(server);
+  ASSERT_TRUE(pool.Track("dora", FleetProfile(), Algorithm::kRge, KeysFor(4),
+                         FleetOptions())
+                  .ok());
+  std::vector<std::string> served;
+  const std::size_t half = positions.size() / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    const auto artifact =
+        pool.Update("dora", static_cast<double>(i), positions[i]);
+    ASSERT_TRUE(artifact.ok());
+    served.push_back(ArtifactSha256(*artifact));
+  }
+  const auto epoch_before = pool.UserEpoch("dora");
+  ASSERT_TRUE(epoch_before.ok());
+  const auto stats_before = pool.UserStats("dora");
+  ASSERT_TRUE(stats_before.ok());
+
+  const auto spilled = pool.Spill("dora");
+  ASSERT_TRUE(spilled.ok());
+  EXPECT_EQ(spilled->user_id, "dora");
+  EXPECT_EQ(pool.session_count(), 0u);
+  EXPECT_EQ(pool.Update("dora", 100.0, positions[half]).status().code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(pool.stats().spilled, 1u);
+  // Spilled stats travel in the blob — nothing was retired.
+  EXPECT_EQ(pool.stats().retired_updates, 0u);
+
+  const auto restored = pool.Restore(*spilled, KeysFor(4));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(pool.stats().restored, 1u);
+  // Epoch chain and per-user statistics resumed, not reset.
+  ASSERT_TRUE(pool.UserEpoch("dora").ok());
+  EXPECT_EQ(*pool.UserEpoch("dora"), *epoch_before);
+  ASSERT_TRUE(pool.UserStats("dora").ok());
+  EXPECT_EQ(pool.UserStats("dora")->updates, stats_before->updates);
+  EXPECT_EQ(pool.UserStats("dora")->recloaks, stats_before->recloaks);
+
+  for (std::size_t i = half; i < positions.size(); ++i) {
+    const auto artifact =
+        pool.Update("dora", static_cast<double>(i), positions[i]);
+    ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+    served.push_back(ArtifactSha256(*artifact));
+  }
+  EXPECT_EQ(served, expected);
+}
+
+TEST(SessionPoolTest, EvictIdleSpillRoundTrips) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  AnonymizationServer server(std::move(engine), {});
+  ContinuousSessionPool pool(server);
+  for (int u = 0; u < 3; ++u) {
+    ASSERT_TRUE(pool.Track("s" + std::to_string(u), FleetProfile(),
+                           Algorithm::kRge, KeysFor(30 + u), FleetOptions())
+                    .ok());
+    ASSERT_TRUE(
+        pool.Update("s" + std::to_string(u), 10.0, SegmentId{42}).ok());
+  }
+  // s2 stays active; s0/s1 idle out — spilled, not dropped.
+  ASSERT_TRUE(pool.Update("s2", 100.0, SegmentId{42}).ok());
+  auto spilled = pool.EvictIdleSpill(/*now_s=*/130.0, /*idle_s=*/60.0);
+  ASSERT_EQ(spilled.size(), 2u);
+  EXPECT_EQ(pool.session_count(), 1u);
+  EXPECT_EQ(pool.stats().spilled, 2u);
+  EXPECT_EQ(pool.stats().evicted, 0u);
+
+  for (const auto& session : spilled) {
+    const std::uint64_t seed =
+        30 + static_cast<std::uint64_t>(session.user_id.back() - '0');
+    ASSERT_TRUE(pool.Restore(session, KeysFor(seed)).ok());
+    // The restored session resumed past epoch 0 (its chain came back).
+    EXPECT_GE(*pool.UserEpoch(session.user_id), 1u);
+  }
+  EXPECT_EQ(pool.session_count(), 3u);
+  EXPECT_EQ(pool.stats().restored, 2u);
+}
+
+TEST(SessionPoolTest, RestoreRejectsCorruptBlobAndDoubleTrack) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  AnonymizationServer server(std::move(engine), {});
+  ContinuousSessionPool pool(server);
+  ASSERT_TRUE(pool.Track("eve", FleetProfile(), Algorithm::kRge, KeysFor(5),
+                         FleetOptions())
+                  .ok());
+  ASSERT_TRUE(pool.Update("eve", 1.0, SegmentId{7}).ok());
+  auto spilled = pool.Spill("eve");
+  ASSERT_TRUE(spilled.ok());
+
+  // Truncated blob is DataLoss, never a half-restored session.
+  ContinuousSessionPool::SpilledSession corrupt = *spilled;
+  corrupt.state.resize(corrupt.state.size() / 2);
+  EXPECT_FALSE(pool.Restore(corrupt, KeysFor(5)).ok());
+  EXPECT_EQ(pool.session_count(), 0u);
+
+  // Restore works once; a second restore collides with the live session.
+  ASSERT_TRUE(pool.Restore(*spilled, KeysFor(5)).ok());
+  EXPECT_EQ(pool.Restore(*spilled, KeysFor(5)).status().code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(pool.session_count(), 1u);
+}
+
 }  // namespace
 }  // namespace rcloak
