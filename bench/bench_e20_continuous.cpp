@@ -46,6 +46,7 @@
 #include <map>
 
 #include "bench/common.h"
+#include "bench/json_report.h"
 #include "server/continuous_session_pool.h"
 
 using namespace rcloak;
@@ -227,6 +228,14 @@ int main(int argc, char** argv) {
   TableWriter table({"fleet", "workers", "reduce", "updates", "recloaks",
                      "recloak_rate", "updates_per_s", "p50_us", "p95_us",
                      "p99_us", "burst_tick_ms", "steals"});
+  JsonReport report("e20");
+  report.MetaInt("fleet", static_cast<long long>(fleet_size));
+  report.MetaInt("ticks", ticks);
+  report.Meta("workload", skew ? "skew" : "routed");
+  report.Meta("reduce", serial_reduce ? "serial" : "fanout");
+  report.MetaBool("dynamic_occupancy", dynamic_occupancy);
+  report.MetaBool("string_updates", string_updates);
+  report.MetaBool("verify", verify);
   for (const int workers : worker_counts) {
     core::Anonymizer engine(ctx, occupancy);
     server::ServerOptions server_options;
@@ -364,8 +373,23 @@ int main(int argc, char** argv) {
                             2),
          TableWriter::Fixed(burst_ms.count() ? burst_ms.mean() : 0.0, 2),
          TableWriter::Int(static_cast<long long>(server_stats.steals))});
+    report.AddRow()
+        .Int("workers", workers)
+        .Int("updates", static_cast<long long>(ok_updates))
+        .Int("recloaks", static_cast<long long>(stats.recloaks))
+        .Num("updates_per_s",
+             wall_s > 0 ? static_cast<double>(stats.updates) / wall_s : 0.0)
+        .Num("p50_us", stats.update_latency_ms.Percentile(50) * 1000.0)
+        .Num("p95_us", stats.update_latency_ms.Percentile(95) * 1000.0)
+        .Num("p99_us", stats.update_latency_ms.Percentile(99) * 1000.0)
+        .Num("burst_tick_ms", burst_ms.count() ? burst_ms.mean() : 0.0)
+        .Int("steals", static_cast<long long>(server_stats.steals));
   }
   table.PrintMarkdown(std::cout);
+  if (!report.WriteFile()) {
+    std::fprintf(stderr, "failed to write BENCH_e20.json\n");
+    return 1;
+  }
   if (verify) {
     std::cout << "\nround-trip verification: "
               << (verify_failures == 0 ? "all epoch advances recovered "

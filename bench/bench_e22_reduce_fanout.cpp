@@ -16,6 +16,7 @@
 #include <sstream>
 
 #include "bench/common.h"
+#include "bench/json_report.h"
 #include "server/anonymization_server.h"
 
 using namespace rcloak;
@@ -66,6 +67,8 @@ int main(int argc, char** argv) {
   std::uint64_t mismatches = 0;
   TableWriter table({"workers", "batch", "serial_ms", "fanned_ms",
                      "speedup", "regions_equal"});
+  JsonReport report("e22");
+  report.MetaInt("artifacts", static_cast<long long>(num_artifacts));
   for (const int workers : worker_counts) {
     core::Anonymizer engine(ctx, occupancy);
     server::ServerOptions server_options;
@@ -136,9 +139,20 @@ int main(int argc, char** argv) {
                     TableWriter::Fixed(
                         fanned_ms > 0 ? serial_ms / fanned_ms : 0.0, 2),
                     equal ? "yes" : "NO"});
+      report.AddRow()
+          .Int("workers", workers)
+          .Int("batch", static_cast<long long>(batch))
+          .Num("serial_ms", serial_ms)
+          .Num("fanned_ms", fanned_ms)
+          .Num("speedup", fanned_ms > 0 ? serial_ms / fanned_ms : 0.0)
+          .Bool("regions_equal", equal);
     }
   }
   table.PrintMarkdown(std::cout);
+  if (!report.WriteFile()) {
+    std::fprintf(stderr, "failed to write BENCH_e22.json\n");
+    return 1;
+  }
   if (mismatches > 0) {
     std::cout << "\n" << mismatches << " batches MISMATCHED serial reduce\n";
     return 2;

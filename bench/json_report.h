@@ -1,0 +1,153 @@
+// Machine-readable bench output: every experiment binary that wants CI
+// artifacts emits one BENCH_<id>.json next to its Markdown table through
+// this writer. The schema is documented in docs/PERFORMANCE.md:
+//
+//   {
+//     "bench": "<id>",
+//     "machine": { "host": "...", "hardware_threads": N },
+//     "<meta key>": <value>, ...          // flat per-run parameters
+//     "rows": [ { "<col>": <value>, ... }, ... ]   // one row per config
+//   }
+//
+// Header-only and dependency-free (hand-rolled writer, not a parser): the
+// emitted documents are flat, so correctness is just escaping + number
+// formatting.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace rcloak::bench {
+
+class JsonReport {
+ public:
+  explicit JsonReport(std::string id) : id_(std::move(id)) {}
+
+  // Flat top-level metadata (run parameters: fleet size, ticks, mode).
+  void Meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, Quote(value));
+  }
+  void MetaInt(const std::string& key, long long value) {
+    meta_.emplace_back(key, std::to_string(value));
+  }
+  void MetaNum(const std::string& key, double value) {
+    meta_.emplace_back(key, Number(value));
+  }
+  void MetaBool(const std::string& key, bool value) {
+    meta_.emplace_back(key, value ? "true" : "false");
+  }
+
+  // One result row (typically one worker-count configuration).
+  class Row {
+   public:
+    Row& Str(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, Quote(value));
+      return *this;
+    }
+    Row& Int(const std::string& key, long long value) {
+      fields_.emplace_back(key, std::to_string(value));
+      return *this;
+    }
+    Row& Num(const std::string& key, double value) {
+      fields_.emplace_back(key, Number(value));
+      return *this;
+    }
+    Row& Bool(const std::string& key, bool value) {
+      fields_.emplace_back(key, value ? "true" : "false");
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  // Writes BENCH_<id>.json (or `path` when given) in the working
+  // directory; false on I/O failure.
+  bool WriteFile(const std::string& path = "") const {
+    const std::string file = path.empty() ? "BENCH_" + id_ + ".json" : path;
+    std::ofstream out(file, std::ios::trunc);
+    if (!out) return false;
+    out << "{\n  \"bench\": " << Quote(id_) << ",\n";
+    out << "  \"machine\": { \"host\": " << Quote(Hostname())
+        << ", \"hardware_threads\": "
+        << std::thread::hardware_concurrency() << " }";
+    for (const auto& [key, value] : meta_) {
+      out << ",\n  " << Quote(key) << ": " << value;
+    }
+    out << ",\n  \"rows\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      out << (r == 0 ? "\n" : ",\n") << "    { ";
+      const auto& fields = rows_[r].fields_;
+      for (std::size_t f = 0; f < fields.size(); ++f) {
+        if (f > 0) out << ", ";
+        out << Quote(fields[f].first) << ": " << fields[f].second;
+      }
+      out << " }";
+    }
+    out << "\n  ]\n}\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string Quote(const std::string& raw) {
+    std::string out = "\"";
+    for (const char c : raw) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += "\"";
+    return out;
+  }
+
+  static std::string Number(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+  }
+
+  static std::string Hostname() {
+    char buf[256] = {0};
+    if (::gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+    return buf;
+  }
+
+  std::string id_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rcloak::bench

@@ -11,20 +11,30 @@
 //             --k K1,K2,... --out artifact.bin [--svg region.svg]
 //   reduce    --map map.rcmap --artifact artifact.bin --keys keys.rcks
 //             --passphrase PW --level L
+//   serve     --map map.rcmap [--port P] [--workers N] [--duration SECS]
+//             [--trace trace.txt]      (0s / no duration = run until killed)
+//   sendto    --host H --port P --user NAME --segments "3,17,42"
+//             [--interval SECS]
 //
-// Everything the Anonymizer / De-anonymizer GUIs do, scriptable.
+// Everything the Anonymizer / De-anonymizer GUIs do, scriptable — plus the
+// networked front door (`serve` binds the epoll server on a map, `sendto`
+// streams framed position updates at one and prints each artifact reply).
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/artifact_debug.h"
 #include "core/reversecloak.h"
 #include "crypto/keystore.h"
 #include "mobility/simulator.h"
 #include "mobility/trace_io.h"
+#include "net/client.h"
+#include "net/net_server.h"
 #include "roadnet/generators.h"
 #include "roadnet/geojson.h"
 #include "roadnet/graph_stats.h"
@@ -288,13 +298,102 @@ int Reduce(const Args& args) {
   return 0;
 }
 
+int Serve(const Args& args) {
+  const auto net = roadnet::LoadNetworkFile(args.Get("map"));
+  if (!net.ok()) return Fail(net.status().ToString());
+  mobility::OccupancySnapshot occupancy(net->segment_count());
+  if (args.Has("trace")) {
+    auto from_trace =
+        OccupancyFromTrace(args.Get("trace"), net->segment_count());
+    if (!from_trace.ok()) return Fail(from_trace.status().ToString());
+    occupancy = std::move(*from_trace);
+  } else {
+    for (std::uint32_t i = 0; i < net->segment_count(); ++i) {
+      occupancy.Add(roadnet::SegmentId{i});
+    }
+  }
+  core::Anonymizer engine(*net, std::move(occupancy));
+  server::ServerOptions server_options;
+  server_options.num_workers = static_cast<int>(args.Int("workers", 2));
+  server::AnonymizationServer anon_server(std::move(engine), server_options);
+  server::ContinuousSessionPool pool(anon_server);
+  rcloak::net::NetServerOptions options;
+  options.port = static_cast<std::uint16_t>(args.Int("port", 0));
+  rcloak::net::NetServer front(pool, options);
+  if (const auto started = front.Start(); !started.ok()) {
+    return Fail(started.ToString());
+  }
+  std::cout << "serving on 127.0.0.1:" << front.port()
+            << " (map fingerprint " << std::hex << front.map_fingerprint()
+            << std::dec << ", " << server_options.num_workers
+            << " workers)\n";
+  const long duration = args.Int("duration", 0);
+  if (duration > 0) {
+    std::this_thread::sleep_for(std::chrono::seconds(duration));
+  } else {
+    while (true) {
+      std::this_thread::sleep_for(std::chrono::seconds(3600));
+    }
+  }
+  front.Stop();
+  const auto stats = front.stats();
+  std::cout << "served " << stats.updates_decoded << " updates over "
+            << stats.connections_accepted << " connections ("
+            << stats.bytes_in << " B in, " << stats.bytes_out
+            << " B out)\n";
+  return 0;
+}
+
+int SendTo(const Args& args) {
+  const std::string user = args.Get("user");
+  if (user.empty()) return Fail("sendto: --user required");
+  if (!args.Has("port")) return Fail("sendto: --port required");
+  auto client = rcloak::net::Client::Connect(
+      args.Get("host", "127.0.0.1"),
+      static_cast<std::uint16_t>(args.Int("port", 0)));
+  if (!client.ok()) return Fail(client.status().ToString());
+  if (const auto hello = client->Hello(); !hello.ok()) {
+    return Fail(hello.ToString());
+  }
+  std::cout << "connected (server map fingerprint " << std::hex
+            << client->server_fingerprint() << std::dec << ")\n";
+
+  const double interval_s = static_cast<double>(args.Int("interval", 0));
+  std::uint32_t seq = 0;
+  double now_s = 0.0;
+  std::istringstream segment_list(args.Get("segments", "0"));
+  std::string item;
+  while (std::getline(segment_list, item, ',')) {
+    const auto segment = roadnet::SegmentId{
+        static_cast<std::uint32_t>(std::atol(item.c_str()))};
+    client->QueuePositionUpdate(++seq, user, now_s, segment);
+    if (const auto flushed = client->Flush(); !flushed.ok()) {
+      return Fail(flushed.ToString());
+    }
+    const auto reply = client->ReadArtifactReply();
+    if (!reply.ok()) return Fail(reply.status().ToString());
+    const auto artifact = core::DecodeArtifact(reply->artifact_wire);
+    if (!artifact.ok()) return Fail(artifact.status().ToString());
+    std::cout << "seq " << reply->seq << ": s" << roadnet::Index(segment)
+              << " -> " << artifact->region_segments.size() << "-segment "
+              << core::AlgorithmName(artifact->algorithm) << " region ("
+              << reply->artifact_wire.size() << " wire bytes)\n";
+    now_s += interval_s > 0 ? interval_s : 1.0;
+    if (interval_s > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(interval_s));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: rcloak_tool "
                  "<gen-map|map-stats|gen-trace|keygen|anonymize|inspect|"
-                 "reduce> [--flag value ...]\n";
+                 "reduce|serve|sendto> [--flag value ...]\n";
     return 2;
   }
   const Args args(argc, argv);
@@ -306,6 +405,8 @@ int main(int argc, char** argv) {
   if (command == "anonymize") return Anonymize(args);
   if (command == "inspect") return Inspect(args);
   if (command == "reduce") return Reduce(args);
+  if (command == "serve") return Serve(args);
+  if (command == "sendto") return SendTo(args);
   std::cerr << "unknown subcommand: " << command << "\n";
   return 2;
 }

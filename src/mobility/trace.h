@@ -8,6 +8,7 @@
 // road networks needs.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -67,6 +68,15 @@ class OccupancySnapshot {
 
   void Add(SegmentId segment) {
     ++counts_[roadnet::Index(segment)];
+    stamp_ = NextStamp();
+  }
+
+  // Element-wise fold of a per-shard count vector (the session pool's
+  // incremental occupancy path): one stamp refresh for the whole fold
+  // instead of one per user. Trailing entries past either size are ignored.
+  void AddCounts(const std::vector<std::uint32_t>& counts) {
+    const std::size_t n = std::min(counts.size(), counts_.size());
+    for (std::size_t i = 0; i < n; ++i) counts_[i] += counts[i];
     stamp_ = NextStamp();
   }
 

@@ -1,0 +1,197 @@
+#include "net/event_loop.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace rcloak::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " +
+                          std::strerror(errno));
+}
+
+}  // namespace
+
+const std::uint32_t EventLoop::kReadable = EPOLLIN;
+const std::uint32_t EventLoop::kWritable = EPOLLOUT;
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    status_ = Errno("epoll_create1");
+    return;
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    status_ = Errno("eventfd");
+    return;
+  }
+  // Token 0 is reserved for the wake fd.
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.u64 = 0;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &event) < 0) {
+    status_ = Errno("epoll_ctl(wake)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+StatusOr<std::uint64_t> EventLoop::Add(int fd, std::uint32_t interest,
+                                       Handler handler) {
+  RCLOAK_RETURN_IF_ERROR(status_);
+  const std::uint64_t token = next_token_++;
+  epoll_event event{};
+  event.events = interest;
+  event.data.u64 = token;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) < 0) {
+    return Errno("epoll_ctl(add)");
+  }
+  registrations_.emplace(token,
+                         Registration{fd, interest, std::move(handler)});
+  return token;
+}
+
+Status EventLoop::Modify(std::uint64_t token, std::uint32_t interest) {
+  RCLOAK_RETURN_IF_ERROR(status_);
+  const auto it = registrations_.find(token);
+  if (it == registrations_.end()) {
+    return Status::NotFound("no such event-loop registration");
+  }
+  if (it->second.interest == interest) return Status::Ok();
+  epoll_event event{};
+  event.events = interest;
+  event.data.u64 = token;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, it->second.fd, &event) < 0) {
+    return Errno("epoll_ctl(mod)");
+  }
+  it->second.interest = interest;
+  return Status::Ok();
+}
+
+void EventLoop::Remove(std::uint64_t token) {
+  const auto it = registrations_.find(token);
+  if (it == registrations_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  registrations_.erase(it);
+}
+
+int EventLoop::PollOnce(int timeout_ms) {
+  if (!status_.ok()) return -1;
+  epoll_event events[128];
+  const int n = ::epoll_wait(epoll_fd_, events,
+                             static_cast<int>(std::size(events)), timeout_ms);
+  if (n < 0) return errno == EINTR ? 0 : -1;
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t token = events[i].data.u64;
+    if (token == 0) {
+      std::uint64_t drained = 0;
+      while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+      }
+      continue;
+    }
+    // A handler earlier in this round may have removed this registration
+    // (and possibly closed + reused the fd): the token lookup, not the fd,
+    // decides whether the event is still meant for anyone.
+    const auto it = registrations_.find(token);
+    if (it == registrations_.end()) continue;
+    // Copy: the handler may remove (and so erase) its own registration.
+    Handler handler = it->second.handler;
+    handler(events[i].events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EventLoop::Wakeup() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+// ---------------------------------------------------------------- acceptor
+
+StatusOr<Acceptor> Acceptor::Listen(const std::string& address,
+                                    std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) return Errno("socket");
+  const int reuse = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad listen address: " + address);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status = Errno("bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) < 0) {
+    const Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    const Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  return Acceptor(fd, ntohs(bound.sin_port));
+}
+
+Acceptor::Acceptor(Acceptor&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+Acceptor& Acceptor::operator=(Acceptor&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Acceptor::~Acceptor() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Acceptor::AcceptReady(const std::function<void(int fd)>& on_accept) {
+  for (;;) {
+    const int conn = ::accept4(fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (conn < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      // Transient accept errors (ECONNABORTED, EMFILE burst) — drop this
+      // round; the next readiness event retries.
+      return;
+    }
+    const int nodelay = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    on_accept(conn);
+  }
+}
+
+}  // namespace rcloak::net

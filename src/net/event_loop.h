@@ -1,0 +1,98 @@
+// Nonblocking epoll event loop + listening-socket acceptor for the
+// networked front door.
+//
+// EventLoop is a thin, single-threaded epoll wrapper: file descriptors are
+// registered with a handler and an interest mask, PollOnce dispatches one
+// epoll_wait round, and Wakeup() (an eventfd) lets any thread interrupt a
+// blocking poll — the only cross-thread entry point. Registrations are
+// addressed by monotonically increasing tokens rather than raw fds, so an
+// fd that is closed and reused by a new connection inside one dispatch
+// round can never receive the old registration's stale events.
+//
+// Acceptor owns the nonblocking listening socket (SO_REUSEADDR, loopback
+// by default, port 0 = ephemeral) and drains accept4 until EAGAIN per
+// readiness event, handing each new nonblocking fd to a callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace rcloak::net {
+
+class EventLoop {
+ public:
+  // Bitmask values mirror EPOLLIN/EPOLLOUT; re-declared so headers using
+  // the loop need not include <sys/epoll.h>.
+  static const std::uint32_t kReadable;
+  static const std::uint32_t kWritable;
+
+  // `ready` is the raw epoll events word (kReadable/kWritable plus
+  // error/hangup bits, which epoll reports unconditionally).
+  using Handler = std::function<void(std::uint32_t ready)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Set when epoll/eventfd creation failed; every later call fails fast.
+  const Status& status() const noexcept { return status_; }
+
+  // Registers `fd` with an interest mask; returns the registration token.
+  // The fd is borrowed — the caller closes it after Remove.
+  StatusOr<std::uint64_t> Add(int fd, std::uint32_t interest, Handler handler);
+  Status Modify(std::uint64_t token, std::uint32_t interest);
+  void Remove(std::uint64_t token);
+
+  // One epoll_wait round: dispatches every ready registration (skipping
+  // any removed mid-round) and returns how many were dispatched; -1 on
+  // poll failure. timeout_ms < 0 blocks until an event or Wakeup.
+  int PollOnce(int timeout_ms);
+
+  // Interrupts a blocking PollOnce. Safe from any thread.
+  void Wakeup();
+
+ private:
+  struct Registration {
+    int fd = -1;
+    std::uint32_t interest = 0;
+    Handler handler;
+  };
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint64_t next_token_ = 1;
+  std::unordered_map<std::uint64_t, Registration> registrations_;
+  Status status_ = Status::Ok();
+};
+
+class Acceptor {
+ public:
+  // Binds and listens; `port` 0 picks an ephemeral port (read it back via
+  // port()). The socket is nonblocking and close-on-exec.
+  static StatusOr<Acceptor> Listen(const std::string& address,
+                                   std::uint16_t port, int backlog = 128);
+
+  Acceptor(Acceptor&& other) noexcept;
+  Acceptor& operator=(Acceptor&& other) noexcept;
+  ~Acceptor();
+
+  int fd() const noexcept { return fd_; }
+  std::uint16_t port() const noexcept { return port_; }
+
+  // Drains accept4 until EAGAIN, invoking on_accept(fd) with each new
+  // nonblocking connection fd (ownership passes to the callback).
+  void AcceptReady(const std::function<void(int fd)>& on_accept);
+
+ private:
+  Acceptor(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace rcloak::net

@@ -1,0 +1,436 @@
+#include "net/net_server.h"
+
+#include <utility>
+
+#include "core/artifact.h"
+
+namespace rcloak::net {
+
+core::ContinuousCloak::KeyProvider DeterministicKeyProvider(
+    std::uint64_t seed_base, std::string_view user_id, int num_levels) {
+  const std::uint64_t user_seed =
+      seed_base ^ (util::HashBytes(user_id) * 0x9e3779b97f4a7c15ull);
+  return [user_seed, num_levels](std::uint64_t epoch) {
+    return crypto::KeyChain::FromSeed(user_seed + epoch, num_levels);
+  };
+}
+
+NetServer::NetServer(server::ContinuousSessionPool& pool,
+                     const NetServerOptions& options)
+    : pool_(&pool),
+      options_(options),
+      deanonymizer_(pool.server().engine().context()),
+      map_fingerprint_(
+          core::FingerprintNetwork(pool.server().engine().network())),
+      segment_count_(pool.server().engine().network().segment_count()) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  RCLOAK_RETURN_IF_ERROR(loop_.status());
+  auto acceptor = Acceptor::Listen(options_.bind_address, options_.port);
+  RCLOAK_RETURN_IF_ERROR(acceptor.status());
+  acceptor_ = std::make_unique<Acceptor>(std::move(acceptor).value());
+  port_ = acceptor_->port();
+  auto added = loop_.Add(acceptor_->fd(), EventLoop::kReadable,
+                         [this](std::uint32_t) { OnAcceptable(); });
+  RCLOAK_RETURN_IF_ERROR(added.status());
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void NetServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  loop_.Wakeup();
+  if (thread_.joinable()) thread_.join();
+}
+
+NetServerStats NetServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void NetServer::Loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    loop_.PollOnce(options_.poll_timeout_ms);
+    if (!tick_updates_.empty()) DispatchBatch();
+    if (!tick_touched_.empty()) {
+      for (const std::uint64_t conn_id : tick_touched_) {
+        const auto it = connections_.find(conn_id);
+        if (it != connections_.end()) FlushAndUpdate(*it->second);
+      }
+      tick_touched_.clear();
+    }
+    RefreshTrafficStats();
+  }
+  // Shutdown: drop every connection (queued bytes are best-effort flushed).
+  std::vector<std::uint64_t> ids;
+  ids.reserve(connections_.size());
+  for (const auto& [id, conn] : connections_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    connections_[id]->Flush();
+    CloseConnection(id, CloseReason::kPeer);
+  }
+}
+
+void NetServer::OnAcceptable() {
+  acceptor_->AcceptReady([this](int fd) {
+    const std::uint64_t conn_id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(fd, conn_id, options_.limits);
+    auto added =
+        loop_.Add(fd, EventLoop::kReadable, [this, conn_id](std::uint32_t r) {
+          OnConnectionEvent(conn_id, r);
+        });
+    if (!added.ok()) return;  // fd closed by Connection dtor
+    conn->loop_token = added.value();
+    connections_.emplace(conn_id, std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.connections_accepted;
+    ++stats_.connections_active;
+  });
+}
+
+void NetServer::OnConnectionEvent(std::uint64_t conn_id, std::uint32_t ready) {
+  const auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  if (ready & EventLoop::kWritable) {
+    FlushAndUpdate(conn);
+    if (connections_.find(conn_id) == connections_.end()) return;
+  }
+  // Error/hangup bits fall through to the read path: read() reports them.
+  if ((ready & ~EventLoop::kWritable) == 0) return;
+  switch (conn.ReadReady()) {
+    case Connection::ReadResult::kOk:
+      break;
+    case Connection::ReadResult::kPeerClosed:
+      DrainFrames(conn);  // frames completed by the final bytes still count
+      if (connections_.find(conn_id) != connections_.end()) {
+        CloseConnection(conn_id, CloseReason::kPeer);
+      }
+      return;
+    case Connection::ReadResult::kProtocolError: {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.protocol_errors;
+    }
+      SendError(conn, 0, conn.last_error().code(),
+                conn.last_error().message());
+      conn.Flush();
+      CloseConnection(conn_id, CloseReason::kError);
+      return;
+    case Connection::ReadResult::kIoError:
+      CloseConnection(conn_id, CloseReason::kError);
+      return;
+  }
+  DrainFrames(conn);
+}
+
+void NetServer::DrainFrames(Connection& conn) {
+  const std::uint64_t conn_id = conn.id();
+  while (auto frame = conn.NextFrame()) {
+    ++conn.frames_in;
+    HandleFrame(conn, *frame);
+    // The handler may have dropped the connection (hello mismatch, bad
+    // frame); `conn` is dead then.
+    if (connections_.find(conn_id) == connections_.end()) return;
+  }
+  tick_touched_.push_back(conn_id);
+}
+
+void NetServer::HandleFrame(Connection& conn, const Frame& frame) {
+  if (!conn.handshaken && frame.type != FrameType::kHello) {
+    SendError(conn, 0, ErrorCode::kFailedPrecondition,
+              "first frame must be HELLO");
+    conn.Flush();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.hello_rejected;
+    }
+    CloseConnection(conn.id(), CloseReason::kError);
+    return;
+  }
+  switch (frame.type) {
+    case FrameType::kHello:
+      HandleHello(conn, frame.payload);
+      return;
+    case FrameType::kPositionUpdate:
+      HandlePositionUpdate(conn, frame.payload);
+      return;
+    case FrameType::kReduceRequest:
+      HandleReduceRequest(conn, frame.payload);
+      return;
+    default:
+      SendError(conn, 0, ErrorCode::kInvalidArgument,
+                std::string("unexpected frame: ") +
+                    std::string(FrameTypeName(frame.type)));
+      return;
+  }
+}
+
+void NetServer::HandleHello(Connection& conn, const Bytes& payload) {
+  const auto hello = DecodeHello(payload);
+  Status reject = Status::Ok();
+  if (!hello.ok()) {
+    reject = hello.status();
+  } else if (hello->version != kProtocolVersion) {
+    reject = Status::FailedPrecondition(
+        "protocol version mismatch: server speaks v" +
+        std::to_string(kProtocolVersion));
+  } else if (hello->map_fingerprint != 0 &&
+             hello->map_fingerprint != map_fingerprint_) {
+    reject = Status::FailedPrecondition("map fingerprint mismatch");
+  }
+  if (!reject.ok()) {
+    SendError(conn, 0, reject.code(), reject.message());
+    conn.Flush();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.hello_rejected;
+    }
+    CloseConnection(conn.id(), CloseReason::kError);
+    return;
+  }
+  conn.handshaken = true;
+  Bytes out;
+  AppendHello(out, HelloFrame{kProtocolVersion, map_fingerprint_});
+  conn.QueueOwned(std::move(out));
+  ++conn.frames_out;
+}
+
+core::ContinuousCloak::KeyProvider NetServer::KeyProviderFor(
+    std::string_view user) {
+  if (options_.key_provider_factory) return options_.key_provider_factory(user);
+  return DeterministicKeyProvider(options_.key_seed_base, user,
+                                  options_.profile.num_levels());
+}
+
+void NetServer::HandlePositionUpdate(Connection& conn, const Bytes& payload) {
+  const auto decoded = DecodePositionUpdate(payload);
+  if (!decoded.ok()) {
+    SendError(conn, 0, decoded.status().code(), decoded.status().message());
+    return;
+  }
+  // Range-check against the live map before the id reaches the pool's
+  // occupancy accounting or the engine.
+  if (roadnet::Index(decoded->segment) >= segment_count_) {
+    SendError(conn, decoded->seq, ErrorCode::kOutOfRange,
+              "segment id out of range for this map");
+    return;
+  }
+  util::UserId user{};
+  const auto known = pool_->UserIdOf(decoded->user_id);
+  if (known.ok()) {
+    user = known.value();
+  } else {
+    // First sighting: auto-track under the server's profile and the
+    // deterministic per-user key schedule.
+    auto tracked = pool_->Track(decoded->user_id, options_.profile,
+                                options_.algorithm,
+                                KeyProviderFor(decoded->user_id),
+                                options_.continuous, decoded->now_s);
+    if (!tracked.ok()) {
+      SendError(conn, decoded->seq, tracked.status().code(),
+                tracked.status().message());
+      return;
+    }
+    user = tracked.value();
+  }
+  PendingUpdate pending;
+  pending.update = {user, decoded->now_s, decoded->segment};
+  pending.conn_id = conn.id();
+  pending.seq = decoded->seq;
+  tick_updates_.push_back(pending);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.updates_decoded;
+}
+
+void NetServer::HandleReduceRequest(Connection& conn, const Bytes& payload) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.reduce_requests;
+  }
+  const auto decoded = DecodeReduceRequest(payload);
+  if (!decoded.ok()) {
+    SendError(conn, 0, decoded.status().code(), decoded.status().message());
+    return;
+  }
+  ReduceReplyFrame reply;
+  reply.seq = decoded->seq;
+  const auto artifact = core::DecodeArtifact(decoded->artifact_wire);
+  if (!artifact.ok()) {
+    reply.status = artifact.status();
+  } else {
+    auto region = deanonymizer_.Reduce(*artifact, decoded->granted_keys,
+                                       decoded->target_level);
+    if (region.ok()) {
+      reply.segments = region->segments_by_id();
+    } else {
+      reply.status = region.status();
+    }
+  }
+  Bytes out;
+  AppendReduceReply(out, reply);
+  conn.QueueOwned(std::move(out));
+  ++conn.frames_out;
+}
+
+std::shared_ptr<const Bytes> NetServer::EncodeShared(
+    const server::ContinuousSessionPool::SharedArtifact& artifact) {
+  const core::CloakedArtifact* key = artifact.get();
+  const auto it = encoded_.find(key);
+  if (it != encoded_.end()) {
+    // Identity check: the weak_ptr must still resolve to THIS artifact —
+    // an expired entry whose address was reused by a new artifact misses.
+    if (const auto live = it->second.source.lock(); live.get() == key) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.artifact_cache_hits;
+      return it->second.wire;
+    }
+    encoded_.erase(it);
+  }
+  auto wire = std::make_shared<const Bytes>(core::EncodeArtifact(*artifact));
+  // Opportunistic prune: drop entries whose artifacts are gone before the
+  // table can grow past the fleet's live-artifact count.
+  if (encoded_.size() >= 4096) {
+    for (auto entry = encoded_.begin(); entry != encoded_.end();) {
+      if (entry->second.source.expired()) {
+        entry = encoded_.erase(entry);
+      } else {
+        ++entry;
+      }
+    }
+  }
+  encoded_.emplace(key, EncodedEntry{artifact, wire});
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.artifact_cache_misses;
+  return wire;
+}
+
+void NetServer::DispatchBatch() {
+  std::vector<server::ContinuousSessionPool::IdPositionUpdate> updates;
+  updates.reserve(tick_updates_.size());
+  for (const PendingUpdate& pending : tick_updates_) {
+    updates.push_back(pending.update);
+  }
+  const auto results = pool_->UpdateBatch(updates);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PendingUpdate& pending = tick_updates_[i];
+    const auto it = connections_.find(pending.conn_id);
+    if (it == connections_.end()) continue;  // dropped mid-tick
+    Connection& conn = *it->second;
+    if (results[i].ok()) {
+      const auto wire = EncodeShared(results[i].value());
+      conn.QueueOwned(ArtifactReplyPrefix(pending.seq, wire->size()));
+      conn.QueueShared(wire);
+    } else {
+      Bytes out;
+      AppendArtifactError(out, pending.seq, results[i].status());
+      conn.QueueOwned(std::move(out));
+    }
+    ++conn.frames_out;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.batches;
+  if (tick_updates_.size() > stats_.largest_batch) {
+    stats_.largest_batch = tick_updates_.size();
+  }
+  tick_updates_.clear();
+}
+
+void NetServer::UpdateInterest(Connection& conn, bool want_write) {
+  std::uint32_t interest = 0;
+  if (!conn.reading_paused) interest |= EventLoop::kReadable;
+  if (want_write) interest |= EventLoop::kWritable;
+  conn.write_armed = want_write;
+  (void)loop_.Modify(conn.loop_token, interest);
+}
+
+void NetServer::FlushAndUpdate(Connection& conn) {
+  const auto result = conn.Flush();
+  if (result == Connection::FlushResult::kError) {
+    CloseConnection(conn.id(), CloseReason::kError);
+    return;
+  }
+  if (conn.over_hard_cap()) {
+    CloseConnection(conn.id(), CloseReason::kBackpressure);
+    return;
+  }
+  bool interest_dirty = false;
+  if (!conn.reading_paused && conn.over_soft_budget()) {
+    conn.reading_paused = true;
+    interest_dirty = true;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.reads_paused;
+  } else if (conn.reading_paused && conn.below_resume_mark()) {
+    conn.reading_paused = false;
+    interest_dirty = true;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.reads_resumed;
+  }
+  const bool want_write = result == Connection::FlushResult::kBlocked;
+  if (interest_dirty || want_write != conn.write_armed) {
+    UpdateInterest(conn, want_write);
+  }
+}
+
+void NetServer::SendError(Connection& conn, std::uint32_t seq, ErrorCode code,
+                          std::string message) {
+  Bytes out;
+  AppendError(out, ErrorFrame{seq, code, std::move(message)});
+  conn.QueueOwned(std::move(out));
+  ++conn.frames_out;
+}
+
+void NetServer::CloseConnection(std::uint64_t conn_id, CloseReason reason) {
+  const auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  loop_.Remove(conn.loop_token);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    --stats_.connections_active;
+    switch (reason) {
+      case CloseReason::kPeer:
+        ++stats_.connections_closed_peer;
+        break;
+      case CloseReason::kError:
+        ++stats_.connections_dropped_error;
+        break;
+      case CloseReason::kBackpressure:
+        ++stats_.connections_dropped_backpressure;
+        break;
+    }
+  }
+  closed_bytes_in_ += conn.bytes_in;
+  closed_bytes_out_ += conn.bytes_out;
+  closed_frames_in_ += conn.frames_in;
+  closed_frames_out_ += conn.frames_out;
+  connections_.erase(it);  // Connection dtor closes the fd
+}
+
+void NetServer::RefreshTrafficStats() {
+  // Traffic counters live on the connections (loop-thread-only); publish
+  // closed + live totals once per loop round so stats() readers see the
+  // in-flight traffic, not just what already disconnected.
+  std::uint64_t bytes_in = closed_bytes_in_;
+  std::uint64_t bytes_out = closed_bytes_out_;
+  std::uint64_t frames_in = closed_frames_in_;
+  std::uint64_t frames_out = closed_frames_out_;
+  for (const auto& [id, conn] : connections_) {
+    bytes_in += conn->bytes_in;
+    bytes_out += conn->bytes_out;
+    frames_in += conn->frames_in;
+    frames_out += conn->frames_out;
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.bytes_in = bytes_in;
+  stats_.bytes_out = bytes_out;
+  stats_.frames_in = frames_in;
+  stats_.frames_out = frames_out;
+}
+
+}  // namespace rcloak::net

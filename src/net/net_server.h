@@ -1,0 +1,200 @@
+// The networked front door: one epoll event-loop thread turning framed
+// position updates off TCP sockets into ContinuousSessionPool batches.
+//
+// The perf-relevant shape (measured by bench/bench_e23_net.cpp):
+//
+//   * Per-tick batch formation. One PollOnce round drains every readable
+//     connection; every POSITION_UPDATE decoded anywhere in the round is
+//     accumulated and handed to the pool as ONE UpdateBatch call on the
+//     id path — the wire front door rides the same classify/re-cloak/
+//     commit machinery (and the same determinism pin) as in-process
+//     callers, paying the batch setup once per tick, not per frame.
+//   * Allocation-free decode on the steady path: the decoded user id is a
+//     view into the frame payload, interned once (UserIdOf is a shared-
+//     lock find), and the update travels as IdPositionUpdate — no
+//     std::string materializes per update.
+//   * Zero-copy replies. An artifact in force is EncodeArtifact'd once
+//     into a refcounted buffer (cache keyed by artifact identity) and
+//     queued BY REFERENCE on every connection it is served to; the
+//     vectored write joins the owned frame prefix and the shared body on
+//     the wire. Serving the same artifact to 10k connections costs one
+//     encode, zero body copies.
+//   * Syscall batching: reads drain to EAGAIN, writes go through
+//     sendmsg(iovec[64]), EPOLLOUT is registered only while a write queue
+//     is non-empty.
+//
+// Backpressure: a connection whose write queue passes the soft budget
+// stops being read (EPOLLIN off) until it drains below half the budget; a
+// queue passing the hard cap drops the connection with a counted error.
+//
+// Protocol: the first frame on a connection must be HELLO (version + map
+// fingerprint); the server replies with its own and refuses mismatches.
+// POSITION_UPDATE auto-tracks unknown users under the server's profile
+// and a deterministic per-user key provider, so a fleet driver is just
+// "connect, hello, stream updates". REDUCE_REQUEST runs inline on the
+// loop thread through a context-sharing Deanonymizer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/connection.h"
+#include "net/event_loop.h"
+#include "net/frame_codec.h"
+#include "server/continuous_session_pool.h"
+
+namespace rcloak::net {
+
+// The per-user deterministic key schedule the front door tracks unknown
+// users under: seed = base ^ (FNV(user) * golden) + epoch. Exposed so an
+// in-process twin (bench_e23's --verify oracle, tests) can re-derive the
+// exact chains and pin wire artifacts byte-for-byte.
+core::ContinuousCloak::KeyProvider DeterministicKeyProvider(
+    std::uint64_t seed_base, std::string_view user_id, int num_levels);
+
+struct NetServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read back via port()
+
+  // Session parameters applied when a POSITION_UPDATE names an untracked
+  // user (the auto-track path).
+  core::PrivacyProfile profile = core::PrivacyProfile(
+      {{8, 3, 1e9}, {25, 8, 1e9}});
+  core::Algorithm algorithm = core::Algorithm::kRge;
+  core::ContinuousOptions continuous{1, 0.0};
+  std::uint64_t key_seed_base = 50000;
+  // Overrides the deterministic schedule when set (production would hand
+  // out real keys here).
+  std::function<core::ContinuousCloak::KeyProvider(std::string_view user_id)>
+      key_provider_factory;
+
+  ConnectionLimits limits;
+  // Poll timeout while idle; Stop() wakes the loop, so this only bounds
+  // shutdown latency when the eventfd write itself is lost (it is not).
+  int poll_timeout_ms = 100;
+};
+
+struct NetServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t connections_closed_peer = 0;
+  std::uint64_t connections_dropped_error = 0;
+  std::uint64_t connections_dropped_backpressure = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t hello_rejected = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t updates_decoded = 0;
+  std::uint64_t reduce_requests = 0;
+  // Batch formation: ticks that carried at least one update, and the
+  // largest single-tick batch handed to the pool.
+  std::uint64_t batches = 0;
+  std::uint64_t largest_batch = 0;
+  // Reply encode cache: hits serve a shared buffer, misses encode once.
+  std::uint64_t artifact_cache_hits = 0;
+  std::uint64_t artifact_cache_misses = 0;
+  std::uint64_t reads_paused = 0;
+  std::uint64_t reads_resumed = 0;
+};
+
+class NetServer {
+ public:
+  // The pool (and the server underneath it) must outlive the NetServer.
+  NetServer(server::ContinuousSessionPool& pool,
+            const NetServerOptions& options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  // Binds, then runs the event loop on a dedicated thread.
+  Status Start();
+  // Idempotent; joins the loop thread and closes every connection.
+  void Stop();
+
+  std::uint16_t port() const noexcept { return port_; }
+  std::uint64_t map_fingerprint() const noexcept { return map_fingerprint_; }
+  NetServerStats stats() const;
+
+ private:
+  struct PendingUpdate {
+    server::ContinuousSessionPool::IdPositionUpdate update;
+    std::uint64_t conn_id = 0;
+    std::uint32_t seq = 0;
+  };
+
+  // One encoded artifact, alive as long as the artifact it mirrors. The
+  // weak_ptr guards against pointer reuse: a cache hit requires the live
+  // artifact at that address to still be the one we encoded.
+  struct EncodedEntry {
+    std::weak_ptr<const core::CloakedArtifact> source;
+    std::shared_ptr<const Bytes> wire;
+  };
+
+  void Loop();
+  void OnAcceptable();
+  void OnConnectionEvent(std::uint64_t conn_id, std::uint32_t ready);
+  // Decodes every complete frame buffered on `conn`; position updates land
+  // in tick_updates_, everything else is handled inline.
+  void DrainFrames(Connection& conn);
+  void HandleFrame(Connection& conn, const Frame& frame);
+  void HandleHello(Connection& conn, const Bytes& payload);
+  void HandlePositionUpdate(Connection& conn, const Bytes& payload);
+  void HandleReduceRequest(Connection& conn, const Bytes& payload);
+  // End-of-tick: one pool.UpdateBatch over tick_updates_, replies queued
+  // per connection, every touched connection flushed once.
+  void DispatchBatch();
+  // Flush + EPOLLOUT/backpressure bookkeeping for one connection.
+  void FlushAndUpdate(Connection& conn);
+  void UpdateInterest(Connection& conn, bool want_write);
+  // Shared encode of the artifact in force (cache hit on identity).
+  std::shared_ptr<const Bytes> EncodeShared(
+      const server::ContinuousSessionPool::SharedArtifact& artifact);
+  void SendError(Connection& conn, std::uint32_t seq, ErrorCode code,
+                 std::string message);
+  enum class CloseReason : std::uint8_t { kPeer, kError, kBackpressure };
+  void CloseConnection(std::uint64_t conn_id, CloseReason reason);
+  // Publishes closed + live traffic totals into stats_ (loop thread only).
+  void RefreshTrafficStats();
+  core::ContinuousCloak::KeyProvider KeyProviderFor(std::string_view user);
+
+  server::ContinuousSessionPool* pool_;
+  NetServerOptions options_;
+  core::Deanonymizer deanonymizer_;
+  std::uint64_t map_fingerprint_ = 0;
+  std::size_t segment_count_ = 0;
+
+  EventLoop loop_;
+  std::unique_ptr<Acceptor> acceptor_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+
+  // Loop-thread state (no locks: only Loop() touches these).
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  std::vector<PendingUpdate> tick_updates_;
+  std::vector<std::uint64_t> tick_touched_;
+  std::unordered_map<const core::CloakedArtifact*, EncodedEntry> encoded_;
+  // Traffic from connections that already closed (live connections are
+  // summed on top by RefreshTrafficStats).
+  std::uint64_t closed_bytes_in_ = 0;
+  std::uint64_t closed_bytes_out_ = 0;
+  std::uint64_t closed_frames_in_ = 0;
+  std::uint64_t closed_frames_out_ = 0;
+
+  mutable std::mutex stats_mutex_;
+  NetServerStats stats_;
+};
+
+}  // namespace rcloak::net

@@ -61,9 +61,11 @@ ContinuousSessionPool::ContinuousSessionPool(AnonymizationServer& server,
       options_(options) {
   const int shards =
       options.num_shards > 0 ? options.num_shards : server.num_workers();
+  const std::size_t segments = server.engine().network().segment_count();
   shards_.reserve(static_cast<std::size_t>(shards));
   for (int i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->occupancy.assign(segments, 0);
   }
 }
 
@@ -84,6 +86,7 @@ StatusOr<util::UserId> ContinuousSessionPool::TrackPolicy(
   // that was tracked late in simulation time but never updated yet.
   session->last_update_s = now_s;
   session->last_segment = last_segment;
+  shard.OccupancyAdd(last_segment);
   if (restored) ++shard.restored;
   return id;
 }
@@ -119,6 +122,7 @@ bool ContinuousSessionPool::Evict(std::string_view user_id) {
   Session* session = shard.sessions.Find(id);
   if (session == nullptr) return false;
   shard.RetireSession(*session);
+  shard.OccupancyRemove(session->last_segment);
   shard.sessions.Erase(id);
   ++shard.evicted;
   return true;
@@ -132,6 +136,7 @@ std::size_t ContinuousSessionPool::EvictIdle(double now_s, double idle_s) {
         [&](util::UserId, Session& session) {
           if (now_s - session.last_update_s <= idle_s) return false;
           shard->RetireSession(session);
+          shard->OccupancyRemove(session.last_segment);
           ++shard->evicted;
           ++shard->evicted_idle;
           return true;
@@ -157,6 +162,7 @@ StatusOr<ContinuousSessionPool::SpilledSession> ContinuousSessionPool::Spill(
   spilled.state = EncodeSpillEnvelope(session->policy.Serialize(),
                                       session->last_update_s,
                                       session->last_segment);
+  shard.OccupancyRemove(session->last_segment);
   shard.sessions.Erase(id);
   ++shard.spilled;
   return spilled;
@@ -175,6 +181,7 @@ ContinuousSessionPool::EvictIdleSpill(double now_s, double idle_s) {
                                       session.last_update_s,
                                       session.last_segment);
       spilled.push_back(std::move(out));
+      shard->OccupancyRemove(session.last_segment);
       ++shard->spilled;
       return true;
     });
@@ -224,7 +231,9 @@ void ContinuousSessionPool::RunRound(
         continue;
       }
       session->last_update_s = update.now_s;
+      shard.OccupancyRemove(session->last_segment);
       session->last_segment = update.segment;
+      shard.OccupancyAdd(update.segment);
       switch (session->policy.OnUpdate(update.now_s, update.segment)) {
         case ContinuousPolicy::Action::kServe:
           ++shard.served_in_region;
@@ -430,9 +439,20 @@ mobility::OccupancySnapshot ContinuousSessionPool::BuildOccupancy() const {
       server_->engine().network().segment_count());
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
+    occupancy.AddCounts(shard->occupancy);
+  }
+  return occupancy;
+}
+
+mobility::OccupancySnapshot ContinuousSessionPool::BuildOccupancyRebuild()
+    const {
+  mobility::OccupancySnapshot occupancy(
+      server_->engine().network().segment_count());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
     shard->sessions.ForEach([&occupancy](util::UserId,
                                          const Session& session) {
-      if (session.last_segment != roadnet::kInvalidSegment) {
+      if (roadnet::Index(session.last_segment) < occupancy.segment_count()) {
         occupancy.Add(session.last_segment);
       }
     });

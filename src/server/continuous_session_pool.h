@@ -186,7 +186,16 @@ class ContinuousSessionPool {
   // session's last reported segment (sessions that never updated are
   // skipped). Feed it to AnonymizationServer::SetOccupancy between ticks
   // so k-anonymity counts the actual fleet instead of a static snapshot.
+  //
+  // O(shards x segments): folds the per-shard count vectors that every
+  // last_segment mutation maintains incrementally — no session iteration,
+  // so the between-tick refresh cost no longer grows with the fleet.
   mobility::OccupancySnapshot BuildOccupancy() const;
+
+  // Reference implementation: the original O(sessions) full scan over
+  // every tracked session. Kept so tests can pin the incremental fold
+  // against it after arbitrary track/update/evict/spill churn.
+  mobility::OccupancySnapshot BuildOccupancyRebuild() const;
 
   // Per-user introspection (tests, monitoring).
   StatusOr<std::uint64_t> UserEpoch(std::string_view user_id) const;
@@ -198,6 +207,12 @@ class ContinuousSessionPool {
   SessionPoolStats stats() const;
 
   int num_shards() const noexcept { return static_cast<int>(shards_.size()); }
+
+  // The server this pool cloaks through (shared MapContext, occupancy
+  // publication). Callers layering on top of the pool — the network front
+  // door needs the map fingerprint and a context-sharing Deanonymizer —
+  // reach the engine through here instead of threading a second reference.
+  AnonymizationServer& server() const noexcept { return *server_; }
 
  private:
   struct Session {
@@ -228,6 +243,24 @@ class ContinuousSessionPool {
     std::uint64_t retired_updates = 0;
     std::uint64_t retired_recloaks = 0;
     std::uint64_t retired_throttled_stale = 0;
+
+    // Per-segment user counts over THIS shard's sessions (one entry per
+    // network segment, sized at pool construction). Maintained under
+    // `mutex` at every last_segment mutation; BuildOccupancy folds the
+    // shard vectors instead of walking every session. Out-of-range ids
+    // (kInvalidSegment, hostile wire input) are ignored by the helpers.
+    std::vector<std::uint32_t> occupancy;
+
+    void OccupancyAdd(roadnet::SegmentId segment) {
+      const std::size_t index = roadnet::Index(segment);
+      if (index < occupancy.size()) ++occupancy[index];
+    }
+    void OccupancyRemove(roadnet::SegmentId segment) {
+      const std::size_t index = roadnet::Index(segment);
+      if (index < occupancy.size() && occupancy[index] > 0) {
+        --occupancy[index];
+      }
+    }
 
     // Folds a departing session's lifetime stats into the retired
     // counters; call under `mutex` before erasing the session.

@@ -1,0 +1,463 @@
+// Networked front door: the framing codec must round-trip every frame
+// type through arbitrary read fragmentation and reject malformed input
+// with bounded memory, and a real loopback NetServer must serve byte-for-
+// byte the artifact sequences the ContinuousSessionPool produces when
+// driven directly — the wire adds transport, never changes results. The
+// loopback tests also run under the TSAN CI job (event-loop thread +
+// server workers + client driver).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "net/client.h"
+#include "net/net_server.h"
+#include "roadnet/generators.h"
+
+namespace rcloak {
+namespace {
+
+using net::FrameReassembler;
+using net::FrameType;
+using roadnet::RoadNetwork;
+using roadnet::SegmentId;
+using server::AnonymizationServer;
+using server::ContinuousSessionPool;
+
+mobility::OccupancySnapshot OnePerSegment(const RoadNetwork& net) {
+  mobility::OccupancySnapshot occupancy(net.segment_count());
+  for (std::uint32_t i = 0; i < net.segment_count(); ++i) {
+    occupancy.Add(SegmentId{i});
+  }
+  return occupancy;
+}
+
+std::string Sha(const Bytes& bytes) {
+  const auto digest = crypto::Sha256::Hash(bytes);
+  return ToHex(Bytes(digest.begin(), digest.end()));
+}
+
+// Feeds `wire` into a reassembler `step` bytes at a time and returns every
+// completed frame.
+std::vector<net::Frame> ReassembleBy(const Bytes& wire, std::size_t step) {
+  FrameReassembler reassembler;
+  std::vector<net::Frame> frames;
+  for (std::size_t off = 0; off < wire.size(); off += step) {
+    const std::size_t n = std::min(step, wire.size() - off);
+    EXPECT_TRUE(reassembler.Feed(wire.data() + off, n).ok());
+    while (auto frame = reassembler.Next()) {
+      frames.push_back(std::move(*frame));
+    }
+  }
+  return frames;
+}
+
+TEST(FrameCodecTest, HelloRoundTrip) {
+  Bytes wire;
+  net::AppendHello(wire, {net::kProtocolVersion, 0xfeedface12345678ull});
+  auto frames = ReassembleBy(wire, wire.size());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kHello);
+  const auto hello = net::DecodeHello(frames[0].payload);
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->version, net::kProtocolVersion);
+  EXPECT_EQ(hello->map_fingerprint, 0xfeedface12345678ull);
+}
+
+TEST(FrameCodecTest, PositionUpdateRoundTrip) {
+  Bytes wire;
+  net::AppendPositionUpdate(wire, /*seq=*/7, "car/42[weird id]", 123.625,
+                            SegmentId{991});
+  auto frames = ReassembleBy(wire, wire.size());
+  ASSERT_EQ(frames.size(), 1u);
+  const auto update = net::DecodePositionUpdate(frames[0].payload);
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(update->seq, 7u);
+  EXPECT_EQ(update->user_id, "car/42[weird id]");
+  EXPECT_EQ(update->now_s, 123.625);
+  EXPECT_EQ(update->segment, SegmentId{991});
+  // The id is a borrowed view into the payload, not a copy.
+  EXPECT_GE(update->user_id.data(),
+            reinterpret_cast<const char*>(frames[0].payload.data()));
+}
+
+TEST(FrameCodecTest, ReduceRequestAndReplyRoundTrip) {
+  net::ReduceRequestFrame request;
+  request.seq = 31;
+  request.target_level = 1;
+  request.granted_keys.emplace(1, crypto::AccessKey::FromSeed(11));
+  request.granted_keys.emplace(2, crypto::AccessKey::FromSeed(22));
+  request.artifact_wire = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x01};
+  Bytes wire;
+  net::AppendReduceRequest(wire, request);
+
+  net::ReduceReplyFrame reply;
+  reply.seq = 31;
+  reply.segments = {SegmentId{3}, SegmentId{4}, SegmentId{9},
+                    SegmentId{4000}};
+  net::AppendReduceReply(wire, reply);
+  net::ReduceReplyFrame failed;
+  failed.seq = 32;
+  failed.status = Status::FailedPrecondition("missing level key");
+  net::AppendReduceReply(wire, failed);
+
+  auto frames = ReassembleBy(wire, wire.size());
+  ASSERT_EQ(frames.size(), 3u);
+  const auto decoded_request = net::DecodeReduceRequest(frames[0].payload);
+  ASSERT_TRUE(decoded_request.ok());
+  EXPECT_EQ(decoded_request->seq, 31u);
+  EXPECT_EQ(decoded_request->target_level, 1);
+  EXPECT_EQ(decoded_request->granted_keys, request.granted_keys);
+  EXPECT_EQ(decoded_request->artifact_wire, request.artifact_wire);
+
+  const auto decoded_reply = net::DecodeReduceReply(frames[1].payload);
+  ASSERT_TRUE(decoded_reply.ok());
+  EXPECT_EQ(decoded_reply->seq, 31u);
+  EXPECT_TRUE(decoded_reply->status.ok());
+  EXPECT_EQ(decoded_reply->segments, reply.segments);
+
+  const auto decoded_failed = net::DecodeReduceReply(frames[2].payload);
+  ASSERT_TRUE(decoded_failed.ok());
+  EXPECT_EQ(decoded_failed->status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(decoded_failed->status.message(), "missing level key");
+  EXPECT_TRUE(decoded_failed->segments.empty());
+}
+
+TEST(FrameCodecTest, ArtifactReplyPrefixPlusBodyDecodes) {
+  // The zero-copy server path: an owned prefix and the shared artifact
+  // body concatenate into one well-formed ARTIFACT_REPLY frame.
+  const Bytes body = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Bytes wire = net::ArtifactReplyPrefix(/*seq=*/55, body.size());
+  wire.insert(wire.end(), body.begin(), body.end());
+  net::AppendArtifactError(wire, /*seq=*/56,
+                           Status::NotFound("user evicted"));
+
+  auto frames = ReassembleBy(wire, wire.size());
+  ASSERT_EQ(frames.size(), 2u);
+  const auto ok_reply = net::DecodeArtifactReply(frames[0].payload);
+  ASSERT_TRUE(ok_reply.ok());
+  EXPECT_EQ(ok_reply->seq, 55u);
+  EXPECT_TRUE(ok_reply->status.ok());
+  EXPECT_EQ(ok_reply->artifact_wire, body);
+
+  const auto err_reply = net::DecodeArtifactReply(frames[1].payload);
+  ASSERT_TRUE(err_reply.ok());
+  EXPECT_EQ(err_reply->seq, 56u);
+  EXPECT_EQ(err_reply->status.code(), ErrorCode::kNotFound);
+  EXPECT_TRUE(err_reply->artifact_wire.empty());
+}
+
+TEST(FrameCodecTest, ErrorFrameRoundTrip) {
+  Bytes wire;
+  net::AppendError(wire, {/*seq=*/0, ErrorCode::kInvalidArgument,
+                          "first frame must be HELLO"});
+  auto frames = ReassembleBy(wire, wire.size());
+  ASSERT_EQ(frames.size(), 1u);
+  const auto error = net::DecodeError(frames[0].payload);
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->seq, 0u);
+  EXPECT_EQ(error->code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(error->message, "first frame must be HELLO");
+}
+
+TEST(FrameCodecTest, ByteAtATimeReassemblyMatchesWholeBuffer) {
+  Bytes wire;
+  net::AppendHello(wire, {net::kProtocolVersion, 42});
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    net::AppendPositionUpdate(wire, i, "user" + std::to_string(i),
+                              static_cast<double>(i), SegmentId{i * 3});
+  }
+  net::AppendError(wire, {9, ErrorCode::kInternal, "bye"});
+
+  const auto whole = ReassembleBy(wire, wire.size());
+  for (const std::size_t step : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{3}, std::size_t{7}}) {
+    const auto pieces = ReassembleBy(wire, step);
+    ASSERT_EQ(pieces.size(), whole.size()) << "step " << step;
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+      EXPECT_EQ(pieces[i].type, whole[i].type);
+      EXPECT_EQ(pieces[i].payload, whole[i].payload);
+    }
+  }
+}
+
+TEST(FrameCodecTest, UnknownTypePoisonsTheStream) {
+  Bytes wire;
+  net::AppendHello(wire, {net::kProtocolVersion, 1});
+  // A frame with type byte 0xEE after a valid frame.
+  const Bytes garbage = {0x02, 0x00, 0x00, 0x00, 0xEE, 0xAA, 0xBB};
+  wire.insert(wire.end(), garbage.begin(), garbage.end());
+
+  FrameReassembler reassembler;
+  // Detected on Feed, even though a complete valid frame sits ahead of the
+  // malformed header in the same buffer.
+  const auto fed = reassembler.Feed(wire.data(), wire.size());
+  EXPECT_EQ(fed.code(), ErrorCode::kDataLoss);
+  // A poisoned stream serves nothing — not even the frame before the rot.
+  EXPECT_FALSE(reassembler.Next().has_value());
+  EXPECT_EQ(reassembler.status().code(), ErrorCode::kDataLoss);
+  // Poison is sticky: later feeds fail without buffering.
+  const std::uint8_t more = 0;
+  EXPECT_EQ(reassembler.Feed(&more, 1).code(), ErrorCode::kDataLoss);
+}
+
+TEST(FrameCodecTest, OversizedFrameRejectedBeforeBuffering) {
+  FrameReassembler reassembler(/*max_payload=*/64);
+  // Header declaring a 1 MiB payload: rejected on sight, no body buffered.
+  Bytes header;
+  PutU32le(header, 1u << 20);
+  header.push_back(static_cast<std::uint8_t>(FrameType::kHello));
+  EXPECT_EQ(reassembler.Feed(header.data(), header.size()).code(),
+            ErrorCode::kResourceExhausted);
+  EXPECT_LE(reassembler.buffered_bytes(), net::kFrameHeaderBytes);
+  // A hostile peer streaming the body anyway never grows the buffer.
+  const Bytes chunk(4096, 0xAB);
+  EXPECT_FALSE(reassembler.Feed(chunk.data(), chunk.size()).ok());
+  EXPECT_LE(reassembler.buffered_bytes(), net::kFrameHeaderBytes);
+}
+
+TEST(FrameCodecTest, TruncatedPayloadsRejected) {
+  Bytes wire;
+  net::AppendPositionUpdate(wire, 3, "carol", 9.0, SegmentId{4});
+  auto frames = ReassembleBy(wire, wire.size());
+  ASSERT_EQ(frames.size(), 1u);
+  Bytes payload = frames[0].payload;
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    const Bytes truncated(payload.begin(),
+                          payload.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(net::DecodePositionUpdate(truncated).ok()) << cut;
+  }
+  EXPECT_FALSE(net::DecodeHello({}).ok());
+  EXPECT_FALSE(net::DecodeReduceRequest({0x01}).ok());
+  EXPECT_FALSE(net::DecodeArtifactReply({}).ok());
+  EXPECT_FALSE(net::DecodeError({0x00}).ok());
+}
+
+// ------------------------------------------------------------ loopback
+
+struct LoopbackRig {
+  std::shared_ptr<const core::MapContext> ctx;
+  std::unique_ptr<AnonymizationServer> server;
+  std::unique_ptr<ContinuousSessionPool> pool;
+  std::unique_ptr<net::NetServer> front;
+};
+
+LoopbackRig StartLoopback(const RoadNetwork& net, int workers) {
+  LoopbackRig rig;
+  rig.ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(rig.ctx, OnePerSegment(net));
+  server::ServerOptions server_options;
+  server_options.num_workers = workers;
+  server_options.max_queue = 4096;
+  rig.server = std::make_unique<AnonymizationServer>(std::move(engine),
+                                                     server_options);
+  rig.pool = std::make_unique<ContinuousSessionPool>(*rig.server);
+  net::NetServerOptions options;
+  options.poll_timeout_ms = 5;
+  rig.front = std::make_unique<net::NetServer>(*rig.pool, options);
+  EXPECT_TRUE(rig.front->Start().ok());
+  return rig;
+}
+
+TEST(NetServerTest, HelloHandshakeAndFingerprintMismatch) {
+  const RoadNetwork net = roadnet::MakeGrid({8, 8, 100.0});
+  auto rig = StartLoopback(net, /*workers=*/1);
+
+  auto client = net::Client::Connect("127.0.0.1", rig.front->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+  EXPECT_EQ(client->server_fingerprint(), rig.front->map_fingerprint());
+
+  // A client expecting a different map is refused at the door.
+  auto wrong = net::Client::Connect("127.0.0.1", rig.front->port());
+  ASSERT_TRUE(wrong.ok());
+  const auto refused = wrong->Hello(rig.front->map_fingerprint() + 1);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(NetServerTest, OutOfRangeSegmentGetsErrorReply) {
+  const RoadNetwork net = roadnet::MakeGrid({8, 8, 100.0});
+  auto rig = StartLoopback(net, /*workers=*/1);
+  auto client = net::Client::Connect("127.0.0.1", rig.front->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+
+  client->QueuePositionUpdate(1, "eve", 0.0,
+                              SegmentId{net.segment_count() + 5});
+  ASSERT_TRUE(client->Flush().ok());
+  const auto reply = client->ReadArtifactReply();
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), ErrorCode::kOutOfRange);
+
+  // The connection survives the rejected update: a valid one still works.
+  client->QueuePositionUpdate(2, "eve", 1.0, SegmentId{3});
+  ASSERT_TRUE(client->Flush().ok());
+  const auto ok_reply = client->ReadArtifactReply();
+  ASSERT_TRUE(ok_reply.ok()) << ok_reply.status().ToString();
+  EXPECT_EQ(ok_reply->seq, 2u);
+  EXPECT_FALSE(ok_reply->artifact_wire.empty());
+}
+
+// The headline pin: per-user artifact byte sequences served over the wire
+// equal driving the pool directly with the same deterministic key
+// schedule — transport changes nothing.
+TEST(NetServerTest, WireArtifactsByteIdenticalToDirectPool) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  constexpr int kConns = 4;
+  constexpr int kUsersPerConn = 3;
+  constexpr int kTicks = 10;
+  constexpr std::uint32_t kUsers = kConns * kUsersPerConn;
+  const auto position = [&net](std::uint32_t user, int tick) {
+    return SegmentId{(user * 7 + static_cast<std::uint32_t>(tick) * 13) %
+                     net.segment_count()};
+  };
+  const auto name = [](std::uint32_t user) {
+    return "u" + std::to_string(user);
+  };
+
+  for (const int workers : {1, 2}) {
+    auto rig = StartLoopback(net, workers);
+    const net::NetServerOptions defaults;  // profile/keys the server used
+    std::vector<net::Client> clients;
+    for (int c = 0; c < kConns; ++c) {
+      auto client = net::Client::Connect("127.0.0.1", rig.front->port());
+      ASSERT_TRUE(client.ok());
+      ASSERT_TRUE(client->Hello(rig.front->map_fingerprint()).ok());
+      clients.push_back(std::move(client).value());
+    }
+
+    std::map<std::string, std::vector<std::string>> wire_seqs;
+    for (int t = 0; t < kTicks; ++t) {
+      for (int c = 0; c < kConns; ++c) {
+        for (int k = 0; k < kUsersPerConn; ++k) {
+          const std::uint32_t user =
+              static_cast<std::uint32_t>(c * kUsersPerConn + k);
+          clients[static_cast<std::size_t>(c)].QueuePositionUpdate(
+              static_cast<std::uint32_t>(t * 100 + static_cast<int>(user)),
+              name(user), static_cast<double>(t), position(user, t));
+        }
+        ASSERT_TRUE(clients[static_cast<std::size_t>(c)].Flush().ok());
+      }
+      for (int c = 0; c < kConns; ++c) {
+        for (int k = 0; k < kUsersPerConn; ++k) {
+          const auto reply =
+              clients[static_cast<std::size_t>(c)].ReadArtifactReply();
+          ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+          const std::uint32_t user =
+              static_cast<std::uint32_t>(c * kUsersPerConn + k);
+          ASSERT_EQ(reply->seq,
+                    static_cast<std::uint32_t>(t * 100 +
+                                               static_cast<int>(user)));
+          wire_seqs[name(user)].push_back(Sha(reply->artifact_wire));
+        }
+      }
+    }
+    clients.clear();
+    rig.front->Stop();
+
+    // Direct pool, same schedule, no wire.
+    core::Anonymizer engine(rig.ctx, OnePerSegment(net));
+    AnonymizationServer direct_server(std::move(engine), {});
+    ContinuousSessionPool direct(direct_server);
+    std::vector<util::UserId> ids(kUsers);
+    for (std::uint32_t u = 0; u < kUsers; ++u) {
+      auto tracked = direct.Track(
+          name(u), defaults.profile, defaults.algorithm,
+          net::DeterministicKeyProvider(defaults.key_seed_base, name(u),
+                                        defaults.profile.num_levels()),
+          defaults.continuous);
+      ASSERT_TRUE(tracked.ok());
+      ids[u] = *tracked;
+    }
+    std::map<std::string, std::vector<std::string>> direct_seqs;
+    for (int t = 0; t < kTicks; ++t) {
+      std::vector<ContinuousSessionPool::IdPositionUpdate> batch;
+      for (std::uint32_t u = 0; u < kUsers; ++u) {
+        batch.push_back({ids[u], static_cast<double>(t), position(u, t)});
+      }
+      auto results = direct.UpdateBatch(batch);
+      for (std::uint32_t u = 0; u < kUsers; ++u) {
+        ASSERT_TRUE(results[u].ok());
+        direct_seqs[name(u)].push_back(
+            Sha(core::EncodeArtifact(**results[u])));
+      }
+    }
+    EXPECT_EQ(wire_seqs, direct_seqs) << "workers=" << workers;
+  }
+}
+
+TEST(NetServerTest, ReduceRequestOverTheWireRecoversExactSegment) {
+  const RoadNetwork net = roadnet::MakeGrid({8, 8, 100.0});
+  auto rig = StartLoopback(net, /*workers=*/1);
+  auto client = net::Client::Connect("127.0.0.1", rig.front->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+
+  const SegmentId where{17};
+  client->QueuePositionUpdate(1, "rita", 0.0, where);
+  ASSERT_TRUE(client->Flush().ok());
+  const auto reply = client->ReadArtifactReply();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+
+  const net::NetServerOptions defaults;
+  const auto epoch = rig.pool->UserEpoch("rita");
+  ASSERT_TRUE(epoch.ok());
+  const auto chain = net::DeterministicKeyProvider(
+      defaults.key_seed_base, "rita", defaults.profile.num_levels())(*epoch);
+  net::ReduceRequestFrame request;
+  request.seq = 2;
+  request.target_level = 0;
+  for (int level = 1; level <= defaults.profile.num_levels(); ++level) {
+    request.granted_keys.emplace(level, chain.LevelKey(level));
+  }
+  request.artifact_wire = reply->artifact_wire;
+  ASSERT_TRUE(client->SendReduceRequest(request).ok());
+  const auto reduced = client->ReadReduceReply();
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  EXPECT_TRUE(reduced->status.ok()) << reduced->status.ToString();
+  ASSERT_EQ(reduced->segments.size(), 1u);
+  EXPECT_EQ(reduced->segments[0], where);
+
+  // Without the inner key the wire reduce refuses, like the local one.
+  net::ReduceRequestFrame denied = request;
+  denied.seq = 3;
+  denied.granted_keys.erase(1);
+  ASSERT_TRUE(client->SendReduceRequest(denied).ok());
+  const auto refused = client->ReadReduceReply();
+  ASSERT_TRUE(refused.ok());
+  EXPECT_FALSE(refused->status.ok());
+}
+
+TEST(NetServerTest, MissingHelloDropsConnectionOthersUnaffected) {
+  const RoadNetwork net = roadnet::MakeGrid({8, 8, 100.0});
+  auto rig = StartLoopback(net, /*workers=*/1);
+  auto polite = net::Client::Connect("127.0.0.1", rig.front->port());
+  ASSERT_TRUE(polite.ok());
+  ASSERT_TRUE(polite->Hello().ok());
+
+  // A connection whose first frame is not HELLO gets an ERROR and a close.
+  auto rude = net::Client::Connect("127.0.0.1", rig.front->port());
+  ASSERT_TRUE(rude.ok());
+  rude->QueuePositionUpdate(1, "rude", 0.0, SegmentId{0});
+  ASSERT_TRUE(rude->Flush().ok());
+  const auto rejected = rude->ReadArtifactReply();
+  EXPECT_FALSE(rejected.ok());
+
+  // The handshaken connection keeps working through the drop.
+  polite->QueuePositionUpdate(2, "mallory", 0.0, SegmentId{2});
+  ASSERT_TRUE(polite->Flush().ok());
+  const auto reply = polite->ReadArtifactReply();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->seq, 2u);
+
+  rig.front->Stop();
+  const auto stats = rig.front->stats();
+  EXPECT_GE(stats.hello_rejected, 1u);
+  EXPECT_EQ(stats.updates_decoded, 1u);
+}
+
+}  // namespace
+}  // namespace rcloak

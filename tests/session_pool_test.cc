@@ -653,5 +653,81 @@ TEST(SessionPoolTest, RestoreRejectsCorruptBlobAndDoubleTrack) {
   EXPECT_EQ(pool.session_count(), 1u);
 }
 
+// Pins the incremental per-shard occupancy deltas (PR 6) to the original
+// O(sessions) rebuild through every mutation that moves a last_segment:
+// track, update, explicit evict, spill, restore, and idle reaping.
+TEST(SessionPoolTest, IncrementalOccupancyMatchesRebuildThroughChurn) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  const auto occupancy = OnePerSegment(net);
+  core::Anonymizer engine(ctx, occupancy);
+  AnonymizationServer server(std::move(engine), {});
+  ContinuousSessionPool pool(server);
+
+  const auto expect_equiv = [&pool](const char* where) {
+    const auto incremental = pool.BuildOccupancy();
+    const auto rebuilt = pool.BuildOccupancyRebuild();
+    EXPECT_EQ(incremental.counts(), rebuilt.counts()) << where;
+    EXPECT_EQ(incremental.total(), rebuilt.total()) << where;
+  };
+
+  constexpr std::uint32_t kUsers = 24;
+  for (std::uint32_t u = 0; u < kUsers; ++u) {
+    ASSERT_TRUE(pool.Track("car" + std::to_string(u), FleetProfile(),
+                           Algorithm::kRge, KeysFor(u), FleetOptions())
+                    .ok());
+  }
+  // Tracked-but-never-updated sessions must not count anywhere.
+  expect_equiv("after track");
+  EXPECT_EQ(pool.BuildOccupancy().total(), 0u);
+
+  // Several ticks of movement, many users colliding on few segments.
+  for (int t = 0; t < 6; ++t) {
+    std::vector<ContinuousSessionPool::PositionUpdate> batch;
+    for (std::uint32_t u = 0; u < kUsers; ++u) {
+      batch.push_back({"car" + std::to_string(u), static_cast<double>(t),
+                       SegmentId{(u * 7 + static_cast<std::uint32_t>(t) * 13) %
+                                 net.segment_count()}});
+    }
+    for (const auto& result : pool.UpdateBatch(batch)) {
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+    }
+    expect_equiv("after tick");
+  }
+  EXPECT_EQ(pool.BuildOccupancy().total(), kUsers);
+
+  ASSERT_TRUE(pool.Evict("car0"));
+  ASSERT_TRUE(pool.Evict("car1"));
+  expect_equiv("after evict");
+  EXPECT_EQ(pool.BuildOccupancy().total(), kUsers - 2);
+
+  const auto spilled = pool.Spill("car2");
+  ASSERT_TRUE(spilled.ok());
+  expect_equiv("after spill");
+  EXPECT_EQ(pool.BuildOccupancy().total(), kUsers - 3);
+
+  ASSERT_TRUE(pool.Restore(*spilled, KeysFor(2)).ok());
+  expect_equiv("after restore");
+  // Restore re-registers the spilled last_segment in the deltas.
+  EXPECT_EQ(pool.BuildOccupancy().total(), kUsers - 2);
+
+  // Advance a handful of users far in time, then reap the idle rest.
+  for (std::uint32_t u = 3; u < 8; ++u) {
+    ASSERT_TRUE(pool.Update("car" + std::to_string(u), 1000.0,
+                            SegmentId{u})
+                    .ok());
+  }
+  expect_equiv("after late updates");
+  const std::size_t reaped = pool.EvictIdle(1000.0, 100.0);
+  EXPECT_GT(reaped, 0u);
+  expect_equiv("after EvictIdle");
+  EXPECT_EQ(pool.BuildOccupancy().total(), 5u);
+
+  const auto spilled_idle = pool.EvictIdleSpill(2000.0, 100.0);
+  EXPECT_EQ(spilled_idle.size(), 5u);
+  expect_equiv("after EvictIdleSpill");
+  EXPECT_EQ(pool.BuildOccupancy().total(), 0u);
+}
+
 }  // namespace
 }  // namespace rcloak
