@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "bench/common.h"
+#include "bench/json_report.h"
 #include "server/anonymization_server.h"
 
 using namespace rcloak;
@@ -54,6 +55,9 @@ int main(int argc, char** argv) {
   constexpr int kJobs = 400;
   TableWriter table({"workers", "mode", "wall_ms", "req_per_s",
                      "mean_latency_ms", "p95_latency_ms", "ok"});
+  JsonReport report("e18");
+  report.MetaInt("jobs", kJobs);
+  report.Meta("workload", "atlanta");
   for (const int workers : worker_counts) {
     for (const bool batch : {false, true}) {
       core::Anonymizer engine(ctx, workload.occupancy);
@@ -96,8 +100,20 @@ int main(int argc, char** argv) {
                     TableWriter::Fixed(stats.mean_latency_ms, 3),
                     TableWriter::Fixed(stats.p95_latency_ms, 3),
                     TableWriter::Int(ok) + "/" + TableWriter::Int(kJobs)});
+      report.AddRow()
+          .Int("workers", workers)
+          .Str("mode", mode)
+          .Num("wall_ms", wall_ms)
+          .Num("req_per_s", kJobs / (wall_ms / 1000.0))
+          .Num("mean_latency_ms", stats.mean_latency_ms)
+          .Num("p95_latency_ms", stats.p95_latency_ms)
+          .Int("ok", ok);
     }
   }
   table.PrintMarkdown(std::cout);
+  if (!report.WriteFile()) {
+    std::fprintf(stderr, "failed to write BENCH_e18.json\n");
+    return 1;
+  }
   return 0;
 }

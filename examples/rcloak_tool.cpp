@@ -12,13 +12,24 @@
 //   reduce    --map map.rcmap --artifact artifact.bin --keys keys.rcks
 //             --passphrase PW --level L
 //   serve     --map map.rcmap [--port P] [--workers N] [--duration SECS]
-//             [--trace trace.txt]      (0s / no duration = run until killed)
+//             [--trace trace.txt] [--spill spill.rcsf] [--budget BYTES]
+//                                      (0s / no duration = run until killed)
 //   sendto    --host H --port P --user NAME --segments "3,17,42"
 //             [--interval SECS]
+//   spill     --map map.rcmap --trace trace.txt --out spill.rcsf
+//             [--workers N]
+//   restore   --map map.rcmap --spill spill.rcsf [--workers N]
 //
 // Everything the Anonymizer / De-anonymizer GUIs do, scriptable — plus the
 // networked front door (`serve` binds the epoll server on a map, `sendto`
 // streams framed position updates at one and prints each artifact reply).
+//
+// The cold tier is scriptable end to end: `spill` drives a trace through a
+// session pool under the SAME profile/key schedule `serve` auto-tracks
+// with and writes every session to a batched spill file; `serve --spill`
+// attaches that file (a reconnecting user's updates then restore on miss,
+// and `--budget` caps the resident set); `restore` warm-boots a pool from
+// the file and reports what came back.
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -298,6 +309,129 @@ int Reduce(const Args& args) {
   return 0;
 }
 
+// The session parameters `serve` auto-tracks users under (NetServerOptions
+// defaults). `spill` and `restore` must build pools under the same ones so
+// spill files round-trip against a running server.
+core::PrivacyProfile ServeProfile() {
+  return core::PrivacyProfile({{8, 3, 1e9}, {25, 8, 1e9}});
+}
+
+server::SessionPoolOptions ServePoolOptions() {
+  server::SessionPoolOptions options;
+  const int levels = ServeProfile().num_levels();
+  options.key_provider_factory = [levels](std::string_view user) {
+    return rcloak::net::DeterministicKeyProvider(50000, user, levels);
+  };
+  return options;
+}
+
+void PrintColdTierStats(const server::ContinuousSessionPool& pool) {
+  const auto stats = pool.stats();
+  std::cout << "  resident sessions: " << stats.active_sessions << "\n"
+            << "  memory accounting: " << stats.memory_bytes << " B ("
+            << stats.interner_bytes << " B interner)\n";
+  if (const auto* spill = pool.spill_file()) {
+    const auto file = spill->stats();
+    std::cout << "  spill file: " << file.live_records << " live records, "
+              << file.file_bytes << " B (" << file.dead_bytes
+              << " B dead), " << file.compactions << " compactions\n";
+  }
+}
+
+int Spill(const Args& args) {
+  const auto net = roadnet::LoadNetworkFile(args.Get("map"));
+  if (!net.ok()) return Fail(net.status().ToString());
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("spill: --out required");
+  if (!args.Has("trace")) return Fail("spill: --trace required");
+  const auto records = mobility::LoadTraceFile(args.Get("trace"));
+  if (!records.ok()) return Fail(records.status().ToString());
+  // All-ones occupancy — the same default a trace-less `serve` cloaks
+  // under, so the spilled artifacts match what that server would cut (and
+  // small traces don't starve the k levels).
+  mobility::OccupancySnapshot occupancy(net->segment_count());
+  for (std::uint32_t i = 0; i < net->segment_count(); ++i) {
+    occupancy.Add(roadnet::SegmentId{i});
+  }
+
+  core::Anonymizer engine(*net, std::move(occupancy));
+  server::ServerOptions server_options;
+  server_options.num_workers = static_cast<int>(args.Int("workers", 2));
+  server::AnonymizationServer anon_server(std::move(engine), server_options);
+  server::ContinuousSessionPool pool(anon_server, ServePoolOptions());
+  if (const auto attached = pool.AttachSpillFile(out); !attached.ok()) {
+    return Fail(attached.ToString());
+  }
+
+  // Drive the trace tick by tick so every session carries a real artifact
+  // and validity region into the file — the same shape a live `serve`
+  // session has when the sweep evicts it.
+  std::map<double, std::vector<mobility::TraceRecord>> by_time;
+  for (const auto& rec : *records) by_time[rec.time_s].push_back(rec);
+  std::map<std::uint32_t, util::UserId> ids;
+  core::ContinuousOptions continuous{1, 0.0};
+  std::uint64_t failed = 0;
+  for (const auto& [now_s, tick] : by_time) {
+    std::vector<server::ContinuousSessionPool::IdPositionUpdate> batch;
+    for (const auto& rec : tick) {
+      auto it = ids.find(rec.car_id);
+      if (it == ids.end()) {
+        const std::string name = "car" + std::to_string(rec.car_id);
+        const auto tracked = pool.Track(
+            name, ServeProfile(), core::Algorithm::kRge,
+            rcloak::net::DeterministicKeyProvider(
+                50000, name, ServeProfile().num_levels()),
+            continuous, now_s);
+        if (!tracked.ok()) return Fail(tracked.status().ToString());
+        it = ids.emplace(rec.car_id, *tracked).first;
+      }
+      batch.push_back({it->second, now_s, rec.segment});
+    }
+    for (const auto& result : pool.UpdateBatch(batch)) {
+      if (!result.ok()) ++failed;
+    }
+  }
+  if (failed > 0) {
+    std::cerr << "warning: " << failed << " updates failed\n";
+  }
+  const auto written = pool.SpillAllToFile();
+  if (!written.ok()) return Fail(written.status().ToString());
+  std::cout << "wrote " << out << ": " << *written << " sessions spilled ("
+            << ids.size() << " cars, " << records->size()
+            << " trace records)\n";
+  PrintColdTierStats(pool);
+  return 0;
+}
+
+int RestoreCmd(const Args& args) {
+  const auto net = roadnet::LoadNetworkFile(args.Get("map"));
+  if (!net.ok()) return Fail(net.status().ToString());
+  const std::string path = args.Get("spill");
+  if (path.empty()) return Fail("restore: --spill required");
+  mobility::OccupancySnapshot occupancy(net->segment_count());
+  for (std::uint32_t i = 0; i < net->segment_count(); ++i) {
+    occupancy.Add(roadnet::SegmentId{i});
+  }
+  core::Anonymizer engine(*net, std::move(occupancy));
+  server::ServerOptions server_options;
+  server_options.num_workers = static_cast<int>(args.Int("workers", 2));
+  server::AnonymizationServer anon_server(std::move(engine), server_options);
+  server::ContinuousSessionPool pool(anon_server, ServePoolOptions());
+  if (const auto attached = pool.AttachSpillFile(path); !attached.ok()) {
+    return Fail(attached.ToString());
+  }
+  const auto restored = pool.RestoreAllFromFile();
+  if (!restored.ok()) return Fail(restored.status().ToString());
+  const auto stats = pool.stats();
+  std::cout << "restored " << *restored << " sessions from " << path;
+  if (stats.restore_failures > 0) {
+    std::cout << " (" << stats.restore_failures << " failed)";
+  }
+  std::cout << "\n";
+  PrintColdTierStats(pool);
+  return stats.restore_failures == 0 ? 0 : 1;
+}
+
 int Serve(const Args& args) {
   const auto net = roadnet::LoadNetworkFile(args.Get("map"));
   if (!net.ok()) return Fail(net.status().ToString());
@@ -316,7 +450,29 @@ int Serve(const Args& args) {
   server::ServerOptions server_options;
   server_options.num_workers = static_cast<int>(args.Int("workers", 2));
   server::AnonymizationServer anon_server(std::move(engine), server_options);
-  server::ContinuousSessionPool pool(anon_server);
+  server::SessionPoolOptions pool_options;
+  if (args.Has("spill")) {
+    // The cold tier: budget sweeps spill to the file, reconnecting users
+    // restore on miss under the same deterministic schedule the front
+    // door auto-tracks with.
+    pool_options = ServePoolOptions();
+  }
+  pool_options.memory_budget_bytes =
+      static_cast<std::size_t>(args.Int("budget", 0));
+  server::ContinuousSessionPool pool(anon_server, pool_options);
+  if (args.Has("spill")) {
+    if (const auto attached = pool.AttachSpillFile(args.Get("spill"));
+        !attached.ok()) {
+      return Fail(attached.ToString());
+    }
+    std::cout << "cold tier: spill file " << args.Get("spill") << " ("
+              << pool.spill_file()->stats().live_records
+              << " spilled sessions)";
+    if (pool.memory_budget_bytes() > 0) {
+      std::cout << ", budget " << pool.memory_budget_bytes() << " B";
+    }
+    std::cout << "\n";
+  }
   rcloak::net::NetServerOptions options;
   options.port = static_cast<std::uint16_t>(args.Int("port", 0));
   rcloak::net::NetServer front(pool, options);
@@ -393,7 +549,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: rcloak_tool "
                  "<gen-map|map-stats|gen-trace|keygen|anonymize|inspect|"
-                 "reduce|serve|sendto> [--flag value ...]\n";
+                 "reduce|serve|sendto|spill|restore> [--flag value ...]\n";
     return 2;
   }
   const Args args(argc, argv);
@@ -407,6 +563,8 @@ int main(int argc, char** argv) {
   if (command == "reduce") return Reduce(args);
   if (command == "serve") return Serve(args);
   if (command == "sendto") return SendTo(args);
+  if (command == "spill") return Spill(args);
+  if (command == "restore") return RestoreCmd(args);
   std::cerr << "unknown subcommand: " << command << "\n";
   return 2;
 }

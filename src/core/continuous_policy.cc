@@ -1,5 +1,6 @@
 #include "core/continuous_policy.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "roadnet/road_network.h"
@@ -24,6 +25,21 @@ std::optional<double> GetDouble(const Bytes& in, std::size_t* offset) {
 Status Truncated() { return Status::DataLoss("policy blob truncated"); }
 
 }  // namespace
+
+ValidityRegion::ValidityRegion(std::vector<roadnet::SegmentId> segments)
+    : segments_(std::move(segments)) {
+  std::sort(segments_.begin(), segments_.end(),
+            [](roadnet::SegmentId a, roadnet::SegmentId b) {
+              return roadnet::Index(a) < roadnet::Index(b);
+            });
+}
+
+bool ValidityRegion::Contains(roadnet::SegmentId id) const noexcept {
+  return std::binary_search(segments_.begin(), segments_.end(), id,
+                            [](roadnet::SegmentId a, roadnet::SegmentId b) {
+                              return roadnet::Index(a) < roadnet::Index(b);
+                            });
+}
 
 std::string ContinuousPolicy::EpochContext(std::uint64_t epoch) const {
   return user_id_ + "/epoch-" + std::to_string(epoch);
@@ -61,7 +77,9 @@ void ContinuousPolicy::CommitRecloak(
   }
   ++epoch_;
   artifact_ = std::move(artifact);
-  validity_region_ = std::move(validity_region);
+  // Keep only the segment set: the CloakRegion engine state (bitmap,
+  // frontier caches) is per-network-sized and dies here.
+  validity_region_ = ValidityRegion(validity_region.segments_by_id());
   artifact_created_s_ = now_s;
   stats_.last_recloak_time_s = now_s;
   ++stats_.recloaks;
@@ -177,7 +195,7 @@ StatusOr<ContinuousPolicy> ContinuousPolicy::Deserialize(
       }
       segments.push_back(sid);
     }
-    policy.validity_region_ = CloakRegion::FromSegments(net, segments);
+    policy.validity_region_ = ValidityRegion(std::move(segments));
   }
   const auto created_s = GetDouble(data, &offset);
   const auto updates = GetVarint(data, &offset);
@@ -200,6 +218,25 @@ StatusOr<ContinuousPolicy> ContinuousPolicy::Deserialize(
     policy.stats_.validity_duration_s.Add(*sample);
   }
   return policy;
+}
+
+std::size_t ContinuousPolicy::MemoryFootprint() const noexcept {
+  std::size_t bytes = sizeof(ContinuousPolicy);
+  bytes += user_id_.capacity();
+  bytes += static_cast<std::size_t>(profile_.num_levels()) *
+           sizeof(LevelRequirement);
+  if (artifact_) {
+    bytes += sizeof(CloakedArtifact);
+    bytes += artifact_->context.capacity();
+    bytes += artifact_->levels.capacity() * sizeof(LevelRecord);
+    for (const LevelRecord& level : artifact_->levels) {
+      bytes += level.step_bits_blinded.capacity();
+    }
+    bytes += artifact_->region_segments.capacity() * sizeof(SegmentId);
+  }
+  if (validity_region_) bytes += validity_region_->memory_bytes();
+  bytes += stats_.validity_duration_s.count() * sizeof(double);
+  return bytes;
 }
 
 }  // namespace rcloak::core

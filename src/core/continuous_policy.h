@@ -49,6 +49,34 @@ struct ContinuousStats {
   Samples validity_duration_s;
 };
 
+// Compact validity region: the sorted segment-id set of the level region
+// that keeps the artifact in force valid. A resident session only ever
+// asks "is this segment inside?", so storing the full CloakRegion engine
+// (dense per-network membership bitmap plus frontier caches) would make
+// every parked session cost O(|network|) bytes — fatal to the million-
+// session memory story. A sorted vector + binary search answers Contains
+// bit-identically at O(|region|) bytes.
+class ValidityRegion {
+ public:
+  ValidityRegion() = default;
+  // Takes any segment list; stored sorted ascending by id (the canonical
+  // published order, matching CloakRegion::segments_by_id()).
+  explicit ValidityRegion(std::vector<roadnet::SegmentId> segments);
+
+  bool Contains(roadnet::SegmentId id) const noexcept;
+
+  const std::vector<roadnet::SegmentId>& segments_by_id() const noexcept {
+    return segments_;
+  }
+
+  std::size_t memory_bytes() const noexcept {
+    return segments_.capacity() * sizeof(roadnet::SegmentId);
+  }
+
+ private:
+  std::vector<roadnet::SegmentId> segments_;
+};
+
 class ContinuousPolicy {
  public:
   enum class Action : std::uint8_t {
@@ -129,6 +157,12 @@ class ContinuousPolicy {
   }
   const ContinuousStats& stats() const noexcept { return stats_; }
 
+  // Approximate heap footprint of the session state this policy retains —
+  // identity, profile, artifact in force, validity region, stats samples.
+  // An estimate for the session pool's memory-budget accounting, not
+  // malloc truth.
+  std::size_t MemoryFootprint() const noexcept;
+
  private:
   // Deserialize fills every field directly.
   ContinuousPolicy() = default;
@@ -140,7 +174,7 @@ class ContinuousPolicy {
 
   std::uint64_t epoch_ = 0;
   std::shared_ptr<const CloakedArtifact> artifact_;
-  std::optional<CloakRegion> validity_region_;
+  std::optional<ValidityRegion> validity_region_;
   double artifact_created_s_ = 0.0;
   ContinuousStats stats_;
 };

@@ -223,11 +223,17 @@ void NetServer::HandlePositionUpdate(Connection& conn, const Bytes& payload) {
   }
   util::UserId user{};
   const auto known = pool_->UserIdOf(decoded->user_id);
-  if (known.ok()) {
+  // A known handle covers the cold tier too: a reconnecting HELLO for a
+  // user spilled to the file enqueues like any resident one, and the
+  // pool's restore-on-miss adopts the session inside the tick batch.
+  const bool adoptable =
+      known.ok() && pool_->StateOf(known.value()) !=
+                        server::ContinuousSessionPool::UserState::kUntracked;
+  if (adoptable) {
     user = known.value();
   } else {
-    // First sighting: auto-track under the server's profile and the
-    // deterministic per-user key schedule.
+    // First sighting (or a name evicted without spill): auto-track under
+    // the server's profile and the deterministic per-user key schedule.
     auto tracked = pool_->Track(decoded->user_id, options_.profile,
                                 options_.algorithm,
                                 KeyProviderFor(decoded->user_id),

@@ -110,6 +110,11 @@ struct NetServerStats {
 class NetServer {
  public:
   // The pool (and the server underneath it) must outlive the NetServer.
+  // When the pool has a spill file attached, a reconnecting client whose
+  // user was spilled is NOT re-tracked fresh: its updates enqueue against
+  // the existing handle and the pool's restore-on-miss adopts the restored
+  // session mid-batch (configure the pool's key_provider_factory to match
+  // this server's key schedule so cross-run restores re-key correctly).
   NetServer(server::ContinuousSessionPool& pool,
             const NetServerOptions& options = {});
   ~NetServer();

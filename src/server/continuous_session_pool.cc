@@ -1,9 +1,11 @@
 #include "server/continuous_session_pool.h"
 
+#include <algorithm>
 #include <bit>
 #include <unordered_set>
 #include <utility>
 
+#include "core/algorithm.h"
 #include "util/stopwatch.h"
 
 namespace rcloak::server {
@@ -13,9 +15,22 @@ using core::ContinuousPolicy;
 namespace {
 
 // Spill envelope: the pool-level session fields around the policy blob.
+// v2 (the cold tier) binds every blob to the map and algorithm it was cut
+// under — spill files persist across runs, so a version byte alone is not
+// enough to trust a record.
+//
+//   u8 version | u64le map fingerprint | u8 algorithm |
+//   varint blob size | policy blob | u64le clock bits | varint segment
+constexpr std::uint8_t kSpillEnvelopeVersion = 2;
+
 Bytes EncodeSpillEnvelope(const Bytes& policy_blob, double last_update_s,
-                          roadnet::SegmentId last_segment) {
+                          roadnet::SegmentId last_segment,
+                          std::uint64_t map_fingerprint,
+                          core::Algorithm algorithm) {
   Bytes out;
+  out.push_back(kSpillEnvelopeVersion);
+  PutU64le(out, map_fingerprint);
+  out.push_back(static_cast<std::uint8_t>(algorithm));
   PutVarint(out, policy_blob.size());
   out.insert(out.end(), policy_blob.begin(), policy_blob.end());
   PutU64le(out, std::bit_cast<std::uint64_t>(last_update_s));
@@ -24,6 +39,8 @@ Bytes EncodeSpillEnvelope(const Bytes& policy_blob, double last_update_s,
 }
 
 struct SpillEnvelope {
+  std::uint64_t map_fingerprint = 0;
+  std::uint8_t algorithm = 0;
   Bytes policy_blob;
   double last_update_s = 0.0;
   roadnet::SegmentId last_segment = roadnet::kInvalidSegment;
@@ -32,6 +49,16 @@ struct SpillEnvelope {
 StatusOr<SpillEnvelope> DecodeSpillEnvelope(const Bytes& data) {
   SpillEnvelope envelope;
   std::size_t offset = 0;
+  if (data.empty() || data[offset++] != kSpillEnvelopeVersion) {
+    return Status::InvalidArgument(
+        "spilled session: unsupported envelope version");
+  }
+  const auto fingerprint = GetU64le(data, &offset);
+  if (!fingerprint || offset >= data.size()) {
+    return Status::DataLoss("spilled session truncated");
+  }
+  envelope.map_fingerprint = *fingerprint;
+  envelope.algorithm = data[offset++];
   const auto blob_size = GetVarint(data, &offset);
   // Subtract-side compare: a hostile length near 2^64 must not wrap.
   if (!blob_size || *blob_size > data.size() - offset) {
@@ -58,7 +85,8 @@ ContinuousSessionPool::ContinuousSessionPool(AnonymizationServer& server,
                                              const SessionPoolOptions& options)
     : server_(&server),
       deanonymizer_(server.engine().context()),
-      options_(options) {
+      options_(options),
+      map_fingerprint_(server.engine().context()->fingerprint()) {
   const int shards =
       options.num_shards > 0 ? options.num_shards : server.num_workers();
   const std::size_t segments = server.engine().network().segment_count();
@@ -67,6 +95,15 @@ ContinuousSessionPool::ContinuousSessionPool(AnonymizationServer& server,
     shards_.push_back(std::make_unique<Shard>());
     shards_.back()->occupancy.assign(segments, 0);
   }
+  memory_budget_bytes_.store(options.memory_budget_bytes,
+                             std::memory_order_relaxed);
+}
+
+std::size_t ContinuousSessionPool::SessionFootprint(const Session& session) {
+  // The policy's own estimate plus provider storage; the Session struct
+  // itself is counted once more through the shard table's slot array —
+  // intentionally conservative, the sweep must start early, never late.
+  return session.policy.MemoryFootprint() + sizeof(KeyProvider);
 }
 
 StatusOr<util::UserId> ContinuousSessionPool::TrackPolicy(
@@ -78,16 +115,21 @@ StatusOr<util::UserId> ContinuousSessionPool::TrackPolicy(
   const auto [session, inserted] = shard.sessions.TryEmplace(
       id, Session(std::move(policy), std::move(key_provider)));
   if (!inserted) {
-    return Status::FailedPrecondition(
-        "track: user already tracked: " +
-        std::string(interner_.NameOf(id)));
+    return Status::FailedPrecondition("track: user already tracked: " +
+                                      interner_.NameCopyOf(id));
   }
   // Registration counts as activity: EvictIdle must not reap a session
   // that was tracked late in simulation time but never updated yet.
   session->last_update_s = now_s;
   session->last_segment = last_segment;
+  session->referenced = true;
+  session->mem_bytes = SessionFootprint(*session);
+  shard.resident_bytes += session->mem_bytes;
   shard.OccupancyAdd(last_segment);
   if (restored) ++shard.restored;
+  // A fresh insert supersedes any cold-tier copy of this user.
+  shard.parked_keys.Erase(id);
+  if (spill_ != nullptr) spill_->Erase(id);
   return id;
 }
 
@@ -101,12 +143,18 @@ StatusOr<util::UserId> ContinuousSessionPool::Track(
   }
   ContinuousPolicy policy(std::string(user_id), std::move(profile), algorithm,
                           options);
-  return TrackPolicy(std::move(policy), std::move(key_provider), now_s,
-                     roadnet::kInvalidSegment, /*restored=*/false);
+  std::shared_lock<std::shared_mutex> cold(cold_mutex_);
+  auto tracked = TrackPolicy(std::move(policy), std::move(key_provider),
+                             now_s, roadnet::kInvalidSegment,
+                             /*restored=*/false);
+  // A track flood can pass the budget without a single update.
+  if (tracked.ok()) MaybeSweep();
+  return tracked;
 }
 
 StatusOr<util::UserId> ContinuousSessionPool::UserIdOf(
     std::string_view user_id) const {
+  std::shared_lock<std::shared_mutex> cold(cold_mutex_);
   const util::UserId id = interner_.Find(user_id);
   if (!id.valid()) {
     return Status::NotFound("untracked user: " + std::string(user_id));
@@ -115,6 +163,7 @@ StatusOr<util::UserId> ContinuousSessionPool::UserIdOf(
 }
 
 bool ContinuousSessionPool::Evict(std::string_view user_id) {
+  std::shared_lock<std::shared_mutex> cold(cold_mutex_);
   const util::UserId id = interner_.Find(user_id);
   if (!id.valid()) return false;
   Shard& shard = *shards_[ShardIndexFor(id)];
@@ -123,12 +172,14 @@ bool ContinuousSessionPool::Evict(std::string_view user_id) {
   if (session == nullptr) return false;
   shard.RetireSession(*session);
   shard.OccupancyRemove(session->last_segment);
+  shard.resident_bytes -= session->mem_bytes;
   shard.sessions.Erase(id);
   ++shard.evicted;
   return true;
 }
 
 std::size_t ContinuousSessionPool::EvictIdle(double now_s, double idle_s) {
+  std::shared_lock<std::shared_mutex> cold(cold_mutex_);
   std::size_t evicted = 0;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
@@ -137,6 +188,7 @@ std::size_t ContinuousSessionPool::EvictIdle(double now_s, double idle_s) {
           if (now_s - session.last_update_s <= idle_s) return false;
           shard->RetireSession(session);
           shard->OccupancyRemove(session.last_segment);
+          shard->resident_bytes -= session.mem_bytes;
           ++shard->evicted;
           ++shard->evicted_idle;
           return true;
@@ -147,6 +199,7 @@ std::size_t ContinuousSessionPool::EvictIdle(double now_s, double idle_s) {
 
 StatusOr<ContinuousSessionPool::SpilledSession> ContinuousSessionPool::Spill(
     std::string_view user_id) {
+  std::shared_lock<std::shared_mutex> cold(cold_mutex_);
   const util::UserId id = interner_.Find(user_id);
   if (!id.valid()) {
     return Status::NotFound("untracked user: " + std::string(user_id));
@@ -159,10 +212,11 @@ StatusOr<ContinuousSessionPool::SpilledSession> ContinuousSessionPool::Spill(
   }
   SpilledSession spilled;
   spilled.user_id = std::string(user_id);
-  spilled.state = EncodeSpillEnvelope(session->policy.Serialize(),
-                                      session->last_update_s,
-                                      session->last_segment);
+  spilled.state = EncodeSpillEnvelope(
+      session->policy.Serialize(), session->last_update_s,
+      session->last_segment, map_fingerprint_, session->policy.algorithm());
   shard.OccupancyRemove(session->last_segment);
+  shard.resident_bytes -= session->mem_bytes;
   shard.sessions.Erase(id);
   ++shard.spilled;
   return spilled;
@@ -170,18 +224,20 @@ StatusOr<ContinuousSessionPool::SpilledSession> ContinuousSessionPool::Spill(
 
 std::vector<ContinuousSessionPool::SpilledSession>
 ContinuousSessionPool::EvictIdleSpill(double now_s, double idle_s) {
+  std::shared_lock<std::shared_mutex> cold(cold_mutex_);
   std::vector<SpilledSession> spilled;
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     shard->sessions.EraseIf([&](util::UserId id, Session& session) {
       if (now_s - session.last_update_s <= idle_s) return false;
       SpilledSession out;
-      out.user_id = std::string(interner_.NameOf(id));
-      out.state = EncodeSpillEnvelope(session.policy.Serialize(),
-                                      session.last_update_s,
-                                      session.last_segment);
+      out.user_id = interner_.NameCopyOf(id);
+      out.state = EncodeSpillEnvelope(
+          session.policy.Serialize(), session.last_update_s,
+          session.last_segment, map_fingerprint_, session.policy.algorithm());
       spilled.push_back(std::move(out));
       shard->OccupancyRemove(session.last_segment);
+      shard->resident_bytes -= session.mem_bytes;
       ++shard->spilled;
       return true;
     });
@@ -189,21 +245,312 @@ ContinuousSessionPool::EvictIdleSpill(double now_s, double idle_s) {
   return spilled;
 }
 
+Status ContinuousSessionPool::ValidateEnvelopeHeader(
+    std::uint64_t map_fingerprint, std::uint8_t algorithm) const {
+  if (map_fingerprint != map_fingerprint_) {
+    return Status::InvalidArgument(
+        "restore: map fingerprint mismatch (the blob was cloaked on a "
+        "different road network)");
+  }
+  if (core::FindAlgorithm(static_cast<core::Algorithm>(algorithm)) ==
+      nullptr) {
+    return Status::InvalidArgument(
+        "restore: unknown algorithm id in spilled session");
+  }
+  return Status::Ok();
+}
+
 StatusOr<util::UserId> ContinuousSessionPool::Restore(
     const SpilledSession& spilled, KeyProvider key_provider) {
   if (!key_provider) {
     return Status::InvalidArgument("restore: key provider must be callable");
   }
+  std::shared_lock<std::shared_mutex> cold(cold_mutex_);
   RCLOAK_ASSIGN_OR_RETURN(SpillEnvelope envelope,
                           DecodeSpillEnvelope(spilled.state));
+  // Context checks come BEFORE the deserialize: a blob from another map or
+  // an unregistered algorithm must not be parsed blind.
+  RCLOAK_RETURN_IF_ERROR(ValidateEnvelopeHeader(envelope.map_fingerprint,
+                                                envelope.algorithm));
   RCLOAK_ASSIGN_OR_RETURN(
       ContinuousPolicy policy,
       ContinuousPolicy::Deserialize(envelope.policy_blob,
                                     server_->engine().network()));
+  if (static_cast<std::uint8_t>(policy.algorithm()) != envelope.algorithm) {
+    return Status::InvalidArgument(
+        "restore: envelope and policy disagree on the algorithm id");
+  }
   return TrackPolicy(std::move(policy), std::move(key_provider),
                      envelope.last_update_s, envelope.last_segment,
                      /*restored=*/true);
 }
+
+// ---- cold tier ------------------------------------------------------------
+
+Status ContinuousSessionPool::AttachSpillFile(const std::string& path) {
+  std::unique_lock<std::shared_mutex> cold(cold_mutex_);
+  if (spill_ != nullptr) {
+    return Status::FailedPrecondition("spill file already attached");
+  }
+  auto file = store::SpillFile::Attach(path, map_fingerprint_, interner_);
+  if (!file.ok()) return file.status();
+  spill_ = std::move(*file);
+  return Status::Ok();
+}
+
+ContinuousSessionPool::UserState ContinuousSessionPool::StateOf(
+    util::UserId user) const {
+  if (!user.valid()) return UserState::kUntracked;
+  const Shard& shard = *shards_[ShardIndexFor(user)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.sessions.Find(user) != nullptr) return UserState::kResident;
+  }
+  if (spill_ != nullptr && spill_->Contains(user)) return UserState::kSpilled;
+  return UserState::kUntracked;
+}
+
+bool ContinuousSessionPool::RestoreFromSpill(util::UserId user,
+                                             bool count_on_miss) {
+  if (spill_ == nullptr) return false;
+  Shard& shard = *shards_[ShardIndexFor(user)];
+  Stopwatch timer;
+  auto blob = spill_->ReadRecord(user);
+  if (!blob.ok()) {
+    if (blob.status().code() != ErrorCode::kNotFound) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      ++shard.restore_failures;
+    }
+    return false;
+  }
+  double last_update_s = 0.0;
+  roadnet::SegmentId last_segment = roadnet::kInvalidSegment;
+  auto restore = [&]() -> StatusOr<ContinuousPolicy> {
+    RCLOAK_ASSIGN_OR_RETURN(SpillEnvelope envelope,
+                            DecodeSpillEnvelope(*blob));
+    RCLOAK_RETURN_IF_ERROR(ValidateEnvelopeHeader(envelope.map_fingerprint,
+                                                  envelope.algorithm));
+    RCLOAK_ASSIGN_OR_RETURN(
+        ContinuousPolicy policy,
+        ContinuousPolicy::Deserialize(envelope.policy_blob,
+                                      server_->engine().network()));
+    last_update_s = envelope.last_update_s;
+    last_segment = envelope.last_segment;
+    return policy;
+  };
+  StatusOr<ContinuousPolicy> policy = restore();
+  if (!policy.ok()) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.restore_failures;
+    return false;
+  }
+  // Key source: the provider parked at budget-spill time, else the
+  // configured factory (the only option for files attached cross-run).
+  KeyProvider provider;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (KeyProvider* parked = shard.parked_keys.Find(user)) {
+      provider = std::move(*parked);
+      shard.parked_keys.Erase(user);
+    }
+  }
+  if (!provider && options_.key_provider_factory) {
+    provider = options_.key_provider_factory(interner_.NameCopyOf(user));
+  }
+  if (!provider) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.restore_failures;
+    return false;
+  }
+  auto tracked = TrackPolicy(std::move(*policy), std::move(provider),
+                             last_update_s, last_segment,
+                             /*restored=*/true);
+  if (!tracked.ok()) {
+    // FailedPrecondition = the user raced back in already: resident is
+    // resident, the caller proceeds.
+    return tracked.status().code() == ErrorCode::kFailedPrecondition;
+  }
+  if (count_on_miss) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.restored_on_miss;
+  }
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    restore_latency_ms_.Add(timer.ElapsedMillis());
+  }
+  return true;
+}
+
+std::size_t ContinuousSessionPool::SweepStep(std::size_t quota) {
+  const std::size_t shard_index =
+      sweep_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<store::SpillFile::Record> batch;
+  std::vector<util::UserId> victims;
+  const std::size_t visited = shard.sessions.SweepFrom(
+      &shard.clock_hand, quota, [&](util::UserId id, Session& session) {
+        if (session.referenced) {
+          // Second chance: touched since the last lap.
+          session.referenced = false;
+          return false;
+        }
+        batch.push_back(store::SpillFile::Record{
+            id, EncodeSpillEnvelope(session.policy.Serialize(),
+                                    session.last_update_s,
+                                    session.last_segment, map_fingerprint_,
+                                    session.policy.algorithm())});
+        victims.push_back(id);
+        return false;  // erased below, only once the append landed
+      });
+  if (!victims.empty() && spill_->AppendBatch(batch).ok()) {
+    for (const util::UserId id : victims) {
+      Session* session = shard.sessions.Find(id);
+      if (session == nullptr) continue;
+      if (!options_.key_provider_factory) {
+        shard.parked_keys.TryEmplace(id, std::move(session->key_provider));
+      }
+      shard.OccupancyRemove(session->last_segment);
+      shard.resident_bytes -= session->mem_bytes;
+      shard.sessions.Erase(id);
+      ++shard.spilled;
+      ++shard.budget_spilled;
+    }
+  }
+  // On append failure the sessions simply stay resident; the budget stays
+  // exceeded and the next sweep retries.
+  return visited;
+}
+
+void ContinuousSessionPool::MaybeSweep() {
+  if (spill_ == nullptr) return;
+  const std::size_t budget =
+      memory_budget_bytes_.load(std::memory_order_relaxed);
+  if (budget == 0 || memory_bytes() <= budget) return;
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t quota = options_.sweep_batch > 0 ? options_.sweep_batch
+                                                     : std::size_t{256};
+  // Two laps over the clock at most: lap one clears referenced bits, lap
+  // two spills. If the resident floor (everything touched this tick) still
+  // exceeds the budget after that, yield to the next batch.
+  std::size_t allowance = 2 * (session_count() + shards_.size());
+  while (allowance > 0 && memory_bytes() > budget) {
+    const std::size_t visited = SweepStep(quota);
+    allowance -= std::min(allowance, std::max<std::size_t>(visited, 1));
+  }
+}
+
+bool ContinuousSessionPool::CompactionDue() const {
+  if (spill_ == nullptr) return false;
+  const store::SpillFileStats stats = spill_->stats();
+  if (stats.file_bytes < options_.spill_compact_min_bytes) return false;
+  return static_cast<double>(stats.dead_bytes) >
+         options_.spill_compact_dead_fraction *
+             static_cast<double>(stats.file_bytes);
+}
+
+void ContinuousSessionPool::MaybeCompactColdTier() {
+  if (!CompactionDue()) return;
+  std::unique_lock<std::shared_mutex> cold(cold_mutex_);
+  if (!CompactionDue()) return;  // raced: someone else compacted
+  // Failure leaves the dead bytes in place; retried after the next sweep.
+  (void)CompactColdTierLocked();
+}
+
+Status ContinuousSessionPool::CompactColdTierLocked() {
+  // Generation protocol: open a fresh generation, move every name that
+  // must survive into it (resident sessions, parked providers, live spill
+  // records as compaction sees them), then retire everything older —
+  // churned users' names are the only thing left behind.
+  const std::uint32_t fresh = interner_.BeginGeneration();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->sessions.ForEach(
+        [&](util::UserId id, Session&) { interner_.Touch(id); });
+    shard->parked_keys.ForEach(
+        [&](util::UserId id, KeyProvider&) { interner_.Touch(id); });
+  }
+  RCLOAK_RETURN_IF_ERROR(spill_->Compact());
+  for (const util::UserId user : spill_->LiveUsers()) interner_.Touch(user);
+  interner_.RetireGenerationsBefore(fresh);
+  spill_compactions_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status ContinuousSessionPool::CompactColdTier() {
+  if (spill_ == nullptr) {
+    return Status::FailedPrecondition("no spill file attached");
+  }
+  std::unique_lock<std::shared_mutex> cold(cold_mutex_);
+  return CompactColdTierLocked();
+}
+
+StatusOr<std::size_t> ContinuousSessionPool::SpillAllToFile() {
+  if (spill_ == nullptr) {
+    return Status::FailedPrecondition("no spill file attached");
+  }
+  std::shared_lock<std::shared_mutex> cold(cold_mutex_);
+  std::size_t written = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    std::vector<store::SpillFile::Record> batch;
+    std::vector<util::UserId> victims;
+    shard.sessions.ForEach([&](util::UserId id, Session& session) {
+      batch.push_back(store::SpillFile::Record{
+          id, EncodeSpillEnvelope(session.policy.Serialize(),
+                                  session.last_update_s, session.last_segment,
+                                  map_fingerprint_,
+                                  session.policy.algorithm())});
+      victims.push_back(id);
+    });
+    if (batch.empty()) continue;
+    RCLOAK_RETURN_IF_ERROR(spill_->AppendBatch(batch));
+    for (const util::UserId id : victims) {
+      Session* session = shard.sessions.Find(id);
+      if (session == nullptr) continue;
+      if (!options_.key_provider_factory) {
+        shard.parked_keys.TryEmplace(id, std::move(session->key_provider));
+      }
+      shard.OccupancyRemove(session->last_segment);
+      shard.resident_bytes -= session->mem_bytes;
+      shard.sessions.Erase(id);
+      ++shard.spilled;
+    }
+    written += victims.size();
+  }
+  return written;
+}
+
+StatusOr<std::size_t> ContinuousSessionPool::RestoreAllFromFile() {
+  if (spill_ == nullptr) {
+    return Status::FailedPrecondition("no spill file attached");
+  }
+  std::shared_lock<std::shared_mutex> cold(cold_mutex_);
+  std::size_t restored = 0;
+  for (const util::UserId user : spill_->LiveUsers()) {
+    if (RestoreFromSpill(user, /*count_on_miss=*/false)) ++restored;
+  }
+  return restored;
+}
+
+std::size_t ContinuousSessionPool::memory_bytes() const {
+  // std::function storage for a parked provider, approximate.
+  constexpr std::size_t kParkedProviderBytes = 64;
+  std::size_t total = interner_.memory_bytes();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->resident_bytes;
+    total += shard->sessions.memory_bytes();
+    total += shard->parked_keys.memory_bytes() +
+             shard->parked_keys.size() * kParkedProviderBytes;
+    total += shard->occupancy.capacity() * sizeof(std::uint32_t);
+  }
+  if (spill_ != nullptr) total += spill_->stats().index_bytes;
+  return total;
+}
+
+// ---- update path ----------------------------------------------------------
 
 void ContinuousSessionPool::RunRound(
     const std::vector<IdPositionUpdate>& updates,
@@ -212,6 +559,48 @@ void ContinuousSessionPool::RunRound(
   // ---- phase 1: classify under the shard locks; no engine work ----------
   std::vector<PendingRecloak> pending;
   std::vector<AnonymizationServer::BatchJob> jobs;
+  // Requires the shard lock. Returns true when the engine must cut a
+  // fresh artifact for this update.
+  const auto classify = [&](Shard& shard, std::size_t shard_index,
+                            Session& session, std::size_t idx,
+                            const IdPositionUpdate& update,
+                            PendingRecloak& recloak,
+                            core::AnonymizeRequest& request,
+                            KeyProvider& provider) -> bool {
+    session.last_update_s = update.now_s;
+    session.referenced = true;  // second chance for the next clock lap
+    shard.OccupancyRemove(session.last_segment);
+    session.last_segment = update.segment;
+    shard.OccupancyAdd(update.segment);
+    switch (session.policy.OnUpdate(update.now_s, update.segment)) {
+      case ContinuousPolicy::Action::kServe:
+        ++shard.served_in_region;
+        // Refcount bump only — the in-region path allocates nothing.
+        results[idx] = session.policy.artifact();
+        return false;
+      case ContinuousPolicy::Action::kServeStale:
+        ++shard.throttled_stale;
+        results[idx] = session.policy.artifact();
+        return false;
+      case ContinuousPolicy::Action::kRecloak:
+        recloak.update_index = idx;
+        recloak.user = update.user;
+        recloak.shard = shard_index;
+        recloak.epoch = session.policy.next_epoch();
+        recloak.validity_level = session.policy.validity_level();
+        recloak.profile = session.policy.profile();
+        request.origin = update.segment;
+        request.profile = recloak.profile;
+        request.algorithm = session.policy.algorithm();
+        request.context = session.policy.EpochContext(recloak.epoch);
+        // Copied so the user-supplied provider runs OUTSIDE the shard
+        // lock: it may be slow (KMS round-trips) or call back into the
+        // pool, and either must not stall or deadlock the shard.
+        provider = session.key_provider;
+        return true;
+    }
+    return false;
+  };
   for (const std::size_t idx : round) {
     const IdPositionUpdate& update = updates[idx];
     const std::size_t shard_index = ShardIndexFor(update.user);
@@ -220,47 +609,37 @@ void ContinuousSessionPool::RunRound(
     core::AnonymizeRequest request;
     KeyProvider provider;
     bool needs_recloak = false;
+    bool missing = false;
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
       ++shard.updates;
       Session* session = shard.sessions.Find(update.user);
       if (session == nullptr) {
-        ++shard.unknown_user;
-        results[idx] = Status::NotFound(
-            "untracked user: " + std::string(interner_.NameOf(update.user)));
-        continue;
+        missing = true;
+      } else {
+        needs_recloak = classify(shard, shard_index, *session, idx, update,
+                                 recloak, request, provider);
       }
-      session->last_update_s = update.now_s;
-      shard.OccupancyRemove(session->last_segment);
-      session->last_segment = update.segment;
-      shard.OccupancyAdd(update.segment);
-      switch (session->policy.OnUpdate(update.now_s, update.segment)) {
-        case ContinuousPolicy::Action::kServe:
-          ++shard.served_in_region;
-          // Refcount bump only — the in-region path allocates nothing.
-          results[idx] = session->policy.artifact();
-          break;
-        case ContinuousPolicy::Action::kServeStale:
-          ++shard.throttled_stale;
-          results[idx] = session->policy.artifact();
-          break;
-        case ContinuousPolicy::Action::kRecloak:
-          recloak.update_index = idx;
-          recloak.user = update.user;
-          recloak.shard = shard_index;
-          recloak.epoch = session->policy.next_epoch();
-          recloak.validity_level = session->policy.validity_level();
-          recloak.profile = session->policy.profile();
-          request.origin = update.segment;
-          request.profile = recloak.profile;
-          request.algorithm = session->policy.algorithm();
-          request.context = session->policy.EpochContext(recloak.epoch);
-          // Copied so the user-supplied provider runs OUTSIDE the shard
-          // lock: it may be slow (KMS round-trips) or call back into the
-          // pool, and either must not stall or deadlock the shard.
-          provider = session->key_provider;
-          needs_recloak = true;
-          break;
+    }
+    if (missing) {
+      // The cold-tier fast path: an update for a spilled user reads the
+      // record back, deserializes, and proceeds in the SAME batch — no
+      // NotFound, byte-identical to a session that never left memory.
+      if (RestoreFromSpill(update.user, /*count_on_miss=*/true)) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        Session* session = shard.sessions.Find(update.user);
+        if (session != nullptr) {
+          needs_recloak = classify(shard, shard_index, *session, idx, update,
+                                   recloak, request, provider);
+          missing = false;
+        }
+      }
+      if (missing) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        ++shard.unknown_user;
+        results[idx] = Status::NotFound("untracked user: " +
+                                        interner_.NameCopyOf(update.user));
+        continue;
       }
     }
     if (!needs_recloak) continue;
@@ -340,14 +719,18 @@ void ContinuousSessionPool::RunRound(
     Session* session = shard.sessions.Find(recloak.user);
     if (session == nullptr) continue;  // evicted in flight
     if (session->policy.next_epoch() != recloak.epoch) continue;  // raced
+    shard.resident_bytes -= session->mem_bytes;
     session->policy.CommitRecloak(updates[idx].now_s, std::move(artifact),
                                   std::move(region).value());
+    session->mem_bytes = SessionFootprint(*session);
+    shard.resident_bytes += session->mem_bytes;
+    session->referenced = true;
     ++shard.recloaks;
   }
 }
 
 std::vector<StatusOr<ContinuousSessionPool::SharedArtifact>>
-ContinuousSessionPool::UpdateBatch(
+ContinuousSessionPool::UpdateBatchImpl(
     const std::vector<IdPositionUpdate>& updates) {
   std::vector<StatusOr<SharedArtifact>> results;
   results.reserve(updates.size());
@@ -399,17 +782,36 @@ ContinuousSessionPool::UpdateBatch(
   return results;
 }
 
+std::vector<StatusOr<ContinuousSessionPool::SharedArtifact>>
+ContinuousSessionPool::UpdateBatch(
+    const std::vector<IdPositionUpdate>& updates) {
+  std::vector<StatusOr<SharedArtifact>> results;
+  {
+    std::shared_lock<std::shared_mutex> cold(cold_mutex_);
+    results = UpdateBatchImpl(updates);
+    MaybeSweep();
+  }
+  MaybeCompactColdTier();
+  return results;
+}
+
 std::vector<StatusOr<core::CloakedArtifact>>
 ContinuousSessionPool::UpdateBatch(const std::vector<PositionUpdate>& updates) {
   // One boundary hash per update; unknown names fail fast below (invalid
   // handles are resolved inside the id batch).
   std::vector<IdPositionUpdate> ids;
   ids.reserve(updates.size());
-  for (const PositionUpdate& update : updates) {
-    ids.push_back(
-        {interner_.Find(update.user_id), update.now_s, update.segment});
+  std::vector<StatusOr<SharedArtifact>> shared;
+  {
+    std::shared_lock<std::shared_mutex> cold(cold_mutex_);
+    for (const PositionUpdate& update : updates) {
+      ids.push_back(
+          {interner_.Find(update.user_id), update.now_s, update.segment});
+    }
+    shared = UpdateBatchImpl(ids);
+    MaybeSweep();
   }
-  const auto shared = UpdateBatch(ids);
+  MaybeCompactColdTier();
   // Compatibility boundary: copy each served artifact out by value.
   std::vector<StatusOr<core::CloakedArtifact>> results;
   results.reserve(shared.size());
@@ -467,14 +869,14 @@ StatusOr<std::uint64_t> ContinuousSessionPool::UserEpoch(
   std::lock_guard<std::mutex> lock(shard.mutex);
   const Session* session = shard.sessions.Find(user);
   if (session == nullptr) {
-    return Status::NotFound("untracked user: " +
-                            std::string(interner_.NameOf(user)));
+    return Status::NotFound("untracked user: " + interner_.NameCopyOf(user));
   }
   return session->policy.epoch();
 }
 
 StatusOr<std::uint64_t> ContinuousSessionPool::UserEpoch(
     std::string_view user_id) const {
+  std::shared_lock<std::shared_mutex> cold(cold_mutex_);
   const util::UserId id = interner_.Find(user_id);
   if (!id.valid()) {
     return Status::NotFound("untracked user: " + std::string(user_id));
@@ -484,6 +886,7 @@ StatusOr<std::uint64_t> ContinuousSessionPool::UserEpoch(
 
 StatusOr<core::ContinuousStats> ContinuousSessionPool::UserStats(
     std::string_view user_id) const {
+  std::shared_lock<std::shared_mutex> cold(cold_mutex_);
   const util::UserId id = interner_.Find(user_id);
   if (!id.valid()) {
     return Status::NotFound("untracked user: " + std::string(user_id));
@@ -523,11 +926,26 @@ SessionPoolStats ContinuousSessionPool::stats() const {
     stats.retired_updates += shard->retired_updates;
     stats.retired_recloaks += shard->retired_recloaks;
     stats.retired_throttled_stale += shard->retired_throttled_stale;
+    stats.budget_spilled += shard->budget_spilled;
+    stats.restored_on_miss += shard->restored_on_miss;
+    stats.restore_failures += shard->restore_failures;
     stats.active_sessions += shard->sessions.size();
   }
   stats.reduce_fanouts = reduce_fanouts_.load(std::memory_order_relaxed);
+  stats.sweeps = sweeps_.load(std::memory_order_relaxed);
+  stats.spill_compactions =
+      spill_compactions_.load(std::memory_order_relaxed);
+  stats.memory_bytes = memory_bytes();
+  stats.interner_bytes = interner_.memory_bytes();
+  if (spill_ != nullptr) {
+    const store::SpillFileStats spill = spill_->stats();
+    stats.spill_file_bytes = spill.file_bytes;
+    stats.spill_dead_bytes = spill.dead_bytes;
+    stats.spill_live_records = spill.live_records;
+  }
   std::lock_guard<std::mutex> lock(latency_mutex_);
   stats.update_latency_ms = update_latency_ms_;
+  stats.restore_latency_ms = restore_latency_ms_;
   return stats;
 }
 

@@ -32,14 +32,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/continuous.h"
 #include "server/anonymization_server.h"
+#include "store/spill_file.h"
 #include "util/interner.h"
 #include "util/stats.h"
 
@@ -55,6 +58,27 @@ struct SessionPoolOptions {
   // thread. Purely a performance knob — artifacts are byte-identical
   // either way.
   std::size_t min_reduce_fanout = 4;
+
+  // ---- cold tier (active once AttachSpillFile succeeds) ------------------
+  // Soft budget over resident session state, session tables, interner
+  // arenas, parked key providers and the spill index (see memory_bytes());
+  // 0 = unlimited. When a spill file is attached and the accounting passes
+  // the budget, a clock/second-chance sweep runs incrementally from the
+  // update path, batch-spilling cold sessions to the file.
+  std::size_t memory_budget_bytes = 0;
+  // Sessions examined per clock-sweep step (one shard visit each).
+  std::size_t sweep_batch = 256;
+  // Spill-file compaction triggers after a batch once dead bytes exceed
+  // this fraction of the file and the file passed the minimum size.
+  double spill_compact_dead_fraction = 0.5;
+  std::uint64_t spill_compact_min_bytes = 1 << 20;
+  // Re-derives the key schedule for sessions restored on miss. When set,
+  // budget spills do not park providers in memory (the factory is the
+  // source of truth — required for spill files attached from an earlier
+  // run); when unset, the evicted session's provider is parked until the
+  // user returns.
+  std::function<core::ContinuousCloak::KeyProvider(std::string_view user_id)>
+      key_provider_factory;
 };
 
 struct SessionPoolStats {
@@ -84,6 +108,25 @@ struct SessionPoolStats {
   // Wall time per update, batch-amortized (one sample per update, each
   // carrying its round's mean).
   Samples update_latency_ms;
+
+  // ---- cold tier ---------------------------------------------------------
+  // Subset of `spilled` written to the spill file by the clock sweep.
+  std::uint64_t budget_spilled = 0;
+  // Subset of `restored` resolved transparently inside UpdateBatch.
+  std::uint64_t restored_on_miss = 0;
+  // Spilled records that could not come back (rotted on disk, no key
+  // source); the update that tripped them reports NotFound.
+  std::uint64_t restore_failures = 0;
+  std::uint64_t sweeps = 0;             // MaybeSweep passes that ran
+  std::uint64_t spill_compactions = 0;  // cold-tier compactions completed
+  // Accounting at call time: the budgeted total and its parts.
+  std::size_t memory_bytes = 0;
+  std::size_t interner_bytes = 0;
+  std::uint64_t spill_file_bytes = 0;
+  std::uint64_t spill_dead_bytes = 0;
+  std::size_t spill_live_records = 0;
+  // Wall time of each restore-on-miss (read + deserialize + re-insert).
+  Samples restore_latency_ms;
 };
 
 class ContinuousSessionPool {
@@ -136,8 +179,11 @@ class ContinuousSessionPool {
                                const core::ContinuousOptions& options = {},
                                double now_s = 0.0);
 
-  // The id handle for a user ever tracked by this pool (handles are never
-  // recycled — an evicted user keeps its id); kNotFound otherwise.
+  // The id handle for a user known to this pool; kNotFound otherwise. A
+  // handle stays stable for as long as the user is resident or spilled in
+  // the attached file; names of users that are neither may be retired by
+  // cold-tier compaction (the handle is recycled and the user re-interns
+  // fresh if it ever returns).
   StatusOr<util::UserId> UserIdOf(std::string_view user_id) const;
 
   // Removes a user session; false if the user was not tracked.
@@ -158,12 +204,64 @@ class ContinuousSessionPool {
   // tests/session_pool_test.cc).
   StatusOr<SpilledSession> Spill(std::string_view user_id);
   // Spills every session idle longer than `idle_s` (EvictIdle's criterion)
-  // instead of dropping them.
+  // instead of dropping them. Superseded by the budget-driven clock sweep
+  // when a spill file is attached; kept for caller-held blobs.
   std::vector<SpilledSession> EvictIdleSpill(double now_s, double idle_s);
-  // Re-registers a spilled session under a fresh KeyProvider. Fails if the
-  // user is tracked again already or the blob does not parse.
+  // Re-registers a spilled session under a fresh KeyProvider. Fails with
+  // InvalidArgument if the blob's map fingerprint or algorithm id does not
+  // match this pool's context, and if the user is tracked again already or
+  // the blob does not parse.
   StatusOr<util::UserId> Restore(const SpilledSession& spilled,
                                  KeyProvider key_provider);
+
+  // ---- cold tier ---------------------------------------------------------
+
+  enum class UserState : std::uint8_t { kUntracked, kResident, kSpilled };
+
+  // Creates or opens the batched spill file at `path` and activates the
+  // cold tier: budget-driven clock eviction sweeps spill into it, and an
+  // update for a spilled user restores transparently inside UpdateBatch.
+  // An existing file must carry this pool's map fingerprint; its records'
+  // names are re-interned so spilled users keep resolvable handles across
+  // runs (restore-on-miss then needs options.key_provider_factory). At
+  // most one file per pool; attach before concurrent use.
+  Status AttachSpillFile(const std::string& path);
+
+  // Resident / spilled-in-file / untracked, for one handle. The net front
+  // door uses this to distinguish "enqueue and let restore-on-miss adopt
+  // the session" from "track fresh".
+  UserState StateOf(util::UserId user) const;
+
+  // Writes every resident session to the spill file regardless of budget
+  // (tooling, shutdown persistence); returns how many were written.
+  StatusOr<std::size_t> SpillAllToFile();
+
+  // Restores every live spill-file record into a resident session (warm
+  // boot for `rcloak_tool restore`); returns how many came back. Records
+  // that fail (no key source, rot) are counted in restore_failures and
+  // skipped.
+  StatusOr<std::size_t> RestoreAllFromFile();
+
+  // Compacts the spill file (rewriting live records, truncating dead
+  // bytes) and retires interner generations for names that are neither
+  // resident nor live in the file. Runs automatically from the update
+  // path when dead bytes pass the configured fraction; public for tools
+  // and tests.
+  Status CompactColdTier();
+
+  // The budgeted accounting: resident session state + session tables +
+  // occupancy vectors + parked key providers + interner + spill index. A
+  // deliberate over-estimate (sweeps start early, never late).
+  std::size_t memory_bytes() const;
+  // Re-targets the clock sweep at runtime (bench calibration, ops).
+  void set_memory_budget_bytes(std::size_t bytes) noexcept {
+    memory_budget_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  std::size_t memory_budget_bytes() const noexcept {
+    return memory_budget_bytes_.load(std::memory_order_relaxed);
+  }
+  // Null until AttachSpillFile succeeds.
+  const store::SpillFile* spill_file() const noexcept { return spill_.get(); }
 
   // Feeds one position update for a tracked user. Returns the artifact in
   // force (freshly re-cloaked if the user left its validity region).
@@ -224,6 +322,12 @@ class ContinuousSessionPool {
     // Last reported position (BuildOccupancy); invalid until the first
     // update lands.
     roadnet::SegmentId last_segment = roadnet::kInvalidSegment;
+    // Second-chance bit: set on every touch, cleared by one clock pass, so
+    // a session updated since the last sweep lap is never spilled.
+    bool referenced = true;
+    // Cached footprint (SessionFootprint at last commit), so the sweep's
+    // budget check never re-walks artifact internals.
+    std::size_t mem_bytes = 0;
   };
 
   struct Shard {
@@ -243,6 +347,17 @@ class ContinuousSessionPool {
     std::uint64_t retired_updates = 0;
     std::uint64_t retired_recloaks = 0;
     std::uint64_t retired_throttled_stale = 0;
+    std::uint64_t budget_spilled = 0;
+    std::uint64_t restored_on_miss = 0;
+    std::uint64_t restore_failures = 0;
+
+    // Sum of Session::mem_bytes over this shard (under `mutex`).
+    std::size_t resident_bytes = 0;
+    // Clock-sweep cursor into `sessions` (slot index; wraps).
+    std::size_t clock_hand = 0;
+    // Key providers of budget-spilled sessions, parked so restore-on-miss
+    // can resume them. Empty when options.key_provider_factory is set.
+    util::IdMap<KeyProvider> parked_keys;
 
     // Per-segment user counts over THIS shard's sessions (one entry per
     // network segment, sized at pool construction). Maintained under
@@ -289,7 +404,9 @@ class ContinuousSessionPool {
     return util::MixId(user.value) % shards_.size();
   }
 
-  // Registers `policy` (fresh or restored) under its interned id.
+  // Registers `policy` (fresh or restored) under its interned id, charging
+  // the memory accounting and dropping any cold-tier leftovers (spill
+  // record, parked provider) the insert supersedes.
   StatusOr<util::UserId> TrackPolicy(core::ContinuousPolicy policy,
                                      KeyProvider key_provider, double now_s,
                                      roadnet::SegmentId last_segment,
@@ -301,15 +418,67 @@ class ContinuousSessionPool {
                 const std::vector<std::size_t>& round,
                 std::vector<StatusOr<SharedArtifact>>& results);
 
+  // The id-overload body; callers hold cold_mutex_ (shared).
+  std::vector<StatusOr<SharedArtifact>> UpdateBatchImpl(
+      const std::vector<IdPositionUpdate>& updates);
+
+  // ---- cold tier internals (callers hold cold_mutex_ shared unless
+  // noted) -----------------------------------------------------------------
+
+  // Heap behind one session: the policy state (artifact, region, stats)
+  // plus provider storage. The struct itself rides in the shard table.
+  static std::size_t SessionFootprint(const Session& session);
+
+  // Synchronous single-record restore: read, validate, deserialize, re-
+  // insert, erase the file record. Returns true if the user is resident
+  // afterwards. `count_on_miss` labels the restore as a transparent
+  // update-path one in the stats.
+  bool RestoreFromSpill(util::UserId user, bool count_on_miss);
+
+  // Clock/second-chance eviction until the accounting is back under
+  // budget (bounded by two laps — every referenced bit gets one pass of
+  // grace; if the resident floor is above budget the sweep yields).
+  void MaybeSweep();
+  // One clock step over the current sweep shard: visits up to `quota`
+  // sessions, spilling the cold ones in one batched append. Returns
+  // sessions visited.
+  std::size_t SweepStep(std::size_t quota);
+
+  bool CompactionDue() const;
+  // Takes cold_mutex_ unique when due, then compacts + retires names.
+  void MaybeCompactColdTier();
+  // Requires cold_mutex_ unique (no interning or spill traffic in
+  // flight): touch resident + live-record names, compact, retire the rest.
+  Status CompactColdTierLocked();
+
+  // Envelope pre-checks against this pool's context (satellite of the
+  // cross-run spill story: a version byte alone is not enough).
+  Status ValidateEnvelopeHeader(std::uint64_t map_fingerprint,
+                                std::uint8_t algorithm) const;
+
   AnonymizationServer* server_;
   core::Deanonymizer deanonymizer_;
   SessionPoolOptions options_;
+  std::uint64_t map_fingerprint_ = 0;
   util::StringInterner interner_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> reduce_fanouts_{0};
 
+  // ---- cold tier ----
+  // Guards the interner's generation lifecycle: anything that interns or
+  // uses handles takes it shared; compaction + generation retirement take
+  // it unique (so a name cannot be retired between its intern and the
+  // session insert it backs).
+  mutable std::shared_mutex cold_mutex_;
+  std::unique_ptr<store::SpillFile> spill_;  // set once by AttachSpillFile
+  std::atomic<std::size_t> memory_budget_bytes_{0};
+  std::atomic<std::size_t> sweep_shard_{0};
+  std::atomic<std::uint64_t> sweeps_{0};
+  std::atomic<std::uint64_t> spill_compactions_{0};
+
   mutable std::mutex latency_mutex_;
   Samples update_latency_ms_;
+  Samples restore_latency_ms_;
 };
 
 }  // namespace rcloak::server

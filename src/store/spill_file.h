@@ -1,0 +1,129 @@
+// Batched append-only spill file: the cold tier's on-disk home for evicted
+// continuous sessions (server/continuous_session_pool.h drives it).
+//
+// On-disk layout (all integers little-endian):
+//
+//   header   "RCSF" | u8 version (=1) | u64 map fingerprint
+//   record   u32 payload_len | u64 fnv1a64(payload) | payload
+//   payload  varint name_len | name bytes | varint state_len | state bytes
+//
+// Records are group-appended — one write per eviction sweep — and indexed
+// in memory by interned UserId → {offset, length}. A later record for the
+// same user supersedes the earlier one (last-write-wins on scan); the
+// superseded bytes are dead until compaction. Attach() scans an existing
+// file (refusing a map-fingerprint mismatch), re-interning every live
+// record's name so spilled users keep resolvable ids across runs:
+//   * a torn tail (incomplete header or payload) is truncated away;
+//   * an implausible length prefix stops the scan and truncates from that
+//     record boundary (nothing after it can be trusted);
+//   * a checksum mismatch with a plausible length skips the record as dead
+//     and continues at the next boundary.
+// Compact() rewrites live records into a temp file and atomically renames
+// it over the old one, dropping dead bytes; the session pool uses this as
+// the retirement point for interner generations.
+//
+// Thread safety: internally synchronized (one mutex); safe to call from
+// concurrent shard sweeps and restore-on-miss reads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/interner.h"
+#include "util/status.h"
+
+namespace rcloak::store {
+
+struct SpillFileStats {
+  std::uint64_t file_bytes = 0;  // current size on disk
+  std::uint64_t dead_bytes = 0;  // superseded / erased / corrupt records
+  std::size_t live_records = 0;
+  std::size_t index_bytes = 0;  // in-memory index footprint
+  std::uint64_t appended_records = 0;
+  std::uint64_t appended_bytes = 0;  // lifetime write volume (pre-compaction)
+  std::uint64_t reads = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t tail_truncated_bytes = 0;    // dropped by Attach scans
+  std::uint64_t corrupt_records_skipped = 0;  // checksum failures on scan
+};
+
+class SpillFile {
+ public:
+  struct Record {
+    util::UserId user;
+    Bytes state;
+  };
+
+  // Creates `path` (with a fresh header) or opens an existing spill file,
+  // scanning its records into the index. An existing file whose header
+  // fingerprint differs from `map_fingerprint` is refused with
+  // InvalidArgument — a spill file is bound to the map its sessions were
+  // cloaked on. `interner` must outlive the SpillFile; scanned names are
+  // interned through it.
+  static StatusOr<std::unique_ptr<SpillFile>> Attach(
+      std::string path, std::uint64_t map_fingerprint,
+      util::StringInterner& interner);
+
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  // Appends every record in one write. Each record's name is looked up
+  // from the interner (the id must still resolve). On error nothing is
+  // indexed — callers must not drop in-memory state unless this returns OK.
+  Status AppendBatch(const std::vector<Record>& records);
+
+  bool Contains(util::UserId user) const;
+
+  // The state bytes of the live record for `user` (NotFound if absent,
+  // DataLoss if the record rotted on disk since it was written).
+  StatusOr<Bytes> ReadRecord(util::UserId user) const;
+
+  // Drops the live record for `user` from the index (its bytes become dead
+  // until compaction). Returns false if there was none.
+  bool Erase(util::UserId user);
+
+  // Rewrites live records into `path + ".tmp"` and renames it over the
+  // file, reclaiming dead bytes.
+  Status Compact();
+
+  // Ids of every live record (compaction-ordered snapshot).
+  std::vector<util::UserId> LiveUsers() const;
+
+  SpillFileStats stats() const;
+  const std::string& path() const noexcept { return path_; }
+  std::uint64_t map_fingerprint() const noexcept { return map_fingerprint_; }
+
+ private:
+  struct Location {
+    std::uint64_t offset = 0;       // record start (length prefix)
+    std::uint32_t payload_len = 0;  // payload bytes after the 12B header
+  };
+
+  SpillFile(std::string path, std::uint64_t map_fingerprint,
+            util::StringInterner& interner)
+      : path_(std::move(path)),
+        map_fingerprint_(map_fingerprint),
+        interner_(&interner) {}
+
+  // Scans records from `scan_start` to EOF, applying the tail/corruption
+  // rules above; truncates the file to the last trustworthy boundary.
+  Status ScanLocked();
+  Status ReadPayloadLocked(const Location& loc, Bytes* payload) const;
+
+  const std::string path_;
+  const std::uint64_t map_fingerprint_;
+  util::StringInterner* interner_;
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::uint64_t append_offset_ = 0;  // == current file size
+  util::IdMap<Location> index_;
+  mutable SpillFileStats stats_;
+};
+
+}  // namespace rcloak::store

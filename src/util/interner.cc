@@ -14,7 +14,8 @@ UserId StringInterner::FindLocked(std::string_view s,
     const std::uint32_t entry_index = slots_[index];
     if (entry_index == kEmptySlot) return kInvalidUserId;
     const Entry& entry = entries_[entry_index];
-    if (entry.hash == hash && entry.length == s.size() &&
+    if (entry.data != nullptr && entry.hash == hash &&
+        entry.length == s.size() &&
         std::memcmp(entry.data, s.data(), s.size()) == 0) {
       return UserId{entry_index};
     }
@@ -33,47 +34,143 @@ UserId StringInterner::Intern(std::string_view s) {
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     const UserId existing = FindLocked(s, hash);
-    if (existing.valid()) return existing;
+    if (existing.valid() &&
+        entries_[existing.value].generation == current_generation_) {
+      return existing;
+    }
   }
   std::unique_lock<std::shared_mutex> lock(mutex_);
   // Re-probe: another thread may have interned it between the locks.
   const UserId existing = FindLocked(s, hash);
-  if (existing.valid()) return existing;
-  GrowLocked(entries_.size() + 1);
+  if (existing.valid()) {
+    // Promote into the current generation so a re-tracked name cannot be
+    // swept out from under its new session at the next retirement.
+    Entry& entry = entries_[existing.value];
+    if (entry.generation != current_generation_) {
+      entry.data = StoreLocked({entry.data, entry.length});
+      entry.generation = current_generation_;
+    }
+    return existing;
+  }
+  std::uint32_t entry_index;
+  if (!free_entries_.empty()) {
+    entry_index = free_entries_.back();
+    free_entries_.pop_back();
+  } else {
+    entry_index = static_cast<std::uint32_t>(entries_.size());
+    entries_.emplace_back();
+  }
+  GrowLocked(live_count_ + 1);
   const char* stored = StoreLocked(s);
-  const UserId id{static_cast<std::uint32_t>(entries_.size())};
-  entries_.push_back(
-      Entry{stored, static_cast<std::uint32_t>(s.size()), hash});
+  entries_[entry_index] =
+      Entry{stored, static_cast<std::uint32_t>(s.size()), current_generation_,
+            hash};
+  ++live_count_;
   const std::uint64_t mask = slots_.size() - 1;
   std::size_t index = hash & mask;
   while (slots_[index] != kEmptySlot) index = (index + 1) & mask;
-  slots_[index] = id.value;
-  return id;
+  slots_[index] = entry_index;
+  return UserId{entry_index};
 }
 
 std::string_view StringInterner::NameOf(UserId id) const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   if (!id.valid() || id.value >= entries_.size()) return {};
   const Entry& entry = entries_[id.value];
+  if (entry.data == nullptr) return {};
   return {entry.data, entry.length};
+}
+
+std::string StringInterner::NameCopyOf(UserId id) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  if (!id.valid() || id.value >= entries_.size()) return {};
+  const Entry& entry = entries_[id.value];
+  if (entry.data == nullptr) return {};
+  return std::string(entry.data, entry.length);
 }
 
 std::size_t StringInterner::size() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
-  return entries_.size();
+  return live_count_;
+}
+
+std::uint32_t StringInterner::BeginGeneration() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  ++current_generation_;
+  generations_.push_back(Generation{current_generation_, {}, 0, 0});
+  return current_generation_;
+}
+
+bool StringInterner::Touch(UserId id) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (!id.valid() || id.value >= entries_.size()) return false;
+  Entry& entry = entries_[id.value];
+  if (entry.data == nullptr) return false;
+  if (entry.generation == current_generation_) return true;
+  entry.data = StoreLocked({entry.data, entry.length});
+  entry.generation = current_generation_;
+  return true;
+}
+
+std::size_t StringInterner::RetireGenerationsBefore(std::uint32_t generation) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::size_t retired = 0;
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    if (entry.data == nullptr || entry.generation >= generation) continue;
+    entry.data = nullptr;
+    entry.length = 0;
+    free_entries_.push_back(i);
+    --live_count_;
+    ++retired;
+  }
+  std::size_t kept = 0;
+  for (Generation& gen : generations_) {
+    if (gen.number >= generation) {
+      generations_[kept++] = std::move(gen);
+    } else {
+      arena_bytes_ -= gen.bytes;
+    }
+  }
+  generations_.resize(kept);
+  if (retired != 0) RebuildSlotsLocked();
+  return retired;
+}
+
+std::uint32_t StringInterner::generation() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return current_generation_;
+}
+
+std::size_t StringInterner::arena_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return arena_bytes_;
+}
+
+std::size_t StringInterner::memory_bytes() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return arena_bytes_ + slots_.capacity() * sizeof(std::uint32_t) +
+         entries_.capacity() * sizeof(Entry) +
+         free_entries_.capacity() * sizeof(std::uint32_t);
 }
 
 const char* StringInterner::StoreLocked(std::string_view s) {
+  if (generations_.empty()) {
+    generations_.push_back(Generation{current_generation_, {}, 0, 0});
+  }
+  Generation& gen = generations_.back();
   const std::size_t need = s.size();
-  if (arena_.empty() || arena_used_ + need > kArenaChunk) {
+  if (gen.chunks.empty() || gen.used + need > kArenaChunk) {
     // Oversized names get a dedicated chunk so the common chunks stay full.
     const std::size_t chunk = need > kArenaChunk ? need : kArenaChunk;
-    arena_.push_back(std::make_unique<char[]>(chunk));
-    arena_used_ = 0;
+    gen.chunks.push_back(std::make_unique<char[]>(chunk));
+    gen.used = 0;
+    gen.bytes += chunk;
+    arena_bytes_ += chunk;
   }
-  char* dest = arena_.back().get() + arena_used_;
+  char* dest = gen.chunks.back().get() + gen.used;
   std::memcpy(dest, s.data(), need);
-  arena_used_ += need;
+  gen.used += need;
   return dest;
 }
 
@@ -84,6 +181,22 @@ void StringInterner::GrowLocked(std::size_t min_entries) {
   slots_.assign(new_capacity, kEmptySlot);
   const std::uint64_t mask = new_capacity - 1;
   for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].data == nullptr) continue;
+    std::size_t index = entries_[i].hash & mask;
+    while (slots_[index] != kEmptySlot) index = (index + 1) & mask;
+    slots_[index] = i;
+  }
+}
+
+void StringInterner::RebuildSlotsLocked() {
+  // Same capacity policy as GrowLocked, but may also shrink the table after
+  // a mass retirement.
+  std::size_t new_capacity = 64;
+  while ((live_count_ + 1) * 8 >= new_capacity * 7) new_capacity *= 2;
+  slots_.assign(new_capacity, kEmptySlot);
+  const std::uint64_t mask = new_capacity - 1;
+  for (std::uint32_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].data == nullptr) continue;
     std::size_t index = entries_[i].hash & mask;
     while (slots_[index] != kEmptySlot) index = (index + 1) & mask;
     slots_[index] = i;

@@ -5,11 +5,22 @@
 // compare, or an allocation per position update. StringInterner maps each
 // user-id string to a stable dense UserId handle exactly once (at the API
 // boundary); afterwards shard selection, session lookup and commit all run
-// on 32-bit handles. Interned bytes live in a chunked arena, so the
-// string_view returned by NameOf stays valid for the interner's lifetime —
-// across table growth and regardless of what happened to the caller's
-// buffer. Handles are never recycled: an evicted user keeps its id and a
-// re-track resumes under the same handle.
+// on 32-bit handles. Interned bytes live in chunked arenas, so the
+// string_view returned by NameOf stays valid across table growth and
+// regardless of what happened to the caller's buffer.
+//
+// Generations (the cold-tier reclamation story): the arena is segmented
+// into generations. Touch(id) moves a live name into the current
+// generation (the handle never changes); RetireGenerationsBefore(g) frees
+// every older generation and retires the names still stranded there. The
+// session pool drives this at spill-file compaction: it touches every
+// name that is resident or live in the spill file, then retires the rest,
+// so churned users stop being unbounded arena growth. A handle stays
+// stable for as long as its name survives retirement — an evicted-then-
+// spilled user keeps its id and a restore resumes under the same handle.
+// Retired handles are recycled for future interns, so a name that was
+// neither resident nor spilled must be re-interned (fresh handle) if the
+// user ever returns.
 //
 // IdMap is the companion table: open addressing (linear probing, power-of-
 // two capacity, tombstoned erase) keyed by UserId, so a session lookup is
@@ -21,6 +32,7 @@
 #include <memory>
 #include <optional>
 #include <shared_mutex>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -70,40 +82,87 @@ class StringInterner {
   StringInterner& operator=(const StringInterner&) = delete;
 
   // Get-or-create (exclusive lock on create, shared probe first so the
-  // already-interned case taken by Track retries stays read-mostly).
+  // already-interned case taken by Track retries stays read-mostly). An
+  // existing name is promoted into the current generation, so interning
+  // is also a liveness signal.
   UserId Intern(std::string_view s);
 
-  // Lookup only; kInvalidUserId when `s` was never interned. Shared lock —
-  // this is the per-update boundary hit.
+  // Lookup only; kInvalidUserId when `s` was never interned (or its name
+  // was retired). Shared lock — this is the per-update boundary hit. Does
+  // NOT promote: resident sessions are kept alive by the pool's explicit
+  // Touch pass, not by update traffic.
   UserId Find(std::string_view s) const;
 
-  // The interned bytes for `id`. The view stays valid for the interner's
-  // lifetime (chunked arena; growth never moves stored bytes). Empty view
-  // for an invalid or out-of-range id.
+  // The interned bytes for `id`. The view stays valid until the entry's
+  // generation is retired (growth never moves stored bytes). Empty view
+  // for an invalid, retired, or out-of-range id. Callers that may race a
+  // retirement should use NameCopyOf.
   std::string_view NameOf(UserId id) const;
 
+  // Copying variant: the copy is taken under the interner lock, so it is
+  // safe even if a concurrent retirement frees the arena chunk.
+  std::string NameCopyOf(UserId id) const;
+
+  // Live (non-retired) entry count.
   std::size_t size() const;
+
+  // ---- generational reclamation ----
+
+  // Opens a fresh generation and returns its number. Names interned or
+  // touched from now on land there.
+  std::uint32_t BeginGeneration();
+
+  // Moves a live name into the current generation (copying its bytes; the
+  // handle is unchanged). Returns false for invalid/retired ids.
+  bool Touch(UserId id);
+
+  // Retires every generation older than `generation`: names still living
+  // there lose their handles (recycled for future interns) and the arena
+  // chunks are freed. Returns the number of names retired.
+  std::size_t RetireGenerationsBefore(std::uint32_t generation);
+
+  std::uint32_t generation() const;
+
+  // Bytes of arena chunks currently allocated (the churned-name growth the
+  // cold tier bounds).
+  std::size_t arena_bytes() const;
+  // arena_bytes plus table/entry bookkeeping — the interner's contribution
+  // to the pool memory budget.
+  std::size_t memory_bytes() const;
 
  private:
   struct Entry {
-    const char* data = nullptr;
+    const char* data = nullptr;  // nullptr = retired (handle recyclable)
     std::uint32_t length = 0;
+    std::uint32_t generation = 0;
     std::uint64_t hash = 0;
+  };
+
+  // One generation's chunked bump arena.
+  struct Generation {
+    std::uint32_t number = 0;
+    std::vector<std::unique_ptr<char[]>> chunks;
+    std::size_t used = 0;   // bytes used in chunks.back()
+    std::size_t bytes = 0;  // total bytes allocated across chunks
   };
 
   static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
   static constexpr std::size_t kArenaChunk = 1 << 16;
 
-  // All three require mutex_ held (shared suffices for the finders).
+  // All require mutex_ held (shared suffices for FindLocked).
   UserId FindLocked(std::string_view s, std::uint64_t hash) const;
   const char* StoreLocked(std::string_view s);
-  void GrowLocked(std::size_t min_slots);
+  void GrowLocked(std::size_t min_entries);
+  void RebuildSlotsLocked();
 
   mutable std::shared_mutex mutex_;
   std::vector<std::uint32_t> slots_;  // entry index or kEmptySlot
   std::vector<Entry> entries_;
-  std::vector<std::unique_ptr<char[]>> arena_;
-  std::size_t arena_used_ = 0;  // bytes used in arena_.back()
+  std::vector<std::uint32_t> free_entries_;  // retired handles, reusable
+  std::size_t live_count_ = 0;
+  std::vector<Generation> generations_;  // ascending; back() is current
+  std::size_t arena_bytes_ = 0;          // sum of Generation::bytes
+  std::uint32_t current_generation_ = 0;
 };
 
 // Open-addressed id→value map (linear probing, tombstoned erase). Not
@@ -189,8 +248,42 @@ class IdMap {
     return erased;
   }
 
+  // Clock-sweep support: visits up to `limit` live entries in slot order
+  // starting at *cursor, wrapping at most once around the table, and
+  // advances *cursor past the last slot examined. fn(UserId, Value&)
+  // returning true erases the entry in place (tombstoned — safe mid-walk,
+  // the table cannot grow during a sweep). Returns live entries visited.
+  template <typename Fn>
+  std::size_t SweepFrom(std::size_t* cursor, std::size_t limit, Fn&& fn) {
+    if (slots_.empty() || size_ == 0 || limit == 0) return 0;
+    const std::size_t capacity = slots_.size();
+    std::size_t index = *cursor % capacity;
+    std::size_t visited = 0;
+    for (std::size_t step = 0; step < capacity && visited < limit; ++step) {
+      Slot& slot = slots_[index];
+      if (slot.value) {
+        ++visited;
+        if (fn(UserId{slot.key}, *slot.value)) {
+          slot.value.reset();
+          slot.key = kTombstoneKey;
+          --size_;
+          ++tombstones_;
+        }
+      }
+      index = (index + 1) % capacity;
+    }
+    *cursor = index;
+    return visited;
+  }
+
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
+
+  // Table overhead (slot array only; Value-owned heap is the caller's to
+  // account). Used by the session pool's memory-budget bookkeeping.
+  std::size_t memory_bytes() const noexcept {
+    return slots_.capacity() * sizeof(Slot);
+  }
 
  private:
   // Key sentinels; real UserId values are dense and never reach them.

@@ -189,5 +189,92 @@ TEST(IdMapTest, ChurnReclaimsTombstones) {
   }
 }
 
+// ---- generational reclamation (the cold-tier arena bound) ----
+
+TEST(StringInternerTest, TouchKeepsHandlesStableAcrossRetirement) {
+  StringInterner interner;
+  const UserId keep = interner.Intern("survivor");
+  const UserId drop = interner.Intern("churned");
+  const std::uint32_t fresh = interner.BeginGeneration();
+  ASSERT_TRUE(interner.Touch(keep));
+  const std::size_t retired = interner.RetireGenerationsBefore(fresh);
+  EXPECT_EQ(retired, 1u);
+
+  // The survivor's handle and bytes are intact; the churned name is gone
+  // from both directions.
+  EXPECT_EQ(interner.NameOf(keep), "survivor");
+  EXPECT_EQ(interner.Find("survivor"), keep);
+  EXPECT_EQ(interner.NameOf(drop), "");
+  EXPECT_FALSE(interner.Find("churned").valid());
+  EXPECT_FALSE(interner.Touch(drop));
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(StringInternerTest, RetiredHandlesAreRecycled) {
+  StringInterner interner;
+  const UserId old = interner.Intern("transient");
+  const std::uint32_t fresh = interner.BeginGeneration();
+  ASSERT_EQ(interner.RetireGenerationsBefore(fresh), 1u);
+
+  // The next intern reuses the freed handle; a returning user re-interns
+  // under it as a brand-new name.
+  const UserId recycled = interner.Intern("newcomer");
+  EXPECT_EQ(recycled, old);
+  EXPECT_EQ(interner.NameOf(recycled), "newcomer");
+  EXPECT_FALSE(interner.Find("transient").valid());
+}
+
+// The ISSUE acceptance pin: sustained churn with per-round retirement must
+// keep arena bytes and handle space bounded — retired generations actually
+// free their chunks and their handles.
+TEST(StringInternerTest, ArenaAndHandleSpaceBoundedUnderChurn) {
+  StringInterner interner;
+  std::vector<UserId> residents;
+  for (int i = 0; i < 50; ++i) {
+    residents.push_back(interner.Intern("resident" + std::to_string(i)));
+  }
+
+  std::size_t peak_arena = 0;
+  std::uint32_t peak_handle = 0;
+  for (int round = 0; round < 40; ++round) {
+    // A burst of transient users (each ~32 bytes of name), then the
+    // compaction-style pass: fresh generation, touch residents, retire.
+    for (int i = 0; i < 200; ++i) {
+      const UserId id = interner.Intern(
+          "transient-round" + std::to_string(round) + "-user" +
+          std::to_string(i) + "-padpadpad");
+      peak_handle = std::max(peak_handle, id.value);
+    }
+    const std::uint32_t fresh = interner.BeginGeneration();
+    for (const UserId id : residents) ASSERT_TRUE(interner.Touch(id));
+    EXPECT_EQ(interner.RetireGenerationsBefore(fresh), 200u);
+    peak_arena = std::max(peak_arena, interner.arena_bytes());
+  }
+
+  // 8000 transients passed through, but live state is just the residents:
+  // the arena never held more than a couple of 64 KiB chunks (unbounded
+  // growth would be ~40 of them) and handles were recycled instead of
+  // marching toward 8050.
+  EXPECT_EQ(interner.size(), 50u);
+  EXPECT_LT(peak_arena, 256u * 1024u);
+  EXPECT_LT(peak_handle, 600u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(interner.NameOf(residents[i]), "resident" + std::to_string(i));
+  }
+}
+
+TEST(StringInternerTest, InternPromotesIntoCurrentGeneration) {
+  StringInterner interner;
+  const UserId id = interner.Intern("comeback");
+  interner.BeginGeneration();
+  // Re-interning (not just finding) is a liveness signal: it promotes the
+  // existing entry, so the retirement pass below must not collect it.
+  EXPECT_EQ(interner.Intern("comeback"), id);
+  const std::uint32_t fresh = interner.BeginGeneration();
+  EXPECT_EQ(interner.Intern("comeback"), id);  // promote into `fresh` too
+  EXPECT_EQ(interner.RetireGenerationsBefore(fresh), 0u);
+  EXPECT_EQ(interner.NameOf(id), "comeback");
+}
+
 }  // namespace
 }  // namespace rcloak::util

@@ -7,6 +7,7 @@
 // server workers + client driver).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
@@ -457,6 +458,89 @@ TEST(NetServerTest, MissingHelloDropsConnectionOthersUnaffected) {
   const auto stats = rig.front->stats();
   EXPECT_GE(stats.hello_rejected, 1u);
   EXPECT_EQ(stats.updates_decoded, 1u);
+}
+
+// A spilled user reconnecting through the front door is adopted, not
+// re-tracked fresh: the first update of the new connection restores the
+// session on miss and the artifact stream continues byte-for-byte where a
+// never-spilled twin's does.
+TEST(NetServerTest, SpilledUserAdoptedOnReconnect) {
+  const RoadNetwork net = roadnet::MakeGrid({8, 8, 100.0});
+  const std::string spill_path = "net_test_adopt.rcsf";
+  std::remove(spill_path.c_str());
+  const net::NetServerOptions defaults;
+  const auto position = [&net](int t) {
+    return SegmentId{(7u + static_cast<std::uint32_t>(t) * 13u) %
+                     net.segment_count()};
+  };
+
+  // Cold-tier rig: the pool gets a spill file and a key factory matching
+  // the server's deterministic schedule, so restore-on-miss can rebuild
+  // key providers for users whose connection is long gone.
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  server::ServerOptions server_options;
+  server_options.num_workers = 1;
+  AnonymizationServer server(std::move(engine), server_options);
+  server::SessionPoolOptions pool_options;
+  pool_options.key_provider_factory = [&defaults](std::string_view user) {
+    return net::DeterministicKeyProvider(defaults.key_seed_base,
+                                         std::string(user),
+                                         defaults.profile.num_levels());
+  };
+  ContinuousSessionPool pool(server, pool_options);
+  ASSERT_TRUE(pool.AttachSpillFile(spill_path).ok());
+  net::NetServerOptions net_options;
+  net_options.poll_timeout_ms = 5;
+  net::NetServer front(pool, net_options);
+  ASSERT_TRUE(front.Start().ok());
+
+  const auto drive = [&position](net::Client& client, int from, int to) {
+    std::vector<std::string> hashes;
+    for (int t = from; t < to; ++t) {
+      client.QueuePositionUpdate(static_cast<std::uint32_t>(t + 1), "roam",
+                                 static_cast<double>(t), position(t));
+      EXPECT_TRUE(client.Flush().ok());
+      const auto reply = client.ReadArtifactReply();
+      EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+      if (reply.ok()) hashes.push_back(Sha(reply->artifact_wire));
+    }
+    return hashes;
+  };
+
+  std::vector<std::string> served;
+  {
+    auto first = net::Client::Connect("127.0.0.1", front.port());
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(first->Hello().ok());
+    served = drive(*first, 0, 5);
+  }
+  // The connection is gone; the session goes fully cold.
+  ASSERT_EQ(pool.session_count(), 1u);
+  const auto written = pool.SpillAllToFile();
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  ASSERT_EQ(*written, 1u);
+  ASSERT_EQ(pool.session_count(), 0u);
+
+  {
+    auto second = net::Client::Connect("127.0.0.1", front.port());
+    ASSERT_TRUE(second.ok());
+    ASSERT_TRUE(second->Hello().ok());
+    const auto rest = drive(*second, 5, 10);
+    served.insert(served.end(), rest.begin(), rest.end());
+  }
+  front.Stop();
+  EXPECT_EQ(pool.stats().restored_on_miss, 1u);
+  EXPECT_EQ(pool.stats().restore_failures, 0u);
+
+  // The never-spilled twin: one connection, same schedule, default rig.
+  auto twin = StartLoopback(net, /*workers=*/1);
+  auto client = net::Client::Connect("127.0.0.1", twin.front->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+  const auto expected = drive(*client, 0, 10);
+  EXPECT_EQ(served, expected);
+  std::remove(spill_path.c_str());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // cases and a concurrency smoke the TSAN CI job runs race-clean.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 #include <string>
 #include <thread>
@@ -727,6 +728,153 @@ TEST(SessionPoolTest, IncrementalOccupancyMatchesRebuildThroughChurn) {
   EXPECT_EQ(spilled_idle.size(), 5u);
   expect_equiv("after EvictIdleSpill");
   EXPECT_EQ(pool.BuildOccupancy().total(), 0u);
+}
+
+// Parses "car<N>" back into the deterministic key chain Track used, so
+// restore-on-miss can rebuild providers without parking them.
+ContinuousSessionPool::KeyProvider CarKeys(std::string_view user_id) {
+  return KeysFor(std::stoull(std::string(user_id.substr(3))));
+}
+
+// The ISSUE acceptance pin: with a spill file attached and a budget that
+// cannot hold the fleet, the clock sweep spills cold sessions mid-run and
+// updates for spilled users restore transparently inside UpdateBatch —
+// and every served artifact is still byte-identical to the never-evicted
+// oracle pool.
+TEST(SessionPoolTest, ColdTierRestoreOnMissMatchesOracle) {
+  const auto traces = MakeFleetTraces(/*num_cars=*/10, /*duration_s=*/60.0);
+  const auto ctx = core::MapContext::Create(traces.net);
+  const auto occupancy = OnePerSegment(traces.net);
+  const auto oracle = RunPool(ctx, occupancy, traces, /*workers=*/2);
+
+  const std::string path = "session_pool_cold_test.rcsf";
+  std::remove(path.c_str());
+  core::Anonymizer engine(ctx, occupancy);
+  AnonymizationServer server(std::move(engine), {});
+  server::SessionPoolOptions options;
+  options.key_provider_factory = CarKeys;
+  options.sweep_batch = 64;
+  ContinuousSessionPool pool(server, options);
+  ASSERT_TRUE(pool.AttachSpillFile(path).ok());
+  for (std::uint32_t car = 0; car < traces.num_cars; ++car) {
+    ASSERT_TRUE(pool.Track("car" + std::to_string(car), FleetProfile(),
+                           Algorithm::kRge, KeysFor(car), FleetOptions())
+                    .ok());
+  }
+  std::map<std::string, std::vector<std::string>> sequences;
+  bool budget_set = false;
+  for (const auto& tick : traces.ticks) {
+    std::vector<ContinuousSessionPool::PositionUpdate> batch;
+    for (const auto& rec : tick) {
+      batch.push_back({"car" + std::to_string(rec.car_id), rec.time_s,
+                       rec.segment});
+    }
+    const auto results = pool.UpdateBatch(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(results[i].ok())
+          << batch[i].user_id << ": " << results[i].status().ToString();
+      sequences[batch[i].user_id].push_back(ArtifactSha256(*results[i]));
+    }
+    if (!budget_set) {
+      // Half the warmed-up footprint: from here on every tick runs the
+      // sweep and part of the fleet lives in the file between updates.
+      pool.set_memory_budget_bytes(pool.memory_bytes() / 2);
+      budget_set = true;
+    }
+  }
+  EXPECT_EQ(sequences, oracle);
+  const auto stats = pool.stats();
+  EXPECT_GT(stats.budget_spilled, 0u);
+  EXPECT_GT(stats.restored_on_miss, 0u);
+  EXPECT_EQ(stats.restore_failures, 0u);
+  EXPECT_GT(stats.sweeps, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SessionPoolTest, StateOfTracksSpillAndTransparentRestore) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  AnonymizationServer server(std::move(engine), {});
+  server::SessionPoolOptions options;
+  options.key_provider_factory = CarKeys;
+  ContinuousSessionPool pool(server, options);
+  const std::string path = "session_pool_stateof_test.rcsf";
+  std::remove(path.c_str());
+  ASSERT_TRUE(pool.AttachSpillFile(path).ok());
+
+  std::vector<util::UserId> ids;
+  for (int u = 0; u < 4; ++u) {
+    const std::string user = "car" + std::to_string(u);
+    const auto id = pool.Track(user, FleetProfile(), Algorithm::kRge,
+                               KeysFor(u), FleetOptions());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+    ASSERT_TRUE(pool.Update(user, 1.0, SegmentId{5}).ok());
+    EXPECT_EQ(pool.StateOf(*id), ContinuousSessionPool::UserState::kResident);
+  }
+  EXPECT_EQ(pool.StateOf(util::UserId{9999}),
+            ContinuousSessionPool::UserState::kUntracked);
+
+  const auto written = pool.SpillAllToFile();
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  EXPECT_EQ(*written, 4u);
+  EXPECT_EQ(pool.session_count(), 0u);
+  for (const auto id : ids) {
+    EXPECT_EQ(pool.StateOf(id), ContinuousSessionPool::UserState::kSpilled);
+  }
+
+  // A batch containing a spilled user restores it mid-batch; the update
+  // succeeds as if the session never left.
+  const auto results = pool.UpdateBatch(
+      std::vector<ContinuousSessionPool::PositionUpdate>{
+          {"car2", 2.0, SegmentId{6}}});
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_EQ(pool.StateOf(ids[2]), ContinuousSessionPool::UserState::kResident);
+  EXPECT_EQ(pool.stats().restored_on_miss, 1u);
+
+  // Warm boot brings back the remaining three in one call.
+  const auto restored = pool.RestoreAllFromFile();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, 3u);
+  EXPECT_EQ(pool.session_count(), 4u);
+  EXPECT_EQ(pool.stats().restore_failures, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SessionPoolTest, RestoreRejectsFingerprintAndAlgorithmMismatch) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  AnonymizationServer server(std::move(engine), {});
+  ContinuousSessionPool pool(server);
+  ASSERT_TRUE(pool.Track("mallory", FleetProfile(), Algorithm::kRge,
+                         KeysFor(9), FleetOptions())
+                  .ok());
+  ASSERT_TRUE(pool.Update("mallory", 1.0, SegmentId{7}).ok());
+  const auto spilled = pool.Spill("mallory");
+  ASSERT_TRUE(spilled.ok());
+
+  // Same blob, different map: the envelope fingerprint check refuses it
+  // before Deserialize ever touches the bytes.
+  const RoadNetwork other_net = roadnet::MakeGrid({11, 11, 100.0});
+  const auto other_ctx = core::MapContext::Create(other_net);
+  core::Anonymizer other_engine(other_ctx, OnePerSegment(other_net));
+  AnonymizationServer other_server(std::move(other_engine), {});
+  ContinuousSessionPool other_pool(other_server);
+  EXPECT_EQ(other_pool.Restore(*spilled, KeysFor(9)).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(other_pool.session_count(), 0u);
+
+  // Tampered algorithm id (envelope offset 9: u8 version + u64
+  // fingerprint precede it): rejected, not mis-decoded.
+  ContinuousSessionPool::SpilledSession tampered = *spilled;
+  ASSERT_GT(tampered.state.size(), 9u);
+  tampered.state[9] = 0xEE;
+  EXPECT_EQ(pool.Restore(tampered, KeysFor(9)).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(pool.session_count(), 0u);
 }
 
 }  // namespace
