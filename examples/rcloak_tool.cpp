@@ -13,12 +13,14 @@
 //             --passphrase PW --level L
 //   serve     --map map.rcmap [--port P] [--workers N] [--duration SECS]
 //             [--trace trace.txt] [--spill spill.rcsf] [--budget BYTES]
+//             [--async-spill] [--spill-shards N]
 //                                      (0s / no duration = run until killed)
 //   sendto    --host H --port P --user NAME --segments "3,17,42"
 //             [--interval SECS]
 //   spill     --map map.rcmap --trace trace.txt --out spill.rcsf
-//             [--workers N]
+//             [--workers N] [--async-spill] [--spill-shards N]
 //   restore   --map map.rcmap --spill spill.rcsf [--workers N]
+//             [--async-spill] [--spill-shards N]
 //
 // Everything the Anonymizer / De-anonymizer GUIs do, scriptable — plus the
 // networked front door (`serve` binds the epoll server on a map, `sendto`
@@ -60,13 +62,21 @@ namespace {
 class Args {
  public:
   Args(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) != 0) continue;
-      values_[argv[i] + 2] = argv[i + 1];
-    }
-    // Flags without values.
+    // Valueless flags must not swallow the next --key as their "value".
+    const auto is_bool_flag = [](const char* arg) {
+      return std::strcmp(arg, "--print") == 0 ||
+             std::strcmp(arg, "--async-spill") == 0;
+    };
     for (int i = 2; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--print") == 0) values_["print"] = "1";
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      if (is_bool_flag(argv[i])) {
+        values_[argv[i] + 2] = "1";
+        continue;
+      }
+      if (i + 1 < argc) {
+        values_[argv[i] + 2] = argv[i + 1];
+        ++i;
+      }
     }
   }
   std::string Get(const std::string& key, const std::string& fallback = "") const {
@@ -325,16 +335,32 @@ server::SessionPoolOptions ServePoolOptions() {
   return options;
 }
 
+// --async-spill / --spill-shards N, shared by serve/spill/restore: the
+// background writer thread and the per-shard spill file fan. Attach an
+// existing set with the member count it was written with.
+void ApplySpillFlags(const Args& args, server::SessionPoolOptions& options) {
+  options.async_spill = args.Has("async-spill");
+  options.spill_shards = static_cast<int>(args.Int("spill-shards", 1));
+}
+
 void PrintColdTierStats(const server::ContinuousSessionPool& pool) {
   const auto stats = pool.stats();
   std::cout << "  resident sessions: " << stats.active_sessions << "\n"
             << "  memory accounting: " << stats.memory_bytes << " B ("
             << stats.interner_bytes << " B interner)\n";
-  if (const auto* spill = pool.spill_file()) {
+  if (const auto* spill = pool.spill_files()) {
     const auto file = spill->stats();
-    std::cout << "  spill file: " << file.live_records << " live records, "
-              << file.file_bytes << " B (" << file.dead_bytes
-              << " B dead), " << file.compactions << " compactions\n";
+    std::cout << "  spill files: " << spill->num_members() << " member(s), "
+              << file.live_records << " live records, " << file.file_bytes
+              << " B (" << file.dead_bytes << " B dead), "
+              << file.compactions << " compactions\n";
+  }
+  if (stats.async_appends > 0 || stats.spill_queue_peak > 0) {
+    std::cout << "  async writer: " << stats.async_spilled
+              << " records in " << stats.async_appends << " appends, "
+              << stats.async_absorbed << " absorbed in memory, queue peak "
+              << stats.spill_queue_peak << ", " << stats.write_stalls
+              << " write stalls\n";
   }
 }
 
@@ -358,7 +384,9 @@ int Spill(const Args& args) {
   server::ServerOptions server_options;
   server_options.num_workers = static_cast<int>(args.Int("workers", 2));
   server::AnonymizationServer anon_server(std::move(engine), server_options);
-  server::ContinuousSessionPool pool(anon_server, ServePoolOptions());
+  server::SessionPoolOptions pool_options = ServePoolOptions();
+  ApplySpillFlags(args, pool_options);
+  server::ContinuousSessionPool pool(anon_server, pool_options);
   if (const auto attached = pool.AttachSpillFile(out); !attached.ok()) {
     return Fail(attached.ToString());
   }
@@ -416,7 +444,9 @@ int RestoreCmd(const Args& args) {
   server::ServerOptions server_options;
   server_options.num_workers = static_cast<int>(args.Int("workers", 2));
   server::AnonymizationServer anon_server(std::move(engine), server_options);
-  server::ContinuousSessionPool pool(anon_server, ServePoolOptions());
+  server::SessionPoolOptions pool_options = ServePoolOptions();
+  ApplySpillFlags(args, pool_options);
+  server::ContinuousSessionPool pool(anon_server, pool_options);
   if (const auto attached = pool.AttachSpillFile(path); !attached.ok()) {
     return Fail(attached.ToString());
   }
@@ -456,6 +486,7 @@ int Serve(const Args& args) {
     // restore on miss under the same deterministic schedule the front
     // door auto-tracks with.
     pool_options = ServePoolOptions();
+    ApplySpillFlags(args, pool_options);
   }
   pool_options.memory_budget_bytes =
       static_cast<std::size_t>(args.Int("budget", 0));
@@ -466,7 +497,7 @@ int Serve(const Args& args) {
       return Fail(attached.ToString());
     }
     std::cout << "cold tier: spill file " << args.Get("spill") << " ("
-              << pool.spill_file()->stats().live_records
+              << pool.spill_files()->stats().live_records
               << " spilled sessions)";
     if (pool.memory_budget_bytes() > 0) {
       std::cout << ", budget " << pool.memory_budget_bytes() << " B";

@@ -1,5 +1,6 @@
 #include "net/net_server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/artifact.h"
@@ -137,6 +138,16 @@ void NetServer::DrainFrames(Connection& conn) {
     // The handler may have dropped the connection (hello mismatch, bad
     // frame); `conn` is dead then.
     if (connections_.find(conn_id) == connections_.end()) return;
+    // Decode latency budget: when the oldest update accumulated this tick
+    // has waited past the budget, dispatch what we have instead of
+    // delaying the whole batch behind the rest of the round.
+    if (options_.decode_latency_budget_ms > 0.0 && !tick_updates_.empty() &&
+        tick_timer_.ElapsedMillis() > options_.decode_latency_budget_ms) {
+      DispatchPartial();
+      // The flush inside may have dropped this connection (write error,
+      // hard cap).
+      if (connections_.find(conn_id) == connections_.end()) return;
+    }
   }
   tick_touched_.push_back(conn_id);
 }
@@ -224,8 +235,10 @@ void NetServer::HandlePositionUpdate(Connection& conn, const Bytes& payload) {
   util::UserId user{};
   const auto known = pool_->UserIdOf(decoded->user_id);
   // A known handle covers the cold tier too: a reconnecting HELLO for a
-  // user spilled to the file enqueues like any resident one, and the
-  // pool's restore-on-miss adopts the session inside the tick batch.
+  // user spilled to the file — or still sitting on the async writer's
+  // in-flight queue (StateOf consults it) — enqueues like any resident
+  // one, and the pool's restore-on-miss adopts the session inside the
+  // tick batch instead of re-tracking over it.
   const bool adoptable =
       known.ok() && pool_->StateOf(known.value()) !=
                         server::ContinuousSessionPool::UserState::kUntracked;
@@ -249,6 +262,8 @@ void NetServer::HandlePositionUpdate(Connection& conn, const Bytes& payload) {
   pending.update = {user, decoded->now_s, decoded->segment};
   pending.conn_id = conn.id();
   pending.seq = decoded->seq;
+  // The decode budget clock starts with the tick's first update.
+  if (tick_updates_.empty()) tick_timer_.Restart();
   tick_updates_.push_back(pending);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++stats_.updates_decoded;
@@ -345,6 +360,28 @@ void NetServer::DispatchBatch() {
     stats_.largest_batch = tick_updates_.size();
   }
   tick_updates_.clear();
+}
+
+void NetServer::DispatchPartial() {
+  // Snapshot the reply targets before DispatchBatch clears the tick, then
+  // flush them immediately — the point of the early dispatch is that
+  // these replies leave NOW, not after the remaining connections drain.
+  std::vector<std::uint64_t> touched;
+  touched.reserve(tick_updates_.size());
+  for (const PendingUpdate& pending : tick_updates_) {
+    touched.push_back(pending.conn_id);
+  }
+  DispatchBatch();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.partial_dispatches;
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const std::uint64_t conn_id : touched) {
+    const auto it = connections_.find(conn_id);
+    if (it != connections_.end()) FlushAndUpdate(*it->second);
+  }
 }
 
 void NetServer::UpdateInterest(Connection& conn, bool want_write) {

@@ -50,6 +50,7 @@
 #include "net/event_loop.h"
 #include "net/frame_codec.h"
 #include "server/continuous_session_pool.h"
+#include "util/stopwatch.h"
 
 namespace rcloak::net {
 
@@ -80,6 +81,17 @@ struct NetServerOptions {
   // Poll timeout while idle; Stop() wakes the loop, so this only bounds
   // shutdown latency when the eventfd write itself is lost (it is not).
   int poll_timeout_ms = 100;
+  // Latency budget on one tick's decode round, measured from the moment
+  // the tick's FIRST update is decoded. When a decode round runs past it
+  // (a burst of readable connections, a slow restore mid-drain), the
+  // accumulated batch is dispatched and flushed EARLY instead of waiting
+  // for the round to finish — the first updates in the tick are never
+  // delayed by the last connections drained. 0 (default) = one dispatch
+  // per tick, the original behavior. Replies are byte-identical either
+  // way: artifacts are a pure function of each user's own update
+  // sequence, and a partial dispatch never reorders a user's updates
+  // (pinned in tests/net_test.cc).
+  double decode_latency_budget_ms = 0.0;
 };
 
 struct NetServerStats {
@@ -100,6 +112,8 @@ struct NetServerStats {
   // largest single-tick batch handed to the pool.
   std::uint64_t batches = 0;
   std::uint64_t largest_batch = 0;
+  // Subset of `batches` dispatched mid-tick by the decode latency budget.
+  std::uint64_t partial_dispatches = 0;
   // Reply encode cache: hits serve a shared buffer, misses encode once.
   std::uint64_t artifact_cache_hits = 0;
   std::uint64_t artifact_cache_misses = 0;
@@ -159,6 +173,11 @@ class NetServer {
   // End-of-tick: one pool.UpdateBatch over tick_updates_, replies queued
   // per connection, every touched connection flushed once.
   void DispatchBatch();
+  // Mid-tick early dispatch (decode_latency_budget_ms exceeded): runs
+  // DispatchBatch over what accumulated so far and flushes the touched
+  // connections immediately, so their replies leave before the rest of
+  // the round is drained.
+  void DispatchPartial();
   // Flush + EPOLLOUT/backpressure bookkeeping for one connection.
   void FlushAndUpdate(Connection& conn);
   void UpdateInterest(Connection& conn, bool want_write);
@@ -189,6 +208,10 @@ class NetServer {
   std::uint64_t next_conn_id_ = 1;
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
   std::vector<PendingUpdate> tick_updates_;
+  // Restarted when a tick's first update lands in tick_updates_ — the
+  // decode budget bounds how long that first update waits, not how long
+  // the loop sat idle in epoll_wait.
+  Stopwatch tick_timer_;
   std::vector<std::uint64_t> tick_touched_;
   std::unordered_map<const core::CloakedArtifact*, EncodedEntry> encoded_;
   // Traffic from connections that already closed (live connections are

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <unordered_set>
 #include <utility>
 
@@ -22,6 +23,11 @@ namespace {
 //   u8 version | u64le map fingerprint | u8 algorithm |
 //   varint blob size | policy blob | u64le clock bits | varint segment
 constexpr std::uint8_t kSpillEnvelopeVersion = 2;
+
+// Upper bound on records per writer-thread group append: keeps one drain
+// cycle's write (and the cold_mutex_ shared hold around it) bounded while
+// the queue refills behind it.
+constexpr std::size_t kWriterGroupMax = 1024;
 
 Bytes EncodeSpillEnvelope(const Bytes& policy_blob, double last_update_s,
                           roadnet::SegmentId last_segment,
@@ -99,6 +105,8 @@ ContinuousSessionPool::ContinuousSessionPool(AnonymizationServer& server,
                              std::memory_order_relaxed);
 }
 
+ContinuousSessionPool::~ContinuousSessionPool() { StopSpillWriter(); }
+
 std::size_t ContinuousSessionPool::SessionFootprint(const Session& session) {
   // The policy's own estimate plus provider storage; the Session struct
   // itself is counted once more through the shard table's slot array —
@@ -127,9 +135,13 @@ StatusOr<util::UserId> ContinuousSessionPool::TrackPolicy(
   shard.resident_bytes += session->mem_bytes;
   shard.OccupancyAdd(last_segment);
   if (restored) ++shard.restored;
-  // A fresh insert supersedes any cold-tier copy of this user.
+  // A fresh insert supersedes any cold-tier copy of this user — the file
+  // record AND the envelope still sitting on the writer queue.
   shard.parked_keys.Erase(id);
-  if (spill_ != nullptr) spill_->Erase(id);
+  if (spill_ != nullptr) {
+    if (options_.async_spill) InvalidateInFlight(id);
+    spill_->Erase(id);
+  }
   return id;
 }
 
@@ -292,9 +304,15 @@ Status ContinuousSessionPool::AttachSpillFile(const std::string& path) {
   if (spill_ != nullptr) {
     return Status::FailedPrecondition("spill file already attached");
   }
-  auto file = store::SpillFile::Attach(path, map_fingerprint_, interner_);
-  if (!file.ok()) return file.status();
-  spill_ = std::move(*file);
+  const std::size_t members =
+      options_.spill_shards > 0
+          ? static_cast<std::size_t>(options_.spill_shards)
+          : std::size_t{1};
+  auto files =
+      store::SpillFileSet::Attach(path, members, map_fingerprint_, interner_);
+  if (!files.ok()) return files.status();
+  spill_ = std::move(*files);
+  if (options_.async_spill) StartSpillWriter();
   return Status::Ok();
 }
 
@@ -306,6 +324,12 @@ ContinuousSessionPool::UserState ContinuousSessionPool::StateOf(
     std::lock_guard<std::mutex> lock(shard.mutex);
     if (shard.sessions.Find(user) != nullptr) return UserState::kResident;
   }
+  // The in-flight queue counts as spilled: a victim unlinked by the async
+  // sweep is findable before its write lands (the net front door's
+  // adoption check rides on this).
+  if (options_.async_spill && InFlightContains(user)) {
+    return UserState::kSpilled;
+  }
   if (spill_ != nullptr && spill_->Contains(user)) return UserState::kSpilled;
   return UserState::kUntracked;
 }
@@ -315,19 +339,28 @@ bool ContinuousSessionPool::RestoreFromSpill(util::UserId user,
   if (spill_ == nullptr) return false;
   Shard& shard = *shards_[ShardIndexFor(user)];
   Stopwatch timer;
-  auto blob = spill_->ReadRecord(user);
-  if (!blob.ok()) {
-    if (blob.status().code() != ErrorCode::kNotFound) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      ++shard.restore_failures;
+  // In-flight queue first: a victim the async sweep unlinked restores
+  // from the very bytes the writer would land — served from memory,
+  // byte-identical to the disk round trip.
+  Bytes state;
+  bool from_queue =
+      options_.async_spill && LookupInFlight(user, &state);
+  if (!from_queue) {
+    auto blob = spill_->ReadRecord(user);
+    if (!blob.ok()) {
+      if (blob.status().code() != ErrorCode::kNotFound) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        ++shard.restore_failures;
+      }
+      return false;
     }
-    return false;
+    state = std::move(*blob);
   }
   double last_update_s = 0.0;
   roadnet::SegmentId last_segment = roadnet::kInvalidSegment;
   auto restore = [&]() -> StatusOr<ContinuousPolicy> {
     RCLOAK_ASSIGN_OR_RETURN(SpillEnvelope envelope,
-                            DecodeSpillEnvelope(*blob));
+                            DecodeSpillEnvelope(state));
     RCLOAK_RETURN_IF_ERROR(ValidateEnvelopeHeader(envelope.map_fingerprint,
                                                   envelope.algorithm));
     RCLOAK_ASSIGN_OR_RETURN(
@@ -374,6 +407,9 @@ bool ContinuousSessionPool::RestoreFromSpill(util::UserId user,
     std::lock_guard<std::mutex> lock(shard.mutex);
     ++shard.restored_on_miss;
   }
+  if (from_queue) {
+    restored_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  }
   {
     std::lock_guard<std::mutex> lock(latency_mutex_);
     restore_latency_ms_.Add(timer.ElapsedMillis());
@@ -386,7 +422,37 @@ std::size_t ContinuousSessionPool::SweepStep(std::size_t quota) {
       sweep_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   Shard& shard = *shards_[shard_index];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  std::vector<store::SpillFile::Record> batch;
+  if (options_.async_spill) {
+    // Unlink-and-enqueue: the serialized envelope goes on the in-flight
+    // queue (inserted before the shard unlink becomes visible, so the
+    // user is always resident or findable) and the victim leaves the
+    // resident table immediately — no disk write under the shard lock.
+    // The writer thread lands the bytes; restore-on-miss serves them from
+    // memory until then.
+    return shard.sessions.SweepFrom(
+        &shard.clock_hand, quota, [&](util::UserId id, Session& session) {
+          if (session.referenced) {
+            session.referenced = false;
+            return false;
+          }
+          EnqueueSpill(id,
+                       EncodeSpillEnvelope(session.policy.Serialize(),
+                                           session.last_update_s,
+                                           session.last_segment,
+                                           map_fingerprint_,
+                                           session.policy.algorithm()));
+          if (!options_.key_provider_factory) {
+            shard.parked_keys.TryEmplace(id,
+                                         std::move(session.key_provider));
+          }
+          shard.OccupancyRemove(session.last_segment);
+          shard.resident_bytes -= session.mem_bytes;
+          ++shard.spilled;
+          ++shard.budget_spilled;
+          return true;  // erased in place by SweepFrom
+        });
+  }
+  std::vector<store::SpillFileSet::Record> batch;
   std::vector<util::UserId> victims;
   const std::size_t visited = shard.sessions.SweepFrom(
       &shard.clock_hand, quota, [&](util::UserId id, Session& session) {
@@ -395,7 +461,7 @@ std::size_t ContinuousSessionPool::SweepStep(std::size_t quota) {
           session.referenced = false;
           return false;
         }
-        batch.push_back(store::SpillFile::Record{
+        batch.push_back(store::SpillFileSet::Record{
             id, EncodeSpillEnvelope(session.policy.Serialize(),
                                     session.last_update_s,
                                     session.last_segment, map_fingerprint_,
@@ -435,6 +501,10 @@ void ContinuousSessionPool::MaybeSweep() {
   // exceeds the budget after that, yield to the next batch.
   std::size_t allowance = 2 * (session_count() + shards_.size());
   while (allowance > 0 && memory_bytes() > budget) {
+    // Async mode: a saturated in-flight queue means the disk is behind.
+    // Yield rather than block the update path — the budget stays
+    // exceeded and the next batch retries once the writer drains.
+    if (options_.async_spill && SweepStalledOnQueue()) break;
     const std::size_t visited = SweepStep(quota);
     allowance -= std::min(allowance, std::max<std::size_t>(visited, 1));
   }
@@ -459,9 +529,10 @@ void ContinuousSessionPool::MaybeCompactColdTier() {
 
 Status ContinuousSessionPool::CompactColdTierLocked() {
   // Generation protocol: open a fresh generation, move every name that
-  // must survive into it (resident sessions, parked providers, live spill
-  // records as compaction sees them), then retire everything older —
-  // churned users' names are the only thing left behind.
+  // must survive into it (resident sessions, parked providers, queued
+  // in-flight spills, live spill records as compaction sees them), then
+  // retire everything older — churned users' names are the only thing
+  // left behind.
   const std::uint32_t fresh = interner_.BeginGeneration();
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
@@ -470,7 +541,47 @@ Status ContinuousSessionPool::CompactColdTierLocked() {
     shard->parked_keys.ForEach(
         [&](util::UserId id, KeyProvider&) { interner_.Touch(id); });
   }
+  {
+    // In-flight victims are in no shard and not yet in any file; their
+    // names must survive or the writer's deferred append could not
+    // resolve them. Stable under cold unique: every producer holds
+    // cold_mutex_ shared to enqueue.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    in_flight_.ForEach(
+        [&](util::UserId id, InFlightSpill&) { interner_.Touch(id); });
+  }
   RCLOAK_RETURN_IF_ERROR(spill_->Compact());
+  for (const util::UserId user : spill_->LiveUsers()) interner_.Touch(user);
+  interner_.RetireGenerationsBefore(fresh);
+  spill_compactions_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status ContinuousSessionPool::CompactColdTierOffPath() {
+  // Phase 1 — the long part, WITHOUT the cold lock: rewrite members
+  // carrying dead bytes. Only appends/restores routed to the member being
+  // rewritten block (on its own mutex); the update path keeps running.
+  // Records appended to a member after its rewrite land behind the new
+  // tail and stay indexed, so nothing is lost to the race.
+  RCLOAK_RETURN_IF_ERROR(spill_->Compact());
+  // Phase 2 — the short part, under cold unique: generation retirement.
+  // Touch everything live (resident, parked, in-flight, on disk as of
+  // now — a superset of what phase 1 saw), then retire the rest. Any name
+  // interned before this lock is live somewhere or legitimately retirable.
+  std::unique_lock<std::shared_mutex> cold(cold_mutex_);
+  const std::uint32_t fresh = interner_.BeginGeneration();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->sessions.ForEach(
+        [&](util::UserId id, Session&) { interner_.Touch(id); });
+    shard->parked_keys.ForEach(
+        [&](util::UserId id, KeyProvider&) { interner_.Touch(id); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    in_flight_.ForEach(
+        [&](util::UserId id, InFlightSpill&) { interner_.Touch(id); });
+  }
   for (const util::UserId user : spill_->LiveUsers()) interner_.Touch(user);
   interner_.RetireGenerationsBefore(fresh);
   spill_compactions_.fetch_add(1, std::memory_order_relaxed);
@@ -489,15 +600,18 @@ StatusOr<std::size_t> ContinuousSessionPool::SpillAllToFile() {
   if (spill_ == nullptr) {
     return Status::FailedPrecondition("no spill file attached");
   }
+  // Async mode: land the queued envelopes first so the file carries every
+  // spilled user, not just the residents written below.
+  if (options_.async_spill) RCLOAK_RETURN_IF_ERROR(FlushSpillQueue());
   std::shared_lock<std::shared_mutex> cold(cold_mutex_);
   std::size_t written = 0;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
-    std::vector<store::SpillFile::Record> batch;
+    std::vector<store::SpillFileSet::Record> batch;
     std::vector<util::UserId> victims;
     shard.sessions.ForEach([&](util::UserId id, Session& session) {
-      batch.push_back(store::SpillFile::Record{
+      batch.push_back(store::SpillFileSet::Record{
           id, EncodeSpillEnvelope(session.policy.Serialize(),
                                   session.last_update_s, session.last_segment,
                                   map_fingerprint_,
@@ -526,12 +640,205 @@ StatusOr<std::size_t> ContinuousSessionPool::RestoreAllFromFile() {
   if (spill_ == nullptr) {
     return Status::FailedPrecondition("no spill file attached");
   }
+  // Async mode: queued victims are not in the file's live set yet — flush
+  // so the LiveUsers walk below sees them.
+  if (options_.async_spill) RCLOAK_RETURN_IF_ERROR(FlushSpillQueue());
   std::shared_lock<std::shared_mutex> cold(cold_mutex_);
   std::size_t restored = 0;
   for (const util::UserId user : spill_->LiveUsers()) {
     if (RestoreFromSpill(user, /*count_on_miss=*/false)) ++restored;
   }
   return restored;
+}
+
+// ---- async spill pipeline --------------------------------------------------
+
+void ContinuousSessionPool::EnqueueSpill(util::UserId user, Bytes state) {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  const std::uint64_t seq = ++queue_seq_;
+  const std::size_t size = state.size();
+  auto [slot, inserted] = in_flight_.TryEmplace(user, InFlightSpill{});
+  if (!inserted) {
+    // A fresher spill supersedes the queued envelope; the older write is
+    // absorbed in memory (its deque entry dies by seq mismatch).
+    queue_bytes_ -= std::min(queue_bytes_, slot->state.size());
+    ++async_absorbed_;
+  }
+  slot->state = std::move(state);
+  slot->seq = seq;
+  queue_bytes_ += size;
+  spill_queue_.push_back({user, seq});
+  queue_peak_ = std::max(queue_peak_, spill_queue_.size());
+  queue_cv_.notify_all();
+}
+
+bool ContinuousSessionPool::LookupInFlight(util::UserId user,
+                                           Bytes* state) const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  const InFlightSpill* slot = in_flight_.Find(user);
+  if (slot == nullptr) return false;
+  *state = slot->state;
+  return true;
+}
+
+bool ContinuousSessionPool::InFlightContains(util::UserId user) const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return in_flight_.Find(user) != nullptr;
+}
+
+void ContinuousSessionPool::InvalidateInFlight(util::UserId user) {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  InFlightSpill* slot = in_flight_.Find(user);
+  if (slot == nullptr) return;
+  queue_bytes_ -= std::min(queue_bytes_, slot->state.size());
+  ++async_absorbed_;
+  in_flight_.Erase(user);
+  queue_cv_.notify_all();  // a flush waiting on this entry can finish
+}
+
+bool ContinuousSessionPool::SweepStalledOnQueue() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (spill_queue_.size() < options_.spill_queue_max_records &&
+      queue_bytes_ < options_.spill_queue_max_bytes) {
+    return false;
+  }
+  ++write_stalls_;
+  queue_cv_.notify_all();  // kick the writer
+  return true;
+}
+
+void ContinuousSessionPool::StartSpillWriter() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (writer_running_) return;
+  writer_running_ = true;
+  spill_writer_ = std::thread([this] { SpillWriterLoop(); });
+}
+
+void ContinuousSessionPool::StopSpillWriter() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!writer_running_) return;
+    writer_running_ = false;
+    queue_cv_.notify_all();
+  }
+  if (spill_writer_.joinable()) spill_writer_.join();
+}
+
+Status ContinuousSessionPool::FlushSpillQueue() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  if (!writer_running_) {
+    return spill_queue_.empty()
+               ? Status::Ok()
+               : Status::FailedPrecondition("spill writer not running");
+  }
+  ++flush_waiters_;  // overrides a test pause for the duration of the wait
+  queue_cv_.notify_all();
+  queue_cv_.wait(lock, [&] {
+    return (spill_queue_.empty() && in_flight_.empty()) ||
+           !writer_status_.ok() || !writer_running_;
+  });
+  --flush_waiters_;
+  return writer_status_;
+}
+
+void ContinuousSessionPool::PauseSpillWriterForTest(bool paused) {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  writer_paused_ = paused;
+  queue_cv_.notify_all();
+}
+
+void ContinuousSessionPool::SpillWriterLoop() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  for (;;) {
+    // Timed wait: dead bytes can grow without queue traffic (re-tracks
+    // erasing file records), and compaction is the writer's job here.
+    queue_cv_.wait_for(lock, std::chrono::milliseconds(250), [&] {
+      return !writer_running_ ||
+             ((!writer_paused_ || flush_waiters_ > 0) &&
+              !spill_queue_.empty());
+    });
+    const bool shutting_down = !writer_running_;
+    if (spill_queue_.empty()) {
+      if (shutting_down) return;  // final drain done (flush on Detach)
+      if (!writer_paused_ && CompactionDue()) {
+        lock.unlock();
+        // Failure leaves the dead bytes; retried on a later cycle.
+        (void)CompactColdTierOffPath();
+        lock.lock();
+      }
+      continue;
+    }
+    // Shutdown overrides the pause; so does a flush waiter.
+    if (writer_paused_ && flush_waiters_ == 0 && !shutting_down) continue;
+
+    // Pop one group, keeping FIFO order (last-write-wins on disk needs
+    // appends in enqueue order), and copy out the still-valid states.
+    // Entries whose seq no longer matches were superseded or invalidated
+    // — their writes are absorbed. The in_flight_ slots stay until the
+    // append lands so concurrent restores keep being served from memory.
+    const std::size_t take = std::min(spill_queue_.size(), kWriterGroupMax);
+    std::vector<SpillQueueEntry> popped(
+        spill_queue_.begin(),
+        spill_queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    spill_queue_.erase(
+        spill_queue_.begin(),
+        spill_queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    std::vector<store::SpillFileSet::Record> batch;
+    std::vector<SpillQueueEntry> valid;
+    batch.reserve(popped.size());
+    valid.reserve(popped.size());
+    for (const SpillQueueEntry& entry : popped) {
+      const InFlightSpill* slot = in_flight_.Find(entry.user);
+      if (slot == nullptr || slot->seq != entry.seq) continue;
+      batch.push_back({entry.user, slot->state});
+      valid.push_back(entry);
+    }
+    if (batch.empty()) {
+      queue_cv_.notify_all();
+      continue;
+    }
+    lock.unlock();
+    Status status;
+    {
+      // Shared like every other spill producer: generation retirement
+      // (cold unique) can never overlap an append resolving names.
+      std::shared_lock<std::shared_mutex> cold(cold_mutex_);
+      status = spill_->AppendBatch(batch);
+    }
+    lock.lock();
+    if (status.ok()) {
+      writer_status_ = Status::Ok();
+      ++async_appends_;
+      async_spilled_ += batch.size();
+      for (const SpillQueueEntry& entry : valid) {
+        const InFlightSpill* slot = in_flight_.Find(entry.user);
+        if (slot != nullptr && slot->seq == entry.seq) {
+          queue_bytes_ -= std::min(queue_bytes_, slot->state.size());
+          in_flight_.Erase(entry.user);
+        }
+        // A mismatch = superseded while we wrote: the newer entry stays
+        // queued and will supersede this record on disk too.
+      }
+      queue_cv_.notify_all();
+      if (!shutting_down && spill_queue_.empty() && CompactionDue()) {
+        lock.unlock();
+        (void)CompactColdTierOffPath();
+        lock.lock();
+      }
+    } else {
+      writer_status_ = status;
+      // Requeue at the FRONT in original order: nothing is dropped, and
+      // FIFO (so last-write-wins) is preserved for the retry.
+      for (auto it = valid.rbegin(); it != valid.rend(); ++it) {
+        spill_queue_.push_front(*it);
+      }
+      queue_cv_.notify_all();  // flush waiters observe writer_status_
+      if (shutting_down) return;  // exiting anyway; the error is recorded
+      // Backoff before retrying the disk.
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(10),
+                         [&] { return !writer_running_; });
+    }
+  }
 }
 
 std::size_t ContinuousSessionPool::memory_bytes() const {
@@ -625,7 +932,17 @@ void ContinuousSessionPool::RunRound(
       // The cold-tier fast path: an update for a spilled user reads the
       // record back, deserializes, and proceeds in the SAME batch — no
       // NotFound, byte-identical to a session that never left memory.
-      if (RestoreFromSpill(update.user, /*count_on_miss=*/true)) {
+      //
+      // Retried: while the budget is still exceeded, a concurrent sweep
+      // (two clock laps in one MaybeSweep) can clear the fresh session's
+      // referenced bit and re-spill it between the restore returning and
+      // the shard lock below — the session is live the whole time, just
+      // moving, so adopt again. Every round trips the same bytes; any
+      // attempt that sticks is byte-identical.
+      for (int attempt = 0; attempt < 4 && missing; ++attempt) {
+        if (!RestoreFromSpill(update.user, /*count_on_miss=*/attempt == 0)) {
+          break;
+        }
         std::lock_guard<std::mutex> lock(shard.mutex);
         Session* session = shard.sessions.Find(update.user);
         if (session != nullptr) {
@@ -791,7 +1108,9 @@ ContinuousSessionPool::UpdateBatch(
     results = UpdateBatchImpl(updates);
     MaybeSweep();
   }
-  MaybeCompactColdTier();
+  // Async mode: compaction belongs to the writer thread (off the update
+  // path); sync mode keeps the PR 7 behavior for A/B comparison.
+  if (!options_.async_spill) MaybeCompactColdTier();
   return results;
 }
 
@@ -811,7 +1130,7 @@ ContinuousSessionPool::UpdateBatch(const std::vector<PositionUpdate>& updates) {
     shared = UpdateBatchImpl(ids);
     MaybeSweep();
   }
-  MaybeCompactColdTier();
+  if (!options_.async_spill) MaybeCompactColdTier();
   // Compatibility boundary: copy each served artifact out by value.
   std::vector<StatusOr<core::CloakedArtifact>> results;
   results.reserve(shared.size());
@@ -943,6 +1262,18 @@ SessionPoolStats ContinuousSessionPool::stats() const {
     stats.spill_dead_bytes = spill.dead_bytes;
     stats.spill_live_records = spill.live_records;
   }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stats.write_stalls = write_stalls_;
+    stats.async_appends = async_appends_;
+    stats.async_spilled = async_spilled_;
+    stats.async_absorbed = async_absorbed_;
+    stats.spill_queue_depth = spill_queue_.size();
+    stats.spill_queue_bytes = queue_bytes_;
+    stats.spill_queue_peak = queue_peak_;
+  }
+  stats.restored_in_flight =
+      restored_in_flight_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(latency_mutex_);
   stats.update_latency_ms = update_latency_ms_;
   stats.restore_latency_ms = restore_latency_ms_;

@@ -31,18 +31,21 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/continuous.h"
 #include "server/anonymization_server.h"
-#include "store/spill_file.h"
+#include "store/spill_file_set.h"
 #include "util/interner.h"
 #include "util/stats.h"
 
@@ -79,6 +82,30 @@ struct SessionPoolOptions {
   // user returns.
   std::function<core::ContinuousCloak::KeyProvider(std::string_view user_id)>
       key_provider_factory;
+
+  // ---- async spill pipeline ----------------------------------------------
+  // When true, the clock sweep unlinks each victim from its shard and
+  // enqueues the serialized envelope on a bounded in-flight queue; a
+  // dedicated writer thread drains the queue in group appends and runs
+  // compaction off the update path. Restore-on-miss serves queued records
+  // straight from memory (byte-identical to the disk round trip). When
+  // false (default), the sweep appends synchronously under the shard lock
+  // and compaction runs on the update path — the PR 7 behavior, kept for
+  // A/B measurement (bench_e25 --async-spill).
+  bool async_spill = false;
+  // Spill-file members the cold tier fans across (store::SpillFileSet) so
+  // restores on one member never contend with appends or compaction on
+  // another. Member 0 is the attach path itself (single-file compatible);
+  // attach an existing set with the count it was written with.
+  int spill_shards = 1;
+  // Bounds on the async in-flight queue (records and envelope bytes). A
+  // sweep that finds the queue saturated yields instead of blocking — the
+  // budget stays exceeded, the next batch retries — counted as a write
+  // stall. Queued envelopes are deliberately NOT part of memory_bytes():
+  // charging them would make spilling look like no progress to the sweep;
+  // the true ceiling is budget + spill_queue_max_bytes.
+  std::size_t spill_queue_max_records = 4096;
+  std::size_t spill_queue_max_bytes = 32u << 20;
 };
 
 struct SessionPoolStats {
@@ -127,6 +154,19 @@ struct SessionPoolStats {
   std::size_t spill_live_records = 0;
   // Wall time of each restore-on-miss (read + deserialize + re-insert).
   Samples restore_latency_ms;
+
+  // ---- async spill pipeline ----------------------------------------------
+  std::uint64_t write_stalls = 0;   // sweeps that yielded on a full queue
+  std::uint64_t async_appends = 0;  // writer-thread group appends landed
+  std::uint64_t async_spilled = 0;  // records the writer wrote to disk
+  // Queued records that never reached disk: superseded by a newer spill or
+  // invalidated by a restore/re-track — the write was absorbed in memory.
+  std::uint64_t async_absorbed = 0;
+  // Subset of restored_on_miss served from the in-flight queue.
+  std::uint64_t restored_in_flight = 0;
+  std::size_t spill_queue_depth = 0;  // records queued at call time
+  std::size_t spill_queue_bytes = 0;
+  std::size_t spill_queue_peak = 0;  // high-water record depth
 };
 
 class ContinuousSessionPool {
@@ -164,6 +204,10 @@ class ContinuousSessionPool {
   // server engine's MapContext, so no index or table is rebuilt.
   explicit ContinuousSessionPool(AnonymizationServer& server,
                                  const SessionPoolOptions& options = {});
+  // Stops the spill writer thread first, flushing any queued envelopes to
+  // the spill file (shutdown is a Detach: nothing in flight is dropped
+  // unless the disk itself fails).
+  ~ContinuousSessionPool();
 
   ContinuousSessionPool(const ContinuousSessionPool&) = delete;
   ContinuousSessionPool& operator=(const ContinuousSessionPool&) = delete;
@@ -218,19 +262,33 @@ class ContinuousSessionPool {
 
   enum class UserState : std::uint8_t { kUntracked, kResident, kSpilled };
 
-  // Creates or opens the batched spill file at `path` and activates the
+  // Creates or opens the spill file set at `path` (options.spill_shards
+  // members; a set of one is the single file PR 7 wrote) and activates the
   // cold tier: budget-driven clock eviction sweeps spill into it, and an
   // update for a spilled user restores transparently inside UpdateBatch.
-  // An existing file must carry this pool's map fingerprint; its records'
+  // With options.async_spill this also starts the writer thread. An
+  // existing set must carry this pool's map fingerprint; its records'
   // names are re-interned so spilled users keep resolvable handles across
   // runs (restore-on-miss then needs options.key_provider_factory). At
-  // most one file per pool; attach before concurrent use.
+  // most one set per pool; attach before concurrent use.
   Status AttachSpillFile(const std::string& path);
 
-  // Resident / spilled-in-file / untracked, for one handle. The net front
-  // door uses this to distinguish "enqueue and let restore-on-miss adopt
-  // the session" from "track fresh".
+  // Resident / spilled (in the file set OR on the in-flight queue) /
+  // untracked, for one handle. The net front door uses this to distinguish
+  // "enqueue and let restore-on-miss adopt the session" from "track
+  // fresh" — a victim sitting in the writer queue must read as spilled or
+  // a reconnect would re-track over it.
   UserState StateOf(util::UserId user) const;
+
+  // Blocks until the writer thread has landed every queued envelope (or
+  // hit a write error, returned here). Overrides a test pause. No-op in
+  // sync mode.
+  Status FlushSpillQueue();
+
+  // Holds the writer thread idle so tests can pin the in-flight window
+  // deterministically (restore-from-queue, shutdown flush). Shutdown and
+  // FlushSpillQueue override the pause.
+  void PauseSpillWriterForTest(bool paused);
 
   // Writes every resident session to the spill file regardless of budget
   // (tooling, shutdown persistence); returns how many were written.
@@ -261,7 +319,9 @@ class ContinuousSessionPool {
     return memory_budget_bytes_.load(std::memory_order_relaxed);
   }
   // Null until AttachSpillFile succeeds.
-  const store::SpillFile* spill_file() const noexcept { return spill_.get(); }
+  const store::SpillFileSet* spill_files() const noexcept {
+    return spill_.get();
+  }
 
   // Feeds one position update for a tracked user. Returns the artifact in
   // force (freshly re-cloaked if the user left its validity region).
@@ -450,6 +510,44 @@ class ContinuousSessionPool {
   // Requires cold_mutex_ unique (no interning or spill traffic in
   // flight): touch resident + live-record names, compact, retire the rest.
   Status CompactColdTierLocked();
+  // The writer-thread variant: compacts the members WITHOUT the cold lock
+  // (only appends/restores to the member being rewritten block — the
+  // update path keeps running), then takes cold_mutex_ unique just for
+  // the short generation-retirement pass.
+  Status CompactColdTierOffPath();
+
+  // ---- async spill pipeline internals ------------------------------------
+  // Lock order: shard.mutex -> queue_mutex_; cold_mutex_ -> shard.mutex ->
+  // queue_mutex_; shard.mutex -> spill member mutex. queue_mutex_ is
+  // always innermost — nothing is called out of it.
+
+  struct SpillQueueEntry {
+    util::UserId user;
+    std::uint64_t seq = 0;
+  };
+  // The envelope a queued victim restores from until the write lands.
+  // `seq` ties the in_flight_ slot to the newest deque entry for the
+  // user: a popped entry whose seq no longer matches was superseded (a
+  // fresher spill) or invalidated (restored / re-tracked) — its write is
+  // absorbed.
+  struct InFlightSpill {
+    Bytes state;
+    std::uint64_t seq = 0;
+  };
+
+  // All under queue_mutex_. Enqueue is called from the sweep callback
+  // (shard lock held): insertion into in_flight_ happens before the shard
+  // unlink becomes visible, so a user is always resident or findable.
+  void EnqueueSpill(util::UserId user, Bytes state);
+  bool LookupInFlight(util::UserId user, Bytes* state) const;
+  bool InFlightContains(util::UserId user) const;
+  // Drops the queued envelope (the deque entry dies by seq mismatch).
+  void InvalidateInFlight(util::UserId user);
+  // True (and counted as a write stall) when the queue is at its bounds.
+  bool SweepStalledOnQueue();
+  void StartSpillWriter();
+  void StopSpillWriter();  // final drain (flush on Detach), then join
+  void SpillWriterLoop();
 
   // Envelope pre-checks against this pool's context (satellite of the
   // cross-run spill story: a version byte alone is not enough).
@@ -470,11 +568,36 @@ class ContinuousSessionPool {
   // it unique (so a name cannot be retired between its intern and the
   // session insert it backs).
   mutable std::shared_mutex cold_mutex_;
-  std::unique_ptr<store::SpillFile> spill_;  // set once by AttachSpillFile
+  std::unique_ptr<store::SpillFileSet> spill_;  // set once by AttachSpillFile
   std::atomic<std::size_t> memory_budget_bytes_{0};
   std::atomic<std::size_t> sweep_shard_{0};
   std::atomic<std::uint64_t> sweeps_{0};
   std::atomic<std::uint64_t> spill_compactions_{0};
+
+  // ---- async spill pipeline (state under queue_mutex_) ----
+  mutable std::mutex queue_mutex_;
+  // One condition for everything queued: the writer waits for work, flush
+  // callers wait for drain, the writer's retry backoff waits for shutdown.
+  std::condition_variable queue_cv_;
+  std::deque<SpillQueueEntry> spill_queue_;
+  util::IdMap<InFlightSpill> in_flight_;
+  std::size_t queue_bytes_ = 0;
+  std::size_t queue_peak_ = 0;
+  std::uint64_t queue_seq_ = 0;
+  std::uint64_t write_stalls_ = 0;
+  std::uint64_t async_appends_ = 0;
+  std::uint64_t async_spilled_ = 0;
+  std::uint64_t async_absorbed_ = 0;
+  // The last append failure (cleared on success); FlushSpillQueue returns
+  // it instead of waiting forever on a dead disk.
+  Status writer_status_ = Status::Ok();
+  bool writer_running_ = false;
+  bool writer_paused_ = false;
+  // Callers blocked in FlushSpillQueue; a non-zero count overrides a test
+  // pause so a flush always makes progress.
+  std::size_t flush_waiters_ = 0;
+  std::atomic<std::uint64_t> restored_in_flight_{0};
+  std::thread spill_writer_;
 
   mutable std::mutex latency_mutex_;
   Samples update_latency_ms_;

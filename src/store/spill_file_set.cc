@@ -1,0 +1,110 @@
+#include "store/spill_file_set.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rcloak::store {
+
+std::string SpillFileSet::MemberPath(const std::string& path, std::size_t i) {
+  if (i == 0) return path;
+  return path + ".s" + std::to_string(i);
+}
+
+StatusOr<std::unique_ptr<SpillFileSet>> SpillFileSet::Attach(
+    const std::string& path, std::size_t num_members,
+    std::uint64_t map_fingerprint, util::StringInterner& interner) {
+  if (num_members == 0) num_members = 1;
+  std::unique_ptr<SpillFileSet> set(new SpillFileSet(path, map_fingerprint));
+  set->members_.reserve(num_members);
+  for (std::size_t i = 0; i < num_members; ++i) {
+    auto member =
+        SpillFile::Attach(MemberPath(path, i), map_fingerprint, interner);
+    if (!member.ok()) return member.status();
+    set->members_.push_back(std::move(*member));
+  }
+  return set;
+}
+
+Status SpillFileSet::AppendBatch(const std::vector<Record>& records) {
+  if (records.empty()) return Status::Ok();
+  if (members_.size() == 1) return members_[0]->AppendBatch(records);
+  std::vector<std::vector<Record>> by_member(members_.size());
+  for (const Record& record : records) {
+    by_member[HomeOf(record.user)].push_back(record);
+  }
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (by_member[i].empty()) continue;
+    RCLOAK_RETURN_IF_ERROR(members_[i]->AppendBatch(by_member[i]));
+  }
+  return Status::Ok();
+}
+
+bool SpillFileSet::Contains(util::UserId user) const {
+  const std::size_t home = HomeOf(user);
+  if (members_[home]->Contains(user)) return true;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i != home && members_[i]->Contains(user)) return true;
+  }
+  return false;
+}
+
+StatusOr<Bytes> SpillFileSet::ReadRecord(util::UserId user) const {
+  const std::size_t home = HomeOf(user);
+  auto record = members_[home]->ReadRecord(user);
+  if (record.ok() || record.status().code() != ErrorCode::kNotFound) {
+    return record;
+  }
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (i == home || !members_[i]->Contains(user)) continue;
+    return members_[i]->ReadRecord(user);
+  }
+  return record;  // the home NotFound
+}
+
+bool SpillFileSet::Erase(util::UserId user) {
+  bool erased = false;
+  for (auto& member : members_) erased |= member->Erase(user);
+  return erased;
+}
+
+Status SpillFileSet::Compact() {
+  Status first = Status::Ok();
+  for (auto& member : members_) {
+    if (member->stats().dead_bytes == 0) continue;
+    const Status status = member->Compact();
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
+}
+
+std::vector<util::UserId> SpillFileSet::LiveUsers() const {
+  std::vector<util::UserId> users;
+  for (const auto& member : members_) {
+    const auto live = member->LiveUsers();
+    users.insert(users.end(), live.begin(), live.end());
+  }
+  std::sort(users.begin(), users.end(),
+            [](util::UserId a, util::UserId b) { return a.value < b.value; });
+  users.erase(std::unique(users.begin(), users.end()), users.end());
+  return users;
+}
+
+SpillFileStats SpillFileSet::stats() const {
+  SpillFileStats total;
+  for (const auto& member : members_) {
+    const SpillFileStats s = member->stats();
+    total.file_bytes += s.file_bytes;
+    total.dead_bytes += s.dead_bytes;
+    total.live_records += s.live_records;
+    total.index_bytes += s.index_bytes;
+    total.appended_records += s.appended_records;
+    total.appended_bytes += s.appended_bytes;
+    total.reads += s.reads;
+    total.compactions += s.compactions;
+    total.tail_truncated_bytes += s.tail_truncated_bytes;
+    total.corrupt_records_skipped += s.corrupt_records_skipped;
+  }
+  return total;
+}
+
+}  // namespace rcloak::store

@@ -245,7 +245,8 @@ struct LoopbackRig {
   std::unique_ptr<net::NetServer> front;
 };
 
-LoopbackRig StartLoopback(const RoadNetwork& net, int workers) {
+LoopbackRig StartLoopback(const RoadNetwork& net, int workers,
+                          double decode_budget_ms = 0.0) {
   LoopbackRig rig;
   rig.ctx = core::MapContext::Create(net);
   core::Anonymizer engine(rig.ctx, OnePerSegment(net));
@@ -257,6 +258,7 @@ LoopbackRig StartLoopback(const RoadNetwork& net, int workers) {
   rig.pool = std::make_unique<ContinuousSessionPool>(*rig.server);
   net::NetServerOptions options;
   options.poll_timeout_ms = 5;
+  options.decode_latency_budget_ms = decode_budget_ms;
   rig.front = std::make_unique<net::NetServer>(*rig.pool, options);
   EXPECT_TRUE(rig.front->Start().ok());
   return rig;
@@ -388,6 +390,71 @@ TEST(NetServerTest, WireArtifactsByteIdenticalToDirectPool) {
     }
     EXPECT_EQ(wire_seqs, direct_seqs) << "workers=" << workers;
   }
+}
+
+// The decode-latency-budget pin: a server forced into mid-tick partial
+// dispatches by a near-zero budget serves byte-identical replies to one
+// that dispatches once per tick — early flushes change WHEN replies leave,
+// never their bytes.
+TEST(NetServerTest, PartialDispatchRepliesByteIdenticalToSingleDispatch) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  constexpr int kConns = 3;
+  constexpr int kUsersPerConn = 4;
+  constexpr int kTicks = 8;
+  const auto position = [&net](std::uint32_t user, int tick) {
+    return SegmentId{(user * 11 + static_cast<std::uint32_t>(tick) * 17) %
+                     net.segment_count()};
+  };
+  const auto name = [](std::uint32_t user) {
+    return "p" + std::to_string(user);
+  };
+
+  std::map<std::string, std::vector<std::string>> seqs[2];
+  std::uint64_t partials = 0;
+  for (int mode = 0; mode < 2; ++mode) {
+    // mode 0: one dispatch per tick. mode 1: a ~zero budget, so every
+    // frame decoded after the tick's first update forces a partial flush.
+    auto rig = StartLoopback(net, /*workers=*/2,
+                             /*decode_budget_ms=*/mode == 1 ? 1e-4 : 0.0);
+    std::vector<net::Client> clients;
+    for (int c = 0; c < kConns; ++c) {
+      auto client = net::Client::Connect("127.0.0.1", rig.front->port());
+      ASSERT_TRUE(client.ok());
+      ASSERT_TRUE(client->Hello(rig.front->map_fingerprint()).ok());
+      clients.push_back(std::move(client).value());
+    }
+    for (int t = 0; t < kTicks; ++t) {
+      for (int c = 0; c < kConns; ++c) {
+        for (int k = 0; k < kUsersPerConn; ++k) {
+          const std::uint32_t user =
+              static_cast<std::uint32_t>(c * kUsersPerConn + k);
+          clients[static_cast<std::size_t>(c)].QueuePositionUpdate(
+              static_cast<std::uint32_t>(t * 100 + static_cast<int>(user)),
+              name(user), static_cast<double>(t), position(user, t));
+        }
+        ASSERT_TRUE(clients[static_cast<std::size_t>(c)].Flush().ok());
+      }
+      for (int c = 0; c < kConns; ++c) {
+        for (int k = 0; k < kUsersPerConn; ++k) {
+          const auto reply =
+              clients[static_cast<std::size_t>(c)].ReadArtifactReply();
+          ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+          const std::uint32_t user =
+              static_cast<std::uint32_t>(c * kUsersPerConn + k);
+          ASSERT_EQ(reply->seq,
+                    static_cast<std::uint32_t>(t * 100 +
+                                               static_cast<int>(user)));
+          seqs[mode][name(user)].push_back(Sha(reply->artifact_wire));
+        }
+      }
+    }
+    if (mode == 1) partials = rig.front->stats().partial_dispatches;
+    clients.clear();
+    rig.front->Stop();
+  }
+  EXPECT_EQ(seqs[0], seqs[1]);
+  // The budget actually fired — this run really did split ticks.
+  EXPECT_GT(partials, 0u);
 }
 
 TEST(NetServerTest, ReduceRequestOverTheWireRecoversExactSegment) {

@@ -17,6 +17,7 @@
 #include "roadnet/generators.h"
 #include "roadnet/spatial_index.h"
 #include "server/continuous_session_pool.h"
+#include "store/spill_file_set.h"
 
 namespace rcloak {
 namespace {
@@ -875,6 +876,266 @@ TEST(SessionPoolTest, RestoreRejectsFingerprintAndAlgorithmMismatch) {
   EXPECT_EQ(pool.Restore(tampered, KeysFor(9)).status().code(),
             ErrorCode::kInvalidArgument);
   EXPECT_EQ(pool.session_count(), 0u);
+}
+
+// ---- async spill pipeline --------------------------------------------------
+
+void RemoveSpillShards(const std::string& path, int shards) {
+  for (int i = 0; i < shards; ++i) {
+    const std::string member =
+        store::SpillFileSet::MemberPath(path, static_cast<std::size_t>(i));
+    std::remove(member.c_str());
+    std::remove((member + ".tmp").c_str());
+  }
+}
+
+// The async twin of ColdTierRestoreOnMissMatchesOracle: the background
+// writer, the in-flight queue, and the per-shard fan must be invisible to
+// the artifact stream — byte-identical to the never-evicted oracle pool.
+TEST(SessionPoolTest, AsyncColdTierMatchesOracleAcrossShards) {
+  const auto traces = MakeFleetTraces(/*num_cars=*/10, /*duration_s=*/60.0);
+  const auto ctx = core::MapContext::Create(traces.net);
+  const auto occupancy = OnePerSegment(traces.net);
+  const auto oracle = RunPool(ctx, occupancy, traces, /*workers=*/2);
+
+  const std::string path = "session_pool_async_test.rcsf";
+  RemoveSpillShards(path, 4);
+  core::Anonymizer engine(ctx, occupancy);
+  AnonymizationServer server(std::move(engine), {});
+  server::SessionPoolOptions options;
+  options.key_provider_factory = CarKeys;
+  options.sweep_batch = 64;
+  options.async_spill = true;
+  options.spill_shards = 4;
+  ContinuousSessionPool pool(server, options);
+  ASSERT_TRUE(pool.AttachSpillFile(path).ok());
+  for (std::uint32_t car = 0; car < traces.num_cars; ++car) {
+    ASSERT_TRUE(pool.Track("car" + std::to_string(car), FleetProfile(),
+                           Algorithm::kRge, KeysFor(car), FleetOptions())
+                    .ok());
+  }
+  std::map<std::string, std::vector<std::string>> sequences;
+  bool budget_set = false;
+  for (const auto& tick : traces.ticks) {
+    std::vector<ContinuousSessionPool::PositionUpdate> batch;
+    for (const auto& rec : tick) {
+      batch.push_back({"car" + std::to_string(rec.car_id), rec.time_s,
+                       rec.segment});
+    }
+    const auto results = pool.UpdateBatch(batch);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(results[i].ok())
+          << batch[i].user_id << ": " << results[i].status().ToString();
+      sequences[batch[i].user_id].push_back(ArtifactSha256(*results[i]));
+    }
+    if (!budget_set) {
+      pool.set_memory_budget_bytes(pool.memory_bytes() / 2);
+      budget_set = true;
+    }
+  }
+  ASSERT_TRUE(pool.FlushSpillQueue().ok());
+  EXPECT_EQ(sequences, oracle);
+  const auto stats = pool.stats();
+  EXPECT_GT(stats.budget_spilled, 0u);
+  EXPECT_GT(stats.restored_on_miss, 0u);
+  EXPECT_EQ(stats.restore_failures, 0u);
+  // Every swept envelope either reached a shard file or was absorbed in
+  // memory by a fresher spill / a restore that beat the writer.
+  EXPECT_EQ(stats.async_spilled + stats.async_absorbed, stats.budget_spilled);
+  EXPECT_EQ(stats.spill_queue_depth, 0u);
+  RemoveSpillShards(path, 4);
+}
+
+// The in-flight race the ISSUE names: a restore-on-miss while the record
+// still sits in the writer queue must be served byte-identical FROM MEMORY
+// (the shard files have never seen the user) and must invalidate the
+// queued write so it never lands afterwards.
+TEST(SessionPoolTest, RestoreOnMissServedFromWriterQueue) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  AnonymizationServer server(std::move(engine), {});
+  server::SessionPoolOptions options;
+  options.key_provider_factory = CarKeys;
+  options.async_spill = true;
+  options.spill_shards = 2;
+  ContinuousSessionPool pool(server, options);
+  const std::string path = "session_pool_inflight_test.rcsf";
+  RemoveSpillShards(path, 2);
+  ASSERT_TRUE(pool.AttachSpillFile(path).ok());
+  pool.PauseSpillWriterForTest(true);  // queue fills, disk stays empty
+
+  std::vector<util::UserId> ids;
+  for (int u = 0; u < 8; ++u) {
+    const std::string user = "car" + std::to_string(u);
+    const auto id = pool.Track(user, FleetProfile(), Algorithm::kRge,
+                               KeysFor(u), FleetOptions());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+    ASSERT_TRUE(pool.Update(user, 1.0, SegmentId{static_cast<std::uint32_t>(u)})
+                    .ok());
+  }
+  pool.set_memory_budget_bytes(pool.memory_bytes() / 4);
+  ASSERT_TRUE(pool.Update("car0", 2.0, SegmentId{11}).ok());  // runs the sweep
+
+  int spilled = -1;
+  for (int u = 0; u < 8; ++u) {
+    if (pool.StateOf(ids[static_cast<std::size_t>(u)]) ==
+        ContinuousSessionPool::UserState::kSpilled) {
+      spilled = u;
+      break;
+    }
+  }
+  ASSERT_GE(spilled, 0) << "sweep spilled nobody";
+  // The paused writer proves where the bytes live: queued in memory, with
+  // not a single record on any shard file.
+  EXPECT_GT(pool.stats().spill_queue_depth, 0u);
+  ASSERT_NE(pool.spill_files(), nullptr);
+  EXPECT_EQ(pool.spill_files()->stats().live_records, 0u);
+
+  // Lift the budget so the restore is not immediately re-swept (the pool
+  // is still over budget; a sweep may victimize even the fresh restore).
+  pool.set_memory_budget_bytes(0);
+  const std::string victim = "car" + std::to_string(spilled);
+  const auto artifact = pool.Update(victim, 3.0, SegmentId{21});
+  ASSERT_TRUE(artifact.ok()) << artifact.status().ToString();
+  EXPECT_EQ(pool.StateOf(ids[static_cast<std::size_t>(spilled)]),
+            ContinuousSessionPool::UserState::kResident);
+  const auto stats = pool.stats();
+  EXPECT_GE(stats.restored_in_flight, 1u);
+  EXPECT_GE(stats.async_absorbed, 1u);  // the queued write was invalidated
+
+  pool.PauseSpillWriterForTest(false);
+  ASSERT_TRUE(pool.FlushSpillQueue().ok());
+  RemoveSpillShards(path, 2);
+}
+
+// Writer-thread shutdown with a non-empty queue: the destructor must drain
+// every queued envelope to its shard file (flush on detach) so a warm boot
+// of a fresh pool sees the full fleet.
+TEST(SessionPoolTest, WriterShutdownDrainsQueueToShardFiles) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  const std::string path = "session_pool_shutdown_test.rcsf";
+  RemoveSpillShards(path, 2);
+  std::size_t spilled_count = 0;
+  {
+    core::Anonymizer engine(ctx, OnePerSegment(net));
+    AnonymizationServer server(std::move(engine), {});
+    server::SessionPoolOptions options;
+    options.key_provider_factory = CarKeys;
+    options.async_spill = true;
+    options.spill_shards = 2;
+    ContinuousSessionPool pool(server, options);
+    ASSERT_TRUE(pool.AttachSpillFile(path).ok());
+    pool.PauseSpillWriterForTest(true);
+    std::vector<util::UserId> ids;
+    for (int u = 0; u < 8; ++u) {
+      const std::string user = "car" + std::to_string(u);
+      const auto id = pool.Track(user, FleetProfile(), Algorithm::kRge,
+                                 KeysFor(u), FleetOptions());
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+      ASSERT_TRUE(
+          pool.Update(user, 1.0, SegmentId{static_cast<std::uint32_t>(u)})
+              .ok());
+    }
+    pool.set_memory_budget_bytes(pool.memory_bytes() / 4);
+    ASSERT_TRUE(pool.Update("car0", 2.0, SegmentId{11}).ok());
+    for (const auto id : ids) {
+      if (pool.StateOf(id) == ContinuousSessionPool::UserState::kSpilled) {
+        ++spilled_count;
+      }
+    }
+    ASSERT_GT(spilled_count, 0u);
+    EXPECT_EQ(pool.spill_files()->stats().live_records, 0u);
+    // Pool destroyed here with the writer still paused and the queue full:
+    // the shutdown drain must flush it all regardless.
+  }
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  AnonymizationServer server(std::move(engine), {});
+  server::SessionPoolOptions options;
+  options.key_provider_factory = CarKeys;
+  options.spill_shards = 2;
+  ContinuousSessionPool pool(server, options);
+  ASSERT_TRUE(pool.AttachSpillFile(path).ok());
+  const auto restored = pool.RestoreAllFromFile();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, spilled_count);
+  EXPECT_EQ(pool.stats().restore_failures, 0u);
+  RemoveSpillShards(path, 2);
+}
+
+// TSAN smoke for the full async machine: driver threads whose updates
+// trigger sweeps (and restore-on-miss against their own spilled users)
+// race the background writer, an off-path compactor, and a flusher.
+TEST(SessionPoolTest, AsyncSweepRacesDriversAndFlush) {
+  const RoadNetwork net = roadnet::MakeGrid({12, 12, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  server::ServerOptions server_options;
+  server_options.num_workers = 4;
+  AnonymizationServer server(std::move(engine), server_options);
+  server::SessionPoolOptions options;
+  options.key_provider_factory = CarKeys;
+  options.async_spill = true;
+  options.spill_shards = 2;
+  options.sweep_batch = 8;
+  ContinuousSessionPool pool(server, options);
+  const std::string path = "session_pool_asyncrace_test.rcsf";
+  RemoveSpillShards(path, 2);
+  ASSERT_TRUE(pool.AttachSpillFile(path).ok());
+
+  constexpr int kThreads = 3;
+  constexpr int kUsersPerThread = 8;
+  constexpr int kUpdates = 20;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int u = 0; u < kUsersPerThread; ++u) {
+      const int car = t * kUsersPerThread + u;
+      ASSERT_TRUE(pool.Track("car" + std::to_string(car), FleetProfile(),
+                             Algorithm::kRge, KeysFor(car), FleetOptions())
+                      .ok());
+      ASSERT_TRUE(pool.Update("car" + std::to_string(car), 0.0,
+                              SegmentId{static_cast<std::uint32_t>(car)})
+                      .ok());
+    }
+  }
+  // From here on every driver tick runs the sweep against the writer.
+  pool.set_memory_budget_bytes(pool.memory_bytes() / 2);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t, &net] {
+      for (int step = 1; step <= kUpdates; ++step) {
+        std::vector<ContinuousSessionPool::PositionUpdate> batch;
+        for (int u = 0; u < kUsersPerThread; ++u) {
+          const int car = t * kUsersPerThread + u;
+          batch.push_back(
+              {"car" + std::to_string(car), static_cast<double>(step),
+               SegmentId{static_cast<std::uint32_t>(
+                   (car * 7 + step * 5) % net.segment_count())}});
+        }
+        for (const auto& result : pool.UpdateBatch(batch)) {
+          ASSERT_TRUE(result.ok()) << result.status().ToString();
+        }
+      }
+    });
+  }
+  threads.emplace_back([&pool] {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(pool.FlushSpillQueue().ok());
+      ASSERT_TRUE(pool.CompactColdTier().ok());
+      (void)pool.stats();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  ASSERT_TRUE(pool.FlushSpillQueue().ok());
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.recloak_failures, 0u);
+  EXPECT_EQ(stats.restore_failures, 0u);
+  EXPECT_EQ(stats.spill_queue_depth, 0u);
+  RemoveSpillShards(path, 2);
 }
 
 }  // namespace
