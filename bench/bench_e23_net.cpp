@@ -29,6 +29,10 @@
 //   --users-per-conn U   users multiplexed per connection (default 25)
 //   --ticks T            fleet ticks                      (default 64)
 //   --verify             byte-compare every reply against the twin pool
+//   --auth               protocol-v2 challenge-response on every
+//                        connection (per-connection principal); the
+//                        wire_upd_per_s delta vs an open-mode run is the
+//                        auth tax (handshake + per-update ownership gate)
 // Defaults: 64 x 25 x 64 = 102,400 updates per worker count.
 // Emits BENCH_e23.json (schema: docs/PERFORMANCE.md).
 #include <chrono>
@@ -95,6 +99,7 @@ int main(int argc, char** argv) {
   int users_per_conn = 25;
   int ticks = 64;
   bool verify = false;
+  bool auth = false;
   std::vector<int> worker_counts;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--connections") == 0 && a + 1 < argc) {
@@ -105,6 +110,8 @@ int main(int argc, char** argv) {
       ticks = std::max(1, std::atoi(argv[++a]));
     } else if (std::strcmp(argv[a], "--verify") == 0) {
       verify = true;
+    } else if (std::strcmp(argv[a], "--auth") == 0) {
+      auth = true;
     } else {
       const int workers = std::atoi(argv[a]);
       if (workers > 0) worker_counts.push_back(workers);
@@ -129,6 +136,7 @@ int main(int argc, char** argv) {
           "steal counters" +
           (verify ? "; every reply byte-compared against the twin pool"
                   : "") +
+          (auth ? "; challenge-response auth on every connection" : "") +
           ".");
 
   const auto net = [] {
@@ -163,6 +171,12 @@ int main(int argc, char** argv) {
   report.MetaInt("updates_per_config",
                  static_cast<long long>(total_updates));
   report.MetaBool("verify", verify);
+  report.MetaBool("auth", auth);
+  // One shared secret for the whole fleet; each connection authenticates
+  // as its own principal, so every user binds to the connection that
+  // first drives it — the steady-state updates then pay the ownership
+  // check on every tick, which is exactly the tax being measured.
+  const Bytes auth_secret = {'e', '2', '3', '-', 'b', 'e', 'n', 'c', 'h'};
 
   for (const int workers : worker_counts) {
     // ---- in-process twin: same fleet, no wire -----------------------------
@@ -239,6 +253,7 @@ int main(int argc, char** argv) {
     net_options.continuous = continuous;
     net_options.key_seed_base = kSeedBase;
     net_options.poll_timeout_ms = 5;
+    if (auth) net_options.auth_secret = auth_secret;
     net::NetServer front(pool, net_options);
     if (const auto started = front.Start(); !started.ok()) {
       std::fprintf(stderr, "net server start failed: %s\n",
@@ -255,8 +270,11 @@ int main(int argc, char** argv) {
                      client.status().ToString().c_str());
         return 1;
       }
-      if (const auto hello = client->Hello(front.map_fingerprint());
-          !hello.ok()) {
+      const auto hello =
+          auth ? client->Hello(front.map_fingerprint(),
+                               "conn" + std::to_string(c), auth_secret)
+               : client->Hello(front.map_fingerprint());
+      if (!hello.ok()) {
         std::fprintf(stderr, "hello failed: %s\n",
                      hello.ToString().c_str());
         return 1;
@@ -377,6 +395,11 @@ int main(int argc, char** argv) {
              static_cast<long long>(net_stats.artifact_cache_misses))
         .Int("bytes_in", static_cast<long long>(net_stats.bytes_in))
         .Int("bytes_out", static_cast<long long>(net_stats.bytes_out))
+        .Int("auth_ok", static_cast<long long>(net_stats.auth_ok))
+        .Int("auth_rejected",
+             static_cast<long long>(net_stats.auth_rejected))
+        .Int("ownership_rejected",
+             static_cast<long long>(net_stats.ownership_rejected))
         .Int("verify_mismatches",
              static_cast<long long>(verify_mismatches));
   }

@@ -13,10 +13,10 @@
 //             --passphrase PW --level L
 //   serve     --map map.rcmap [--port P] [--workers N] [--duration SECS]
 //             [--trace trace.txt] [--spill spill.rcsf] [--budget BYTES]
-//             [--async-spill] [--spill-shards N]
+//             [--async-spill] [--spill-shards N] [--secret S]
 //                                      (0s / no duration = run until killed)
 //   sendto    --host H --port P --user NAME --segments "3,17,42"
-//             [--interval SECS]
+//             [--interval SECS] [--secret S] [--principal NAME]
 //   spill     --map map.rcmap --trace trace.txt --out spill.rcsf
 //             [--workers N] [--async-spill] [--spill-shards N]
 //   restore   --map map.rcmap --spill spill.rcsf [--workers N]
@@ -32,6 +32,13 @@
 // attaches that file (a reconnecting user's updates then restore on miss,
 // and `--budget` caps the resident set); `restore` warm-boots a pool from
 // the file and reports what came back.
+//
+// `serve --secret S` turns on challenge–response authentication: every
+// client must answer the HELLO nonce with an HMAC tag under the same
+// secret, and sessions bind to the authenticated principal. `sendto`
+// passes the matching `--secret` (and optionally `--principal`, defaulting
+// to --user). A spill file holding owner-bound sessions refuses to serve
+// in open mode — without the secret their owners cannot be verified.
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -491,10 +498,22 @@ int Serve(const Args& args) {
   pool_options.memory_budget_bytes =
       static_cast<std::size_t>(args.Int("budget", 0));
   server::ContinuousSessionPool pool(anon_server, pool_options);
+  const std::string secret = args.Get("secret");
   if (args.Has("spill")) {
     if (const auto attached = pool.AttachSpillFile(args.Get("spill"));
         !attached.ok()) {
       return Fail(attached.ToString());
+    }
+    if (secret.empty()) {
+      // Owner-bound records cannot be verified without the secret; serving
+      // them open would let any connection adopt any of them.
+      const auto owned = pool.OwnedSpillRecords();
+      if (!owned.ok()) return Fail(owned.status().ToString());
+      if (*owned > 0) {
+        return Fail("serve: spill file holds " + std::to_string(*owned) +
+                    " owner-bound session(s); refusing to serve them in "
+                    "open mode (pass --secret)");
+      }
     }
     std::cout << "cold tier: spill file " << args.Get("spill") << " ("
               << pool.spill_files()->stats().live_records
@@ -506,14 +525,15 @@ int Serve(const Args& args) {
   }
   rcloak::net::NetServerOptions options;
   options.port = static_cast<std::uint16_t>(args.Int("port", 0));
+  options.auth_secret = rcloak::Bytes(secret.begin(), secret.end());
   rcloak::net::NetServer front(pool, options);
   if (const auto started = front.Start(); !started.ok()) {
     return Fail(started.ToString());
   }
   std::cout << "serving on 127.0.0.1:" << front.port()
             << " (map fingerprint " << std::hex << front.map_fingerprint()
-            << std::dec << ", " << server_options.num_workers
-            << " workers)\n";
+            << std::dec << ", " << server_options.num_workers << " workers"
+            << (secret.empty() ? "" : ", auth required") << ")\n";
   const long duration = args.Int("duration", 0);
   if (duration > 0) {
     std::this_thread::sleep_for(std::chrono::seconds(duration));
@@ -539,11 +559,17 @@ int SendTo(const Args& args) {
       args.Get("host", "127.0.0.1"),
       static_cast<std::uint16_t>(args.Int("port", 0)));
   if (!client.ok()) return Fail(client.status().ToString());
-  if (const auto hello = client->Hello(); !hello.ok()) {
+  const std::string secret = args.Get("secret");
+  const std::string principal = args.Get("principal", user);
+  const rcloak::Bytes secret_bytes(secret.begin(), secret.end());
+  if (const auto hello = client->Hello(0, principal, secret_bytes);
+      !hello.ok()) {
     return Fail(hello.ToString());
   }
   std::cout << "connected (server map fingerprint " << std::hex
-            << client->server_fingerprint() << std::dec << ")\n";
+            << client->server_fingerprint() << std::dec
+            << (secret.empty() ? "" : ", authenticated as " + principal)
+            << ")\n";
 
   const double interval_s = static_cast<double>(args.Int("interval", 0));
   std::uint32_t seq = 0;

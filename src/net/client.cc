@@ -65,9 +65,10 @@ Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Status Client::Hello(std::uint64_t expect_fingerprint) {
+Status Client::Hello(std::uint64_t expect_fingerprint,
+                     std::string_view principal, const Bytes& secret) {
   Bytes hello;
-  AppendHello(hello, HelloFrame{kProtocolVersion, expect_fingerprint});
+  AppendHello(hello, HelloFrame{kProtocolVersion, expect_fingerprint, {}});
   out_.insert(out_.end(), hello.begin(), hello.end());
   RCLOAK_RETURN_IF_ERROR(Flush());
   RCLOAK_ASSIGN_OR_RETURN(const Frame frame, ReadFrame());
@@ -83,7 +84,26 @@ Status Client::Hello(std::uint64_t expect_fingerprint) {
     return Status::FailedPrecondition("server protocol version mismatch");
   }
   server_fingerprint_ = reply.map_fingerprint;
-  return Status::Ok();
+  if (reply.nonce.empty()) return Status::Ok();  // open mode
+  if (secret.empty()) {
+    return Status::PermissionDenied(
+        "server requires authentication but no secret was provided");
+  }
+  AuthFrame auth;
+  auth.principal = std::string(principal);
+  auth.tag = AuthTag(secret, reply.nonce, auth.principal);
+  AppendAuth(out_, auth);
+  RCLOAK_RETURN_IF_ERROR(Flush());
+  RCLOAK_ASSIGN_OR_RETURN(const Frame answer, ReadFrame());
+  if (answer.type == FrameType::kError) {
+    RCLOAK_ASSIGN_OR_RETURN(const ErrorFrame error,
+                            DecodeError(answer.payload));
+    return Status(error.code, "server refused auth: " + error.message);
+  }
+  if (answer.type != FrameType::kAuthOk) {
+    return Status::DataLoss("expected AUTH_OK reply");
+  }
+  return DecodeAuthOk(answer.payload).status();
 }
 
 void Client::QueuePositionUpdate(std::uint32_t seq, std::string_view user_id,

@@ -27,8 +27,13 @@ class Client {
   ~Client();
 
   // Exchanges HELLO frames. `expect_fingerprint` 0 skips the client-side
-  // map check (the server's fingerprint is readable afterwards).
-  Status Hello(std::uint64_t expect_fingerprint = 0);
+  // map check (the server's fingerprint is readable afterwards). When the
+  // server's reply carries a challenge nonce (auth mode), answers it with
+  // AUTH(principal, HMAC-SHA256(secret, nonce || principal)) and waits for
+  // AUTH_OK; an empty secret against such a server fails with
+  // kPermissionDenied without attempting the challenge.
+  Status Hello(std::uint64_t expect_fingerprint = 0,
+               std::string_view principal = {}, const Bytes& secret = {});
   std::uint64_t server_fingerprint() const noexcept {
     return server_fingerprint_;
   }

@@ -85,8 +85,14 @@ class Connection {
   // Flags the owner (NetServer) manages across ticks.
   bool reading_paused = false;   // EPOLLIN dropped for backpressure
   bool write_armed = false;      // EPOLLOUT currently registered
-  bool handshaken = false;       // HELLO exchanged
+  bool handshaken = false;       // handshake complete (HELLO, + AUTH if on)
+  bool awaiting_auth = false;    // HELLO done, challenge outstanding
   std::uint64_t loop_token = 0;  // EventLoop registration
+  // Challenge issued in the HELLO reply; compared against the AUTH tag.
+  Bytes auth_nonce;
+  // Ownership token of the authenticated principal (PrincipalToken); 0 in
+  // open mode. Every session tracked through this connection binds to it.
+  std::uint64_t principal = 0;
 
   // Per-connection counters (folded into NetServerStats on close).
   std::uint64_t bytes_in = 0;

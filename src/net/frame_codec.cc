@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "crypto/sha256.h"
+
 namespace rcloak::net {
 
 namespace {
@@ -55,21 +57,70 @@ std::string_view FrameTypeName(FrameType type) noexcept {
       return "REDUCE_REPLY";
     case FrameType::kError:
       return "ERROR";
+    case FrameType::kAuth:
+      return "AUTH";
+    case FrameType::kAuthOk:
+      return "AUTH_OK";
   }
   return "UNKNOWN";
 }
 
 bool IsKnownFrameType(std::uint8_t type) noexcept {
   return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         type <= static_cast<std::uint8_t>(FrameType::kError);
+         type <= static_cast<std::uint8_t>(FrameType::kAuthOk);
+}
+
+// ------------------------------------------------------------ auth helpers
+
+Bytes AuthTag(const Bytes& secret, const Bytes& nonce,
+              std::string_view principal) {
+  Bytes message;
+  message.reserve(nonce.size() + principal.size());
+  message.insert(message.end(), nonce.begin(), nonce.end());
+  message.insert(message.end(), principal.begin(), principal.end());
+  const crypto::Sha256::Digest digest = crypto::HmacSha256(secret, message);
+  return Bytes(digest.begin(), digest.end());
+}
+
+std::uint64_t PrincipalToken(std::string_view principal) {
+  if (principal.empty()) return 0;
+  const crypto::Sha256::Digest digest = crypto::Sha256::Hash(principal);
+  std::uint64_t token = 0;
+  for (int i = 7; i >= 0; --i) token = (token << 8) | digest[i];
+  // 0 is reserved for "unowned"; remap the (2^-64) collision.
+  return token != 0 ? token : 1;
 }
 
 // ---------------------------------------------------------------- encoders
 
 void AppendHello(Bytes& out, const HelloFrame& hello) {
-  AppendFrameHeader(out, FrameType::kHello, 4 + 8);
-  PutU32le(out, hello.version);
-  PutU64le(out, hello.map_fingerprint);
+  Bytes payload;
+  payload.reserve(4 + 8 + 1 + hello.nonce.size());
+  PutU32le(payload, hello.version);
+  PutU64le(payload, hello.map_fingerprint);
+  PutVarint(payload, hello.nonce.size());
+  payload.insert(payload.end(), hello.nonce.begin(), hello.nonce.end());
+  AppendFrameHeader(out, FrameType::kHello, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void AppendAuth(Bytes& out, const AuthFrame& auth) {
+  Bytes payload;
+  payload.reserve(1 + auth.principal.size() + auth.tag.size());
+  PutVarint(payload, auth.principal.size());
+  payload.insert(payload.end(), auth.principal.begin(), auth.principal.end());
+  payload.insert(payload.end(), auth.tag.begin(), auth.tag.end());
+  AppendFrameHeader(out, FrameType::kAuth, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void AppendAuthOk(Bytes& out, const AuthOkFrame& ok) {
+  Bytes payload;
+  payload.reserve(1 + ok.principal.size());
+  PutVarint(payload, ok.principal.size());
+  payload.insert(payload.end(), ok.principal.begin(), ok.principal.end());
+  AppendFrameHeader(out, FrameType::kAuthOk, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
 }
 
 void AppendPositionUpdate(Bytes& out, std::uint32_t seq,
@@ -159,7 +210,52 @@ StatusOr<HelloFrame> DecodeHello(const Bytes& payload) {
   HelloFrame hello;
   hello.version = *version;
   hello.map_fingerprint = *fingerprint;
+  // Nonce field absent entirely (a 12-byte v1-shaped payload) reads as an
+  // empty challenge; the version check rejects actual v1 peers upstream.
+  if (offset < payload.size()) {
+    const auto nonce_len = GetVarint(payload, &offset);
+    if (!nonce_len || *nonce_len > payload.size() - offset) {
+      return Status::DataLoss("HELLO truncated inside nonce");
+    }
+    hello.nonce.assign(
+        payload.begin() + static_cast<std::ptrdiff_t>(offset),
+        payload.begin() + static_cast<std::ptrdiff_t>(offset + *nonce_len));
+  }
   return hello;
+}
+
+StatusOr<AuthFrame> DecodeAuth(const Bytes& payload) {
+  std::size_t offset = 0;
+  const auto principal_len = GetVarint(payload, &offset);
+  if (!principal_len || *principal_len > payload.size() - offset) {
+    return Status::DataLoss("AUTH truncated");
+  }
+  if (*principal_len == 0) {
+    return Status::InvalidArgument("AUTH with empty principal");
+  }
+  AuthFrame auth;
+  auth.principal.assign(
+      reinterpret_cast<const char*>(payload.data() + offset), *principal_len);
+  offset += *principal_len;
+  if (payload.size() - offset != kAuthTagBytes) {
+    return Status::DataLoss("AUTH tag must be exactly " +
+                            std::to_string(kAuthTagBytes) + " bytes");
+  }
+  auth.tag.assign(payload.begin() + static_cast<std::ptrdiff_t>(offset),
+                  payload.end());
+  return auth;
+}
+
+StatusOr<AuthOkFrame> DecodeAuthOk(const Bytes& payload) {
+  std::size_t offset = 0;
+  const auto principal_len = GetVarint(payload, &offset);
+  if (!principal_len || *principal_len > payload.size() - offset) {
+    return Status::DataLoss("AUTH_OK truncated");
+  }
+  AuthOkFrame ok;
+  ok.principal.assign(
+      reinterpret_cast<const char*>(payload.data() + offset), *principal_len);
+  return ok;
 }
 
 StatusOr<PositionUpdateFrame> DecodePositionUpdate(const Bytes& payload) {

@@ -30,8 +30,22 @@
 namespace rcloak::net {
 
 // Bumped on any incompatible wire change; HELLO carries it both ways and
-// the server refuses a mismatched client with an ERROR frame.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+// the server refuses a mismatched client with an ERROR frame. v2 extends
+// HELLO into a challenge-response: the server's reply may carry a random
+// nonce, and the client must answer with an AUTH frame whose tag is
+// HMAC-SHA256(secret, nonce || client id) before any other frame.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+// Seq reserved for connection-level ERROR frames (handshake failures,
+// undecodable frames whose seq could not be recovered). Clients must not
+// use it as a POSITION_UPDATE / REDUCE_REQUEST seq: replies carrying it
+// refer to the connection, never to a specific request.
+inline constexpr std::uint32_t kConnectionSeq = 0xFFFFFFFFu;
+
+// Challenge-response sizes: the server's HELLO nonce and the client's
+// HMAC-SHA256 tag (full digest, never truncated).
+inline constexpr std::size_t kAuthNonceBytes = 16;
+inline constexpr std::size_t kAuthTagBytes = 32;
 
 // Frame header: u32le payload length + type byte.
 inline constexpr std::size_t kFrameHeaderBytes = 5;
@@ -46,6 +60,8 @@ enum class FrameType : std::uint8_t {
   kReduceRequest = 4,   // client -> server: reduce an artifact with keys
   kReduceReply = 5,     // server -> client: reduced region (or error)
   kError = 6,           // either: seq-scoped or connection-level error
+  kAuth = 7,            // client -> server: principal id + HMAC tag
+  kAuthOk = 8,          // server -> client: handshake complete, principal echo
 };
 
 std::string_view FrameTypeName(FrameType type) noexcept;
@@ -64,6 +80,23 @@ struct HelloFrame {
   // 0 ("unknown") or the fingerprint it expects; the server always sends
   // its own and rejects a nonzero mismatch.
   std::uint64_t map_fingerprint = 0;
+  // v2 challenge: non-empty only in the server's reply, and only when the
+  // server requires authentication. The client must answer with an AUTH
+  // frame before anything else; an empty nonce means open mode and the
+  // handshake is complete.
+  Bytes nonce;
+};
+
+struct AuthFrame {
+  // The principal the client claims. Becomes the owner of every session
+  // this connection tracks; bounded by the frame payload cap.
+  std::string principal;
+  // HMAC-SHA256(secret, nonce || principal), kAuthTagBytes long.
+  Bytes tag;
+};
+
+struct AuthOkFrame {
+  std::string principal;  // echo of the authenticated principal
 };
 
 struct PositionUpdateFrame {
@@ -98,10 +131,26 @@ struct ArtifactReplyView {
 };
 
 struct ErrorFrame {
-  std::uint32_t seq = 0;  // 0 = connection-level
+  // Request seq the error answers, or kConnectionSeq for errors scoped to
+  // the connection itself (handshake refusal, undecodable frame).
+  std::uint32_t seq = kConnectionSeq;
   ErrorCode code = ErrorCode::kInternal;
   std::string message;
 };
+
+// ------------------------------------------------------------ auth helpers
+
+// The challenge-response tag: HMAC-SHA256 over (nonce || principal) under
+// the shared secret. Both ends compute it; the server compares in constant
+// time.
+Bytes AuthTag(const Bytes& secret, const Bytes& nonce,
+              std::string_view principal);
+
+// Stable 64-bit ownership token for a principal (first 8 bytes of
+// SHA-256, little-endian, never 0 for a non-empty principal). Sessions
+// and spill envelopes carry this token, not the principal string; 0 means
+// "unowned" (open mode).
+std::uint64_t PrincipalToken(std::string_view principal);
 
 // ---------------------------------------------------------------- encoders
 //
@@ -109,6 +158,8 @@ struct ErrorFrame {
 // several frames into one buffer and hand the socket a single write.
 
 void AppendHello(Bytes& out, const HelloFrame& hello);
+void AppendAuth(Bytes& out, const AuthFrame& auth);
+void AppendAuthOk(Bytes& out, const AuthOkFrame& ok);
 void AppendPositionUpdate(Bytes& out, std::uint32_t seq,
                           std::string_view user_id, double now_s,
                           roadnet::SegmentId segment);
@@ -126,6 +177,8 @@ void AppendArtifactError(Bytes& out, std::uint32_t seq, const Status& status);
 // ---------------------------------------------------------------- decoders
 
 StatusOr<HelloFrame> DecodeHello(const Bytes& payload);
+StatusOr<AuthFrame> DecodeAuth(const Bytes& payload);
+StatusOr<AuthOkFrame> DecodeAuthOk(const Bytes& payload);
 // The returned user_id view borrows `payload`.
 StatusOr<PositionUpdateFrame> DecodePositionUpdate(const Bytes& payload);
 StatusOr<ReduceRequestFrame> DecodeReduceRequest(const Bytes& payload);

@@ -1,9 +1,11 @@
 #include "net/net_server.h"
 
 #include <algorithm>
+#include <random>
 #include <utility>
 
 #include "core/artifact.h"
+#include "crypto/sha256.h"
 
 namespace rcloak::net {
 
@@ -23,7 +25,10 @@ NetServer::NetServer(server::ContinuousSessionPool& pool,
       deanonymizer_(pool.server().engine().context()),
       map_fingerprint_(
           core::FingerprintNetwork(pool.server().engine().network())),
-      segment_count_(pool.server().engine().network().segment_count()) {}
+      segment_count_(pool.server().engine().network().segment_count()) {
+  std::random_device entropy;
+  nonce_salt_ = (static_cast<std::uint64_t>(entropy()) << 32) ^ entropy();
+}
 
 NetServer::~NetServer() { Stop(); }
 
@@ -118,7 +123,7 @@ void NetServer::OnConnectionEvent(std::uint64_t conn_id, std::uint32_t ready) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.protocol_errors;
     }
-      SendError(conn, 0, conn.last_error().code(),
+      SendError(conn, kConnectionSeq, conn.last_error().code(),
                 conn.last_error().message());
       conn.Flush();
       CloseConnection(conn_id, CloseReason::kError);
@@ -153,9 +158,38 @@ void NetServer::DrainFrames(Connection& conn) {
 }
 
 void NetServer::HandleFrame(Connection& conn, const Frame& frame) {
-  if (!conn.handshaken && frame.type != FrameType::kHello) {
-    SendError(conn, 0, ErrorCode::kFailedPrecondition,
+  // Handshake state machine: HELLO first, then (auth mode) exactly one
+  // AUTH, then traffic. Anything out of order is a connection-level error.
+  if (conn.awaiting_auth && frame.type != FrameType::kAuth) {
+    SendError(conn, kConnectionSeq, ErrorCode::kPermissionDenied,
+              "authentication required: answer the HELLO challenge first");
+    conn.Flush();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.auth_rejected;
+    }
+    CloseConnection(conn.id(), CloseReason::kError);
+    return;
+  }
+  if (!conn.handshaken && !conn.awaiting_auth &&
+      frame.type != FrameType::kHello) {
+    SendError(conn, kConnectionSeq, ErrorCode::kFailedPrecondition,
               "first frame must be HELLO");
+    conn.Flush();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.hello_rejected;
+    }
+    CloseConnection(conn.id(), CloseReason::kError);
+    return;
+  }
+  if (conn.handshaken &&
+      (frame.type == FrameType::kHello || frame.type == FrameType::kAuth)) {
+    // A second HELLO (or stray AUTH) on a live connection is a handshake
+    // reset attempt — with auth in play it must not silently re-run.
+    SendError(conn, kConnectionSeq, ErrorCode::kFailedPrecondition,
+              std::string(FrameTypeName(frame.type)) +
+                  " after handshake completed");
     conn.Flush();
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -168,6 +202,9 @@ void NetServer::HandleFrame(Connection& conn, const Frame& frame) {
     case FrameType::kHello:
       HandleHello(conn, frame.payload);
       return;
+    case FrameType::kAuth:
+      HandleAuth(conn, frame.payload);
+      return;
     case FrameType::kPositionUpdate:
       HandlePositionUpdate(conn, frame.payload);
       return;
@@ -175,7 +212,7 @@ void NetServer::HandleFrame(Connection& conn, const Frame& frame) {
       HandleReduceRequest(conn, frame.payload);
       return;
     default:
-      SendError(conn, 0, ErrorCode::kInvalidArgument,
+      SendError(conn, kConnectionSeq, ErrorCode::kInvalidArgument,
                 std::string("unexpected frame: ") +
                     std::string(FrameTypeName(frame.type)));
       return;
@@ -196,7 +233,7 @@ void NetServer::HandleHello(Connection& conn, const Bytes& payload) {
     reject = Status::FailedPrecondition("map fingerprint mismatch");
   }
   if (!reject.ok()) {
-    SendError(conn, 0, reject.code(), reject.message());
+    SendError(conn, kConnectionSeq, reject.code(), reject.message());
     conn.Flush();
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -205,11 +242,67 @@ void NetServer::HandleHello(Connection& conn, const Bytes& payload) {
     CloseConnection(conn.id(), CloseReason::kError);
     return;
   }
-  conn.handshaken = true;
+  HelloFrame reply{kProtocolVersion, map_fingerprint_, {}};
+  if (options_.auth_secret.empty()) {
+    // Open mode: the handshake is complete, sessions stay unowned.
+    conn.handshaken = true;
+  } else {
+    // Auth mode: the reply carries the challenge; the connection stays in
+    // the awaiting-auth state until a valid AUTH lands.
+    conn.auth_nonce = NextNonce(conn.id());
+    conn.awaiting_auth = true;
+    reply.nonce = conn.auth_nonce;
+  }
   Bytes out;
-  AppendHello(out, HelloFrame{kProtocolVersion, map_fingerprint_});
+  AppendHello(out, reply);
   conn.QueueOwned(std::move(out));
   ++conn.frames_out;
+}
+
+void NetServer::HandleAuth(Connection& conn, const Bytes& payload) {
+  const auto auth = DecodeAuth(payload);
+  Status reject = Status::Ok();
+  if (!auth.ok()) {
+    reject = auth.status();
+  } else {
+    const Bytes expected =
+        AuthTag(options_.auth_secret, conn.auth_nonce, auth->principal);
+    if (!crypto::ConstantTimeEqual(auth->tag, expected)) {
+      reject = Status::PermissionDenied("authentication failed");
+    }
+  }
+  if (!reject.ok()) {
+    SendError(conn, kConnectionSeq, reject.code(), reject.message());
+    conn.Flush();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.auth_rejected;
+    }
+    CloseConnection(conn.id(), CloseReason::kError);
+    return;
+  }
+  conn.awaiting_auth = false;
+  conn.handshaken = true;
+  conn.principal = PrincipalToken(auth->principal);
+  conn.auth_nonce.clear();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.auth_ok;
+  }
+  Bytes out;
+  AppendAuthOk(out, AuthOkFrame{auth->principal});
+  conn.QueueOwned(std::move(out));
+  ++conn.frames_out;
+}
+
+Bytes NetServer::NextNonce(std::uint64_t conn_id) {
+  Bytes seed;
+  seed.reserve(24);
+  PutU64le(seed, nonce_salt_);
+  PutU64le(seed, ++nonce_counter_);
+  PutU64le(seed, conn_id);
+  const crypto::Sha256::Digest digest = crypto::Sha256::Hash(seed);
+  return Bytes(digest.begin(), digest.begin() + kAuthNonceBytes);
 }
 
 core::ContinuousCloak::KeyProvider NetServer::KeyProviderFor(
@@ -222,7 +315,11 @@ core::ContinuousCloak::KeyProvider NetServer::KeyProviderFor(
 void NetServer::HandlePositionUpdate(Connection& conn, const Bytes& payload) {
   const auto decoded = DecodePositionUpdate(payload);
   if (!decoded.ok()) {
-    SendError(conn, 0, decoded.status().code(), decoded.status().message());
+    // The seq did not survive the decode, so the reply cannot name it:
+    // the sentinel marks this as a connection-level complaint instead of
+    // masquerading as a legitimate seq's error.
+    SendError(conn, kConnectionSeq, decoded.status().code(),
+              decoded.status().message());
     return;
   }
   // Range-check against the live map before the id reaches the pool's
@@ -238,19 +335,34 @@ void NetServer::HandlePositionUpdate(Connection& conn, const Bytes& payload) {
   // user spilled to the file — or still sitting on the async writer's
   // in-flight queue (StateOf consults it) — enqueues like any resident
   // one, and the pool's restore-on-miss adopts the session inside the
-  // tick batch instead of re-tracking over it.
-  const bool adoptable =
-      known.ok() && pool_->StateOf(known.value()) !=
-                        server::ContinuousSessionPool::UserState::kUntracked;
+  // tick batch instead of re-tracking over it. The principal-checked
+  // StateOf overload is the front-door ownership gate: a session (or
+  // spill envelope) owned by a different principal is refused HERE,
+  // before the update can touch the pool or trigger a restore.
+  bool adoptable = false;
+  if (known.ok()) {
+    const auto state = pool_->StateOf(known.value(), conn.principal);
+    if (!state.ok()) {
+      SendError(conn, decoded->seq, state.status().code(),
+                state.status().message());
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.ownership_rejected;
+      return;
+    }
+    adoptable = state.value() !=
+                server::ContinuousSessionPool::UserState::kUntracked;
+  }
   if (adoptable) {
     user = known.value();
   } else {
     // First sighting (or a name evicted without spill): auto-track under
-    // the server's profile and the deterministic per-user key schedule.
+    // the server's profile and the deterministic per-user key schedule,
+    // owned by the connection's authenticated principal (0 in open mode).
     auto tracked = pool_->Track(decoded->user_id, options_.profile,
                                 options_.algorithm,
                                 KeyProviderFor(decoded->user_id),
-                                options_.continuous, decoded->now_s);
+                                options_.continuous, decoded->now_s,
+                                conn.principal);
     if (!tracked.ok()) {
       SendError(conn, decoded->seq, tracked.status().code(),
                 tracked.status().message());
@@ -259,7 +371,7 @@ void NetServer::HandlePositionUpdate(Connection& conn, const Bytes& payload) {
     user = tracked.value();
   }
   PendingUpdate pending;
-  pending.update = {user, decoded->now_s, decoded->segment};
+  pending.update = {user, decoded->now_s, decoded->segment, conn.principal};
   pending.conn_id = conn.id();
   pending.seq = decoded->seq;
   // The decode budget clock starts with the tick's first update.
@@ -276,7 +388,8 @@ void NetServer::HandleReduceRequest(Connection& conn, const Bytes& payload) {
   }
   const auto decoded = DecodeReduceRequest(payload);
   if (!decoded.ok()) {
-    SendError(conn, 0, decoded.status().code(), decoded.status().message());
+    SendError(conn, kConnectionSeq, decoded.status().code(),
+              decoded.status().message());
     return;
   }
   ReduceReplyFrame reply;

@@ -29,8 +29,14 @@
 //
 // Protocol: the first frame on a connection must be HELLO (version + map
 // fingerprint); the server replies with its own and refuses mismatches.
-// POSITION_UPDATE auto-tracks unknown users under the server's profile
-// and a deterministic per-user key provider, so a fleet driver is just
+// With `auth_secret` set, the HELLO reply carries a random nonce and the
+// client must answer with AUTH (principal + HMAC-SHA256 over
+// nonce || principal) before any other frame; sessions tracked by the
+// connection bind to that principal, and updates or reconnect-adoptions
+// for a user owned by a different principal are refused with
+// kPermissionDenied before the pool is touched. POSITION_UPDATE
+// auto-tracks unknown users under the server's profile and a
+// deterministic per-user key provider, so a fleet driver is just
 // "connect, hello, stream updates". REDUCE_REQUEST runs inline on the
 // loop thread through a context-sharing Deanonymizer.
 #pragma once
@@ -77,6 +83,14 @@ struct NetServerOptions {
   std::function<core::ContinuousCloak::KeyProvider(std::string_view user_id)>
       key_provider_factory;
 
+  // Shared authentication secret. Empty (default) = open mode: the HELLO
+  // exchange completes without a challenge and sessions are unowned,
+  // preserving the pre-v2 behavior byte-for-byte. Non-empty: the server's
+  // HELLO reply carries a random nonce and the client must answer with an
+  // AUTH frame (HMAC-SHA256 over nonce || principal) before any other
+  // frame; every session the connection tracks binds to that principal.
+  Bytes auth_secret;
+
   ConnectionLimits limits;
   // Poll timeout while idle; Stop() wakes the loop, so this only bounds
   // shutdown latency when the eventfd write itself is lost (it is not).
@@ -102,6 +116,13 @@ struct NetServerStats {
   std::uint64_t connections_dropped_backpressure = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t hello_rejected = 0;
+  // Challenge-response outcomes (auth mode only).
+  std::uint64_t auth_ok = 0;
+  std::uint64_t auth_rejected = 0;
+  // Updates refused because the user's session is owned by a different
+  // principal — counted here at the front door, before the pool is touched
+  // (the pool keeps its own count for its other callers).
+  std::uint64_t ownership_rejected = 0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::uint64_t frames_in = 0;
@@ -168,6 +189,7 @@ class NetServer {
   void DrainFrames(Connection& conn);
   void HandleFrame(Connection& conn, const Frame& frame);
   void HandleHello(Connection& conn, const Bytes& payload);
+  void HandleAuth(Connection& conn, const Bytes& payload);
   void HandlePositionUpdate(Connection& conn, const Bytes& payload);
   void HandleReduceRequest(Connection& conn, const Bytes& payload);
   // End-of-tick: one pool.UpdateBatch over tick_updates_, replies queued
@@ -191,6 +213,8 @@ class NetServer {
   // Publishes closed + live traffic totals into stats_ (loop thread only).
   void RefreshTrafficStats();
   core::ContinuousCloak::KeyProvider KeyProviderFor(std::string_view user);
+  // Fresh unpredictable challenge (loop thread only).
+  Bytes NextNonce(std::uint64_t conn_id);
 
   server::ContinuousSessionPool* pool_;
   NetServerOptions options_;
@@ -206,6 +230,11 @@ class NetServer {
 
   // Loop-thread state (no locks: only Loop() touches these).
   std::uint64_t next_conn_id_ = 1;
+  // Nonce generation: random per-server salt (std::random_device at
+  // construction) hashed with a counter, so challenges never repeat and
+  // are not predictable from earlier ones.
+  std::uint64_t nonce_salt_ = 0;
+  std::uint64_t nonce_counter_ = 0;
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
   std::vector<PendingUpdate> tick_updates_;
   // Restarted when a tick's first update lands in tick_updates_ — the

@@ -18,11 +18,15 @@ namespace {
 // Spill envelope: the pool-level session fields around the policy blob.
 // v2 (the cold tier) binds every blob to the map and algorithm it was cut
 // under — spill files persist across runs, so a version byte alone is not
-// enough to trust a record.
+// enough to trust a record. v3 adds the owner principal token right after
+// the algorithm byte, so adopting a spilled session requires the same
+// principal that spilled it; v2 records still decode, as "unowned".
 //
 //   u8 version | u64le map fingerprint | u8 algorithm |
+//   [v3: u64le owner token] |
 //   varint blob size | policy blob | u64le clock bits | varint segment
-constexpr std::uint8_t kSpillEnvelopeVersion = 2;
+constexpr std::uint8_t kSpillEnvelopeVersion = 3;
+constexpr std::uint8_t kSpillEnvelopeVersionV2 = 2;
 
 // Upper bound on records per writer-thread group append: keeps one drain
 // cycle's write (and the cold_mutex_ shared hold around it) bounded while
@@ -32,11 +36,12 @@ constexpr std::size_t kWriterGroupMax = 1024;
 Bytes EncodeSpillEnvelope(const Bytes& policy_blob, double last_update_s,
                           roadnet::SegmentId last_segment,
                           std::uint64_t map_fingerprint,
-                          core::Algorithm algorithm) {
+                          core::Algorithm algorithm, std::uint64_t owner) {
   Bytes out;
   out.push_back(kSpillEnvelopeVersion);
   PutU64le(out, map_fingerprint);
   out.push_back(static_cast<std::uint8_t>(algorithm));
+  PutU64le(out, owner);
   PutVarint(out, policy_blob.size());
   out.insert(out.end(), policy_blob.begin(), policy_blob.end());
   PutU64le(out, std::bit_cast<std::uint64_t>(last_update_s));
@@ -47,6 +52,7 @@ Bytes EncodeSpillEnvelope(const Bytes& policy_blob, double last_update_s,
 struct SpillEnvelope {
   std::uint64_t map_fingerprint = 0;
   std::uint8_t algorithm = 0;
+  std::uint64_t owner = 0;  // 0 = unowned (every v2 record)
   Bytes policy_blob;
   double last_update_s = 0.0;
   roadnet::SegmentId last_segment = roadnet::kInvalidSegment;
@@ -55,16 +61,23 @@ struct SpillEnvelope {
 StatusOr<SpillEnvelope> DecodeSpillEnvelope(const Bytes& data) {
   SpillEnvelope envelope;
   std::size_t offset = 0;
-  if (data.empty() || data[offset++] != kSpillEnvelopeVersion) {
+  if (data.empty() || (data[0] != kSpillEnvelopeVersion &&
+                       data[0] != kSpillEnvelopeVersionV2)) {
     return Status::InvalidArgument(
         "spilled session: unsupported envelope version");
   }
+  const std::uint8_t version = data[offset++];
   const auto fingerprint = GetU64le(data, &offset);
   if (!fingerprint || offset >= data.size()) {
     return Status::DataLoss("spilled session truncated");
   }
   envelope.map_fingerprint = *fingerprint;
   envelope.algorithm = data[offset++];
+  if (version >= kSpillEnvelopeVersion) {
+    const auto owner = GetU64le(data, &offset);
+    if (!owner) return Status::DataLoss("spilled session truncated");
+    envelope.owner = *owner;
+  }
   const auto blob_size = GetVarint(data, &offset);
   // Subtract-side compare: a hostile length near 2^64 must not wrap.
   if (!blob_size || *blob_size > data.size() - offset) {
@@ -83,6 +96,24 @@ StatusOr<SpillEnvelope> DecodeSpillEnvelope(const Bytes& data) {
   envelope.last_segment =
       roadnet::SegmentId{static_cast<std::uint32_t>(*segment)};
   return envelope;
+}
+
+// Owner-token prefix read: version | fingerprint | algorithm | owner is a
+// fixed-width header, so ownership checks on spilled records never parse
+// (or copy) the policy blob.
+StatusOr<std::uint64_t> DecodeSpillOwner(const Bytes& data) {
+  std::size_t offset = 0;
+  if (data.empty() || (data[0] != kSpillEnvelopeVersion &&
+                       data[0] != kSpillEnvelopeVersionV2)) {
+    return Status::InvalidArgument(
+        "spilled session: unsupported envelope version");
+  }
+  const std::uint8_t version = data[offset++];
+  if (version < kSpillEnvelopeVersion) return std::uint64_t{0};
+  offset += 8 + 1;  // fingerprint + algorithm
+  const auto owner = GetU64le(data, &offset);
+  if (!owner) return Status::DataLoss("spilled session truncated");
+  return *owner;
 }
 
 }  // namespace
@@ -116,7 +147,7 @@ std::size_t ContinuousSessionPool::SessionFootprint(const Session& session) {
 
 StatusOr<util::UserId> ContinuousSessionPool::TrackPolicy(
     core::ContinuousPolicy policy, KeyProvider key_provider, double now_s,
-    roadnet::SegmentId last_segment, bool restored) {
+    roadnet::SegmentId last_segment, bool restored, std::uint64_t owner) {
   const util::UserId id = interner_.Intern(policy.user_id());
   Shard& shard = *shards_[ShardIndexFor(id)];
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -126,6 +157,7 @@ StatusOr<util::UserId> ContinuousSessionPool::TrackPolicy(
     return Status::FailedPrecondition("track: user already tracked: " +
                                       interner_.NameCopyOf(id));
   }
+  session->owner = owner;
   // Registration counts as activity: EvictIdle must not reap a session
   // that was tracked late in simulation time but never updated yet.
   session->last_update_s = now_s;
@@ -148,7 +180,8 @@ StatusOr<util::UserId> ContinuousSessionPool::TrackPolicy(
 StatusOr<util::UserId> ContinuousSessionPool::Track(
     std::string_view user_id, core::PrivacyProfile profile,
     core::Algorithm algorithm, KeyProvider key_provider,
-    const core::ContinuousOptions& options, double now_s) {
+    const core::ContinuousOptions& options, double now_s,
+    std::uint64_t owner) {
   RCLOAK_RETURN_IF_ERROR(profile.Validate());
   if (!key_provider) {
     return Status::InvalidArgument("track: key provider must be callable");
@@ -158,7 +191,7 @@ StatusOr<util::UserId> ContinuousSessionPool::Track(
   std::shared_lock<std::shared_mutex> cold(cold_mutex_);
   auto tracked = TrackPolicy(std::move(policy), std::move(key_provider),
                              now_s, roadnet::kInvalidSegment,
-                             /*restored=*/false);
+                             /*restored=*/false, owner);
   // A track flood can pass the budget without a single update.
   if (tracked.ok()) MaybeSweep();
   return tracked;
@@ -226,7 +259,8 @@ StatusOr<ContinuousSessionPool::SpilledSession> ContinuousSessionPool::Spill(
   spilled.user_id = std::string(user_id);
   spilled.state = EncodeSpillEnvelope(
       session->policy.Serialize(), session->last_update_s,
-      session->last_segment, map_fingerprint_, session->policy.algorithm());
+      session->last_segment, map_fingerprint_, session->policy.algorithm(),
+      session->owner);
   shard.OccupancyRemove(session->last_segment);
   shard.resident_bytes -= session->mem_bytes;
   shard.sessions.Erase(id);
@@ -246,7 +280,8 @@ ContinuousSessionPool::EvictIdleSpill(double now_s, double idle_s) {
       out.user_id = interner_.NameCopyOf(id);
       out.state = EncodeSpillEnvelope(
           session.policy.Serialize(), session.last_update_s,
-          session.last_segment, map_fingerprint_, session.policy.algorithm());
+          session.last_segment, map_fingerprint_, session.policy.algorithm(),
+          session.owner);
       spilled.push_back(std::move(out));
       shard->OccupancyRemove(session.last_segment);
       shard->resident_bytes -= session.mem_bytes;
@@ -294,7 +329,7 @@ StatusOr<util::UserId> ContinuousSessionPool::Restore(
   }
   return TrackPolicy(std::move(policy), std::move(key_provider),
                      envelope.last_update_s, envelope.last_segment,
-                     /*restored=*/true);
+                     /*restored=*/true, envelope.owner);
 }
 
 // ---- cold tier ------------------------------------------------------------
@@ -334,9 +369,53 @@ ContinuousSessionPool::UserState ContinuousSessionPool::StateOf(
   return UserState::kUntracked;
 }
 
-bool ContinuousSessionPool::RestoreFromSpill(util::UserId user,
-                                             bool count_on_miss) {
-  if (spill_ == nullptr) return false;
+StatusOr<ContinuousSessionPool::UserState> ContinuousSessionPool::StateOf(
+    util::UserId user, std::uint64_t principal) const {
+  if (!user.valid()) return UserState::kUntracked;
+  std::shared_lock<std::shared_mutex> cold(cold_mutex_);
+  const Shard& shard = *shards_[ShardIndexFor(user)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const Session* session = shard.sessions.Find(user)) {
+      if (session->owner != 0 && session->owner != principal) {
+        return Status::PermissionDenied(
+            "user is owned by a different principal");
+      }
+      return UserState::kResident;
+    }
+  }
+  // Same lookup order as restore-on-miss: the in-flight queue holds the
+  // freshest envelope for a victim whose write has not landed yet.
+  Bytes state;
+  if (options_.async_spill && LookupInFlight(user, &state)) {
+    RCLOAK_ASSIGN_OR_RETURN(const std::uint64_t owner,
+                            DecodeSpillOwner(state));
+    if (owner != 0 && owner != principal) {
+      return Status::PermissionDenied(
+          "user is owned by a different principal");
+    }
+    return UserState::kSpilled;
+  }
+  if (spill_ != nullptr) {
+    auto blob = spill_->ReadRecord(user);
+    if (blob.ok()) {
+      RCLOAK_ASSIGN_OR_RETURN(const std::uint64_t owner,
+                              DecodeSpillOwner(*blob));
+      if (owner != 0 && owner != principal) {
+        return Status::PermissionDenied(
+            "user is owned by a different principal");
+      }
+      return UserState::kSpilled;
+    }
+    if (blob.status().code() != ErrorCode::kNotFound) return blob.status();
+  }
+  return UserState::kUntracked;
+}
+
+ContinuousSessionPool::RestoreOutcome ContinuousSessionPool::RestoreFromSpill(
+    util::UserId user, bool count_on_miss, std::uint64_t principal,
+    bool enforce_owner) {
+  if (spill_ == nullptr) return RestoreOutcome::kMiss;
   Shard& shard = *shards_[ShardIndexFor(user)];
   Stopwatch timer;
   // In-flight queue first: a victim the async sweep unlinked restores
@@ -352,12 +431,13 @@ bool ContinuousSessionPool::RestoreFromSpill(util::UserId user,
         std::lock_guard<std::mutex> lock(shard.mutex);
         ++shard.restore_failures;
       }
-      return false;
+      return RestoreOutcome::kMiss;
     }
     state = std::move(*blob);
   }
   double last_update_s = 0.0;
   roadnet::SegmentId last_segment = roadnet::kInvalidSegment;
+  std::uint64_t owner = 0;
   auto restore = [&]() -> StatusOr<ContinuousPolicy> {
     RCLOAK_ASSIGN_OR_RETURN(SpillEnvelope envelope,
                             DecodeSpillEnvelope(state));
@@ -369,13 +449,23 @@ bool ContinuousSessionPool::RestoreFromSpill(util::UserId user,
                                       server_->engine().network()));
     last_update_s = envelope.last_update_s;
     last_segment = envelope.last_segment;
+    owner = envelope.owner;
     return policy;
   };
   StatusOr<ContinuousPolicy> policy = restore();
   if (!policy.ok()) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     ++shard.restore_failures;
-    return false;
+    return RestoreOutcome::kMiss;
+  }
+  // Ownership gate: an envelope carrying a different principal's owner is
+  // never adopted into this caller's batch — the spilled state stays put
+  // (v2 envelopes decode as owner 0 = unowned, so pre-auth spill files
+  // restore for everyone, matching their open-mode provenance).
+  if (enforce_owner && owner != 0 && owner != principal) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.ownership_rejected;
+    return RestoreOutcome::kDenied;
   }
   // Key source: the provider parked at budget-spill time, else the
   // configured factory (the only option for files attached cross-run).
@@ -393,15 +483,17 @@ bool ContinuousSessionPool::RestoreFromSpill(util::UserId user,
   if (!provider) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     ++shard.restore_failures;
-    return false;
+    return RestoreOutcome::kMiss;
   }
   auto tracked = TrackPolicy(std::move(*policy), std::move(provider),
                              last_update_s, last_segment,
-                             /*restored=*/true);
+                             /*restored=*/true, owner);
   if (!tracked.ok()) {
     // FailedPrecondition = the user raced back in already: resident is
     // resident, the caller proceeds.
-    return tracked.status().code() == ErrorCode::kFailedPrecondition;
+    return tracked.status().code() == ErrorCode::kFailedPrecondition
+               ? RestoreOutcome::kRestored
+               : RestoreOutcome::kMiss;
   }
   if (count_on_miss) {
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -414,7 +506,7 @@ bool ContinuousSessionPool::RestoreFromSpill(util::UserId user,
     std::lock_guard<std::mutex> lock(latency_mutex_);
     restore_latency_ms_.Add(timer.ElapsedMillis());
   }
-  return true;
+  return RestoreOutcome::kRestored;
 }
 
 std::size_t ContinuousSessionPool::SweepStep(std::size_t quota) {
@@ -440,7 +532,8 @@ std::size_t ContinuousSessionPool::SweepStep(std::size_t quota) {
                                            session.last_update_s,
                                            session.last_segment,
                                            map_fingerprint_,
-                                           session.policy.algorithm()));
+                                           session.policy.algorithm(),
+                                           session.owner));
           if (!options_.key_provider_factory) {
             shard.parked_keys.TryEmplace(id,
                                          std::move(session.key_provider));
@@ -465,7 +558,8 @@ std::size_t ContinuousSessionPool::SweepStep(std::size_t quota) {
             id, EncodeSpillEnvelope(session.policy.Serialize(),
                                     session.last_update_s,
                                     session.last_segment, map_fingerprint_,
-                                    session.policy.algorithm())});
+                                    session.policy.algorithm(),
+                                    session.owner)});
         victims.push_back(id);
         return false;  // erased below, only once the append landed
       });
@@ -615,7 +709,8 @@ StatusOr<std::size_t> ContinuousSessionPool::SpillAllToFile() {
           id, EncodeSpillEnvelope(session.policy.Serialize(),
                                   session.last_update_s, session.last_segment,
                                   map_fingerprint_,
-                                  session.policy.algorithm())});
+                                  session.policy.algorithm(),
+                                  session.owner)});
       victims.push_back(id);
     });
     if (batch.empty()) continue;
@@ -646,9 +741,35 @@ StatusOr<std::size_t> ContinuousSessionPool::RestoreAllFromFile() {
   std::shared_lock<std::shared_mutex> cold(cold_mutex_);
   std::size_t restored = 0;
   for (const util::UserId user : spill_->LiveUsers()) {
-    if (RestoreFromSpill(user, /*count_on_miss=*/false)) ++restored;
+    // Warm-boot tooling restores every record regardless of owner (the
+    // envelope's owner survives onto the session, so the ownership gate
+    // still holds for subsequent updates).
+    if (RestoreFromSpill(user, /*count_on_miss=*/false, /*principal=*/0,
+                         /*enforce_owner=*/false) ==
+        RestoreOutcome::kRestored) {
+      ++restored;
+    }
   }
   return restored;
+}
+
+StatusOr<std::size_t> ContinuousSessionPool::OwnedSpillRecords() const {
+  if (spill_ == nullptr) {
+    return Status::FailedPrecondition("no spill file attached");
+  }
+  std::shared_lock<std::shared_mutex> cold(cold_mutex_);
+  std::size_t owned = 0;
+  for (const util::UserId user : spill_->LiveUsers()) {
+    auto blob = spill_->ReadRecord(user);
+    if (!blob.ok()) {
+      if (blob.status().code() == ErrorCode::kNotFound) continue;
+      return blob.status();
+    }
+    RCLOAK_ASSIGN_OR_RETURN(const std::uint64_t owner,
+                            DecodeSpillOwner(*blob));
+    if (owner != 0) ++owned;
+  }
+  return owned;
 }
 
 // ---- async spill pipeline --------------------------------------------------
@@ -917,17 +1038,38 @@ void ContinuousSessionPool::RunRound(
     KeyProvider provider;
     bool needs_recloak = false;
     bool missing = false;
+    bool denied = false;
+    // Ownership gate, under the shard lock with the session in hand: an
+    // owned session only moves for its principal; an unowned one is
+    // claimed by the first authenticated principal that updates it (the
+    // open-mode -> auth-mode migration path). Must return true before
+    // classify touches the session.
+    const auto owner_guard = [&](Shard& shard_ref, Session& session) {
+      if (session.owner != 0 && session.owner != update.principal) {
+        ++shard_ref.ownership_rejected;
+        results[idx] = Status::PermissionDenied(
+            "user is owned by a different principal: " +
+            interner_.NameCopyOf(update.user));
+        denied = true;
+        return false;
+      }
+      if (session.owner == 0 && update.principal != 0) {
+        session.owner = update.principal;
+      }
+      return true;
+    };
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
       ++shard.updates;
       Session* session = shard.sessions.Find(update.user);
       if (session == nullptr) {
         missing = true;
-      } else {
+      } else if (owner_guard(shard, *session)) {
         needs_recloak = classify(shard, shard_index, *session, idx, update,
                                  recloak, request, provider);
       }
     }
+    if (denied) continue;
     if (missing) {
       // The cold-tier fast path: an update for a spilled user reads the
       // record back, deserializes, and proceeds in the SAME batch — no
@@ -940,17 +1082,30 @@ void ContinuousSessionPool::RunRound(
       // moving, so adopt again. Every round trips the same bytes; any
       // attempt that sticks is byte-identical.
       for (int attempt = 0; attempt < 4 && missing; ++attempt) {
-        if (!RestoreFromSpill(update.user, /*count_on_miss=*/attempt == 0)) {
+        const RestoreOutcome outcome =
+            RestoreFromSpill(update.user, /*count_on_miss=*/attempt == 0,
+                             update.principal, /*enforce_owner=*/true);
+        if (outcome == RestoreOutcome::kDenied) {
+          results[idx] = Status::PermissionDenied(
+              "user is owned by a different principal: " +
+              interner_.NameCopyOf(update.user));
+          denied = true;
           break;
         }
+        if (outcome == RestoreOutcome::kMiss) break;
         std::lock_guard<std::mutex> lock(shard.mutex);
         Session* session = shard.sessions.Find(update.user);
         if (session != nullptr) {
-          needs_recloak = classify(shard, shard_index, *session, idx, update,
-                                   recloak, request, provider);
+          // Re-checked resident: kRestored can mean "raced back in", and
+          // the session that won the race may belong to someone else.
+          if (owner_guard(shard, *session)) {
+            needs_recloak = classify(shard, shard_index, *session, idx,
+                                     update, recloak, request, provider);
+          }
           missing = false;
         }
       }
+      if (denied) continue;
       if (missing) {
         std::lock_guard<std::mutex> lock(shard.mutex);
         ++shard.unknown_user;
@@ -1124,8 +1279,8 @@ ContinuousSessionPool::UpdateBatch(const std::vector<PositionUpdate>& updates) {
   {
     std::shared_lock<std::shared_mutex> cold(cold_mutex_);
     for (const PositionUpdate& update : updates) {
-      ids.push_back(
-          {interner_.Find(update.user_id), update.now_s, update.segment});
+      ids.push_back({interner_.Find(update.user_id), update.now_s,
+                     update.segment, update.principal});
     }
     shared = UpdateBatchImpl(ids);
     MaybeSweep();
@@ -1248,6 +1403,7 @@ SessionPoolStats ContinuousSessionPool::stats() const {
     stats.budget_spilled += shard->budget_spilled;
     stats.restored_on_miss += shard->restored_on_miss;
     stats.restore_failures += shard->restore_failures;
+    stats.ownership_rejected += shard->ownership_rejected;
     stats.active_sessions += shard->sessions.size();
   }
   stats.reduce_fanouts = reduce_fanouts_.load(std::memory_order_relaxed);

@@ -115,6 +115,9 @@ struct SessionPoolStats {
   std::uint64_t recloaks = 0;
   std::uint64_t recloak_failures = 0;
   std::uint64_t unknown_user = 0;
+  // Updates (and restore-on-miss adoptions) refused because the session is
+  // owned by a different principal.
+  std::uint64_t ownership_rejected = 0;
   std::uint64_t evicted = 0;
   // Subset of `evicted` reaped by EvictIdle (vs explicit Evict).
   std::uint64_t evicted_idle = 0;
@@ -181,6 +184,11 @@ class ContinuousSessionPool {
     std::string user_id;
     double now_s = 0.0;
     roadnet::SegmentId segment = roadnet::kInvalidSegment;
+    // Ownership token of the caller (net::PrincipalToken); 0 = open-mode
+    // caller. An update for a session owned by a different principal is
+    // refused with kPermissionDenied (and an unowned session is claimed by
+    // the first non-zero principal that drives it).
+    std::uint64_t principal = 0;
   };
 
   // The allocation-free fast path: callers that kept the UserId handle
@@ -190,6 +198,7 @@ class ContinuousSessionPool {
     util::UserId user;
     double now_s = 0.0;
     roadnet::SegmentId segment = roadnet::kInvalidSegment;
+    std::uint64_t principal = 0;  // see PositionUpdate::principal
   };
 
   // A session serialized out of the pool (Spill / EvictIdleSpill). The
@@ -215,13 +224,18 @@ class ContinuousSessionPool {
   // Registers a user session and returns its stable id handle. Fails if
   // the user is already tracked. `now_s` is the registration time on the
   // update clock: EvictIdle measures idleness against it until the first
-  // position update lands.
+  // position update lands. `owner` binds the session to an authenticated
+  // principal (net::PrincipalToken): updates and adoptions under a
+  // different principal are refused with kPermissionDenied; 0 (default)
+  // leaves the session unowned — any caller may drive it, and the first
+  // non-zero principal to update it claims it.
   StatusOr<util::UserId> Track(std::string_view user_id,
                                core::PrivacyProfile profile,
                                core::Algorithm algorithm,
                                KeyProvider key_provider,
                                const core::ContinuousOptions& options = {},
-                               double now_s = 0.0);
+                               double now_s = 0.0,
+                               std::uint64_t owner = 0);
 
   // The id handle for a user known to this pool; kNotFound otherwise. A
   // handle stays stable for as long as the user is resident or spilled in
@@ -279,6 +293,21 @@ class ContinuousSessionPool {
   // fresh" — a victim sitting in the writer queue must read as spilled or
   // a reconnect would re-track over it.
   UserState StateOf(util::UserId user) const;
+
+  // The ownership-checked variant: same classification, but a resident
+  // session (or spill envelope, wherever it sits — file or in-flight
+  // queue) owned by a different principal returns kPermissionDenied
+  // instead of a state, so the front door can refuse an update before it
+  // touches the pool or triggers a restore.
+  StatusOr<UserState> StateOf(util::UserId user,
+                              std::uint64_t principal) const;
+
+  // How many live spill records carry a non-zero owner token (v3
+  // envelopes; v2 records read as unowned). Tooling gate: serving an
+  // owner-bound file in open mode would let any client adopt those
+  // sessions, so `rcloak_tool serve --spill` refuses when this is > 0 and
+  // no secret is configured.
+  StatusOr<std::size_t> OwnedSpillRecords() const;
 
   // Blocks until the writer thread has landed every queued envelope (or
   // hit a write error, returned here). Overrides a test pause. No-op in
@@ -378,6 +407,10 @@ class ContinuousSessionPool {
         : policy(std::move(policy)), key_provider(std::move(keys)) {}
     core::ContinuousPolicy policy;
     KeyProvider key_provider;
+    // Principal that owns this session (0 = unowned). Bound at Track time,
+    // carried through spill envelopes (v3), claimed by the first non-zero
+    // principal to update an unowned session.
+    std::uint64_t owner = 0;
     double last_update_s = 0.0;
     // Last reported position (BuildOccupancy); invalid until the first
     // update lands.
@@ -400,6 +433,7 @@ class ContinuousSessionPool {
     std::uint64_t recloaks = 0;
     std::uint64_t recloak_failures = 0;
     std::uint64_t unknown_user = 0;
+    std::uint64_t ownership_rejected = 0;
     std::uint64_t evicted = 0;
     std::uint64_t evicted_idle = 0;
     std::uint64_t spilled = 0;
@@ -466,11 +500,12 @@ class ContinuousSessionPool {
 
   // Registers `policy` (fresh or restored) under its interned id, charging
   // the memory accounting and dropping any cold-tier leftovers (spill
-  // record, parked provider) the insert supersedes.
+  // record, parked provider) the insert supersedes. `owner` is the
+  // session's ownership token (0 = unowned).
   StatusOr<util::UserId> TrackPolicy(core::ContinuousPolicy policy,
                                      KeyProvider key_provider, double now_s,
                                      roadnet::SegmentId last_segment,
-                                     bool restored);
+                                     bool restored, std::uint64_t owner);
 
   // Runs one round (at most one update per user) end to end: classify,
   // batch re-cloak, fanned validity regions, commit.
@@ -490,10 +525,18 @@ class ContinuousSessionPool {
   static std::size_t SessionFootprint(const Session& session);
 
   // Synchronous single-record restore: read, validate, deserialize, re-
-  // insert, erase the file record. Returns true if the user is resident
-  // afterwards. `count_on_miss` labels the restore as a transparent
-  // update-path one in the stats.
-  bool RestoreFromSpill(util::UserId user, bool count_on_miss);
+  // insert, erase the file record. kRestored means the user is resident
+  // afterwards; kDenied means the envelope is owned by a different
+  // principal and was left untouched (counted in ownership_rejected);
+  // kMiss covers everything else (no record, rot, no key source).
+  // `count_on_miss` labels the restore as a transparent update-path one in
+  // the stats; `enforce_owner` false bypasses the ownership gate (warm-
+  // boot tooling via RestoreAllFromFile — the restored session still
+  // carries its envelope owner).
+  enum class RestoreOutcome : std::uint8_t { kRestored, kMiss, kDenied };
+  RestoreOutcome RestoreFromSpill(util::UserId user, bool count_on_miss,
+                                  std::uint64_t principal,
+                                  bool enforce_owner);
 
   // Clock/second-chance eviction until the accounting is back under
   // budget (bounded by two laps — every referenced bit gets one pass of

@@ -13,6 +13,7 @@ std::string_view ErrorCodeName(ErrorCode code) noexcept {
     case ErrorCode::kDataLoss: return "DATA_LOSS";
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
   }
   return "UNKNOWN";
 }

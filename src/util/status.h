@@ -27,6 +27,7 @@ enum class ErrorCode {
   kDataLoss = 6,            // corrupt serialized artifact
   kInternal = 7,
   kUnimplemented = 8,
+  kPermissionDenied = 9,    // authenticated principal lacks ownership
 };
 
 std::string_view ErrorCodeName(ErrorCode code) noexcept;
@@ -62,6 +63,9 @@ class [[nodiscard]] Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(ErrorCode::kUnimplemented, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(ErrorCode::kPermissionDenied, std::move(msg));
   }
 
   bool ok() const noexcept { return code_ == ErrorCode::kOk; }

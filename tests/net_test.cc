@@ -246,7 +246,8 @@ struct LoopbackRig {
 };
 
 LoopbackRig StartLoopback(const RoadNetwork& net, int workers,
-                          double decode_budget_ms = 0.0) {
+                          double decode_budget_ms = 0.0,
+                          const Bytes& auth_secret = {}) {
   LoopbackRig rig;
   rig.ctx = core::MapContext::Create(net);
   core::Anonymizer engine(rig.ctx, OnePerSegment(net));
@@ -259,6 +260,7 @@ LoopbackRig StartLoopback(const RoadNetwork& net, int workers,
   net::NetServerOptions options;
   options.poll_timeout_ms = 5;
   options.decode_latency_budget_ms = decode_budget_ms;
+  options.auth_secret = auth_secret;
   rig.front = std::make_unique<net::NetServer>(*rig.pool, options);
   EXPECT_TRUE(rig.front->Start().ok());
   return rig;
@@ -607,6 +609,341 @@ TEST(NetServerTest, SpilledUserAdoptedOnReconnect) {
   ASSERT_TRUE(client->Hello().ok());
   const auto expected = drive(*client, 0, 10);
   EXPECT_EQ(served, expected);
+  std::remove(spill_path.c_str());
+}
+
+// ------------------------------------------------------------ auth (v2)
+
+TEST(FrameCodecTest, AuthFramesRoundTripAndValidate) {
+  // HELLO carrying a challenge nonce round-trips through fragmentation.
+  const net::HelloFrame challenge{net::kProtocolVersion, 0x1234ull,
+                                  Bytes(net::kAuthNonceBytes, 0xab)};
+  Bytes wire;
+  net::AppendHello(wire, challenge);
+  auto frames = ReassembleBy(wire, 3);
+  ASSERT_EQ(frames.size(), 1u);
+  const auto hello = net::DecodeHello(frames[0].payload);
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->nonce, challenge.nonce);
+
+  // A v1-shaped payload (version + fingerprint, no nonce field) decodes
+  // as open mode.
+  Bytes legacy;
+  PutU32le(legacy, net::kProtocolVersion);
+  PutU64le(legacy, 0x1234ull);
+  const auto v1 = net::DecodeHello(legacy);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_TRUE(v1->nonce.empty());
+
+  // AUTH round-trips and the tag is keyed on all three inputs.
+  const Bytes secret{0x01, 0x02, 0x03};
+  const Bytes nonce(net::kAuthNonceBytes, 0x5c);
+  const net::AuthFrame auth{"alice",
+                            net::AuthTag(secret, nonce, "alice")};
+  EXPECT_EQ(auth.tag.size(), net::kAuthTagBytes);
+  EXPECT_EQ(auth.tag, net::AuthTag(secret, nonce, "alice"));
+  EXPECT_NE(auth.tag, net::AuthTag(secret, nonce, "bob"));
+  EXPECT_NE(auth.tag, net::AuthTag({0x09}, nonce, "alice"));
+  EXPECT_NE(auth.tag,
+            net::AuthTag(secret, Bytes(net::kAuthNonceBytes, 0x5d), "alice"));
+  Bytes auth_wire;
+  net::AppendAuth(auth_wire, auth);
+  frames = ReassembleBy(auth_wire, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, FrameType::kAuth);
+  const auto decoded = net::DecodeAuth(frames[0].payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->principal, "alice");
+  EXPECT_EQ(decoded->tag, auth.tag);
+
+  // A truncated tag and an empty principal are both refused eagerly.
+  Bytes short_tag = frames[0].payload;
+  short_tag.pop_back();
+  EXPECT_FALSE(net::DecodeAuth(short_tag).ok());
+  Bytes anonymous;
+  PutVarint(anonymous, 0);
+  anonymous.insert(anonymous.end(), auth.tag.begin(), auth.tag.end());
+  EXPECT_FALSE(net::DecodeAuth(anonymous).ok());
+
+  // AUTH_OK round-trips.
+  Bytes ok_wire;
+  net::AppendAuthOk(ok_wire, net::AuthOkFrame{"alice"});
+  frames = ReassembleBy(ok_wire, 2);
+  ASSERT_EQ(frames.size(), 1u);
+  const auto ok = net::DecodeAuthOk(frames[0].payload);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->principal, "alice");
+
+  // Principal tokens: deterministic, non-zero, distinct; 0 is reserved
+  // for "unowned" and error frames default to the connection sentinel.
+  EXPECT_EQ(net::PrincipalToken("alice"), net::PrincipalToken("alice"));
+  EXPECT_NE(net::PrincipalToken("alice"), net::PrincipalToken("bob"));
+  EXPECT_NE(net::PrincipalToken("alice"), 0u);
+  EXPECT_EQ(net::PrincipalToken(""), 0u);
+  EXPECT_EQ(net::ErrorFrame{}.seq, net::kConnectionSeq);
+}
+
+TEST(NetServerTest, AuthAcceptsRightTagRejectsWrongAndMissing) {
+  const RoadNetwork net = roadnet::MakeGrid({8, 8, 100.0});
+  const Bytes secret{'s', '3', 'c', 'r', '3', 't'};
+  auto rig = StartLoopback(net, /*workers=*/1, 0.0, secret);
+
+  // The right tag completes the handshake and updates flow.
+  auto alice = net::Client::Connect("127.0.0.1", rig.front->port());
+  ASSERT_TRUE(alice.ok());
+  ASSERT_TRUE(alice->Hello(0, "alice", secret).ok());
+  alice->QueuePositionUpdate(1, "car", 0.0, SegmentId{3});
+  ASSERT_TRUE(alice->Flush().ok());
+  EXPECT_TRUE(alice->ReadArtifactReply().ok());
+
+  // A wrong tag (different secret) is refused at the door.
+  auto mallory = net::Client::Connect("127.0.0.1", rig.front->port());
+  ASSERT_TRUE(mallory.ok());
+  const Bytes wrong{'w', 'r', 'o', 'n', 'g'};
+  const auto refused = mallory->Hello(0, "mallory", wrong);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.code(), ErrorCode::kPermissionDenied);
+
+  // No tag at all: the client fails locally on the challenge...
+  auto lost = net::Client::Connect("127.0.0.1", rig.front->port());
+  ASSERT_TRUE(lost.ok());
+  const auto local = lost->Hello();
+  EXPECT_FALSE(local.ok());
+  EXPECT_EQ(local.code(), ErrorCode::kPermissionDenied);
+  // ...and pushing an update anyway (HELLO leg done, challenge pending)
+  // is refused server-side and the connection dropped.
+  lost->QueuePositionUpdate(1, "car", 0.0, SegmentId{1});
+  ASSERT_TRUE(lost->Flush().ok());
+  const auto denied = lost->ReadArtifactReply();
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), ErrorCode::kPermissionDenied);
+
+  rig.front->Stop();
+  const auto stats = rig.front->stats();
+  EXPECT_EQ(stats.auth_ok, 1u);
+  EXPECT_GE(stats.auth_rejected, 2u);
+  EXPECT_EQ(stats.updates_decoded, 1u);
+}
+
+TEST(NetServerTest, DuplicateHelloAfterHandshakeDropsConnection) {
+  const RoadNetwork net = roadnet::MakeGrid({8, 8, 100.0});
+  auto rig = StartLoopback(net, /*workers=*/1);
+  auto client = net::Client::Connect("127.0.0.1", rig.front->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+
+  // A second HELLO on the handshaken connection is a protocol violation:
+  // ERROR(kFailedPrecondition) and a close, not a silent re-handshake.
+  const auto again = client->Hello();
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), ErrorCode::kFailedPrecondition);
+
+  rig.front->Stop();
+  EXPECT_GE(rig.front->stats().hello_rejected, 1u);
+}
+
+// The hijack the PR closes, end to end: with auth on, a second principal
+// can neither update a resident user nor adopt it out of the spill file —
+// while the owner reconnecting continues byte-identically to an open-mode
+// twin that never authenticated or spilled.
+TEST(NetServerTest, ForeignPrincipalCannotUpdateOrAdoptOwnedUser) {
+  const RoadNetwork net = roadnet::MakeGrid({8, 8, 100.0});
+  const std::string spill_path = "net_test_owned.rcsf";
+  std::remove(spill_path.c_str());
+  const Bytes secret{'f', 'l', 'e', 'e', 't'};
+  const net::NetServerOptions defaults;
+  const auto position = [&net](int t) {
+    return SegmentId{(7u + static_cast<std::uint32_t>(t) * 13u) %
+                     net.segment_count()};
+  };
+
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  server::ServerOptions server_options;
+  server_options.num_workers = 1;
+  AnonymizationServer server(std::move(engine), server_options);
+  server::SessionPoolOptions pool_options;
+  pool_options.key_provider_factory = [&defaults](std::string_view user) {
+    return net::DeterministicKeyProvider(defaults.key_seed_base,
+                                         std::string(user),
+                                         defaults.profile.num_levels());
+  };
+  ContinuousSessionPool pool(server, pool_options);
+  ASSERT_TRUE(pool.AttachSpillFile(spill_path).ok());
+  net::NetServerOptions net_options;
+  net_options.poll_timeout_ms = 5;
+  net_options.auth_secret = secret;
+  net::NetServer front(pool, net_options);
+  ASSERT_TRUE(front.Start().ok());
+
+  const auto drive = [&position](net::Client& client, int from, int to) {
+    std::vector<std::string> hashes;
+    for (int t = from; t < to; ++t) {
+      client.QueuePositionUpdate(static_cast<std::uint32_t>(t + 1), "victim",
+                                 static_cast<double>(t), position(t));
+      EXPECT_TRUE(client.Flush().ok());
+      const auto reply = client.ReadArtifactReply();
+      EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+      if (reply.ok()) hashes.push_back(Sha(reply->artifact_wire));
+    }
+    return hashes;
+  };
+
+  std::vector<std::string> served;
+  {
+    auto owner = net::Client::Connect("127.0.0.1", front.port());
+    ASSERT_TRUE(owner.ok());
+    ASSERT_TRUE(owner->Hello(0, "alice", secret).ok());
+    served = drive(*owner, 0, 5);
+  }
+
+  // Bob authenticates fine — the secret is shared — but cannot move the
+  // resident session alice's connection tracked.
+  auto thief = net::Client::Connect("127.0.0.1", front.port());
+  ASSERT_TRUE(thief.ok());
+  ASSERT_TRUE(thief->Hello(0, "bob", secret).ok());
+  thief->QueuePositionUpdate(90, "victim", 50.0, position(5));
+  ASSERT_TRUE(thief->Flush().ok());
+  const auto resident_denied = thief->ReadArtifactReply();
+  EXPECT_FALSE(resident_denied.ok());
+  EXPECT_EQ(resident_denied.status().code(), ErrorCode::kPermissionDenied);
+  // The denial is per-user, not per-connection: bob's own user works.
+  thief->QueuePositionUpdate(91, "bobcar", 50.0, SegmentId{2});
+  ASSERT_TRUE(thief->Flush().ok());
+  EXPECT_TRUE(thief->ReadArtifactReply().ok());
+
+  // Cold case: the victim goes to the spill file; bob still cannot adopt
+  // it, and the denial does not restore the record as a side effect.
+  const auto written = pool.SpillAllToFile();
+  ASSERT_TRUE(written.ok()) << written.status().ToString();
+  ASSERT_EQ(pool.session_count(), 0u);
+  thief->QueuePositionUpdate(92, "victim", 51.0, position(5));
+  ASSERT_TRUE(thief->Flush().ok());
+  const auto spilled_denied = thief->ReadArtifactReply();
+  EXPECT_FALSE(spilled_denied.ok());
+  EXPECT_EQ(spilled_denied.status().code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(pool.stats().restored_on_miss, 0u);
+
+  // The owner reconnecting under the same principal adopts the spilled
+  // session and the artifact stream continues where it left off.
+  {
+    auto owner = net::Client::Connect("127.0.0.1", front.port());
+    ASSERT_TRUE(owner.ok());
+    ASSERT_TRUE(owner->Hello(0, "alice", secret).ok());
+    const auto rest = drive(*owner, 5, 10);
+    served.insert(served.end(), rest.begin(), rest.end());
+  }
+  front.Stop();
+  EXPECT_EQ(pool.stats().restored_on_miss, 1u);
+  EXPECT_GE(front.stats().ownership_rejected, 2u);
+
+  // Byte-identity: an open-mode twin that never authenticated (or
+  // spilled) serves the exact same artifact sequence — auth changes who
+  // may drive a session, never what it serves.
+  auto twin = StartLoopback(net, /*workers=*/1);
+  auto client = net::Client::Connect("127.0.0.1", twin.front->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+  const auto expected = drive(*client, 0, 10);
+  EXPECT_EQ(served, expected);
+  std::remove(spill_path.c_str());
+}
+
+// The pool-level gate, below the front door: ownership is enforced on the
+// id update path for resident sessions, for envelopes still sitting on
+// the async writer's in-flight queue, and for records already on disk.
+TEST(NetServerTest, PoolOwnershipGateCoversResidentInFlightAndFile) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  AnonymizationServer server(std::move(engine), {});
+  const net::NetServerOptions defaults;
+  const auto keys = [&defaults](std::string_view user) {
+    return net::DeterministicKeyProvider(defaults.key_seed_base,
+                                         std::string(user),
+                                         defaults.profile.num_levels());
+  };
+  server::SessionPoolOptions pool_options;
+  pool_options.key_provider_factory = keys;
+  pool_options.async_spill = true;
+  ContinuousSessionPool pool(server, pool_options);
+  const std::string spill_path = "net_test_owned_inflight.rcsf";
+  std::remove(spill_path.c_str());
+  ASSERT_TRUE(pool.AttachSpillFile(spill_path).ok());
+  pool.PauseSpillWriterForTest(true);  // victims park on the queue
+
+  const std::uint64_t alice = net::PrincipalToken("alice");
+  const std::uint64_t bob = net::PrincipalToken("bob");
+  ASSERT_NE(alice, bob);
+  using State = ContinuousSessionPool::UserState;
+  const auto update_one = [&pool](util::UserId user, double now_s,
+                                  SegmentId segment, std::uint64_t principal) {
+    std::vector<ContinuousSessionPool::IdPositionUpdate> batch;
+    batch.push_back({user, now_s, segment, principal});
+    return std::move(pool.UpdateBatch(batch).front());
+  };
+
+  const auto victim =
+      pool.Track("victim", defaults.profile, core::Algorithm::kRge,
+                 keys("victim"), defaults.continuous, 0.0, alice);
+  ASSERT_TRUE(victim.ok());
+  const auto driver =
+      pool.Track("driver", defaults.profile, core::Algorithm::kRge,
+                 keys("driver"), defaults.continuous, 0.0, alice);
+  ASSERT_TRUE(driver.ok());
+  ASSERT_TRUE(update_one(*victim, 1.0, SegmentId{3}, alice).ok());
+  ASSERT_TRUE(update_one(*driver, 1.0, SegmentId{5}, alice).ok());
+
+  // Resident: bob's update is refused before the session is touched.
+  auto denied = update_one(*victim, 2.0, SegmentId{4}, bob);
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), ErrorCode::kPermissionDenied);
+  EXPECT_GE(pool.stats().ownership_rejected, 1u);
+  EXPECT_EQ(pool.StateOf(*victim), State::kResident);
+
+  // Sweep the victim onto the paused writer queue (driver updates keep
+  // the clock turning until the victim goes cold).
+  pool.set_memory_budget_bytes(1);
+  for (int i = 0; i < 20 && pool.StateOf(*victim) != State::kSpilled; ++i) {
+    ASSERT_TRUE(
+        update_one(*driver, 3.0 + i, SegmentId{6}, alice).ok());
+  }
+  ASSERT_EQ(pool.StateOf(*victim), State::kSpilled);
+  EXPECT_EQ(pool.spill_files()->stats().live_records, 0u);  // queue only
+  pool.set_memory_budget_bytes(0);  // let the restore stick
+
+  // In-flight: bob cannot adopt the queued envelope, and the denial does
+  // not consume it — the owner's next update restores it from memory.
+  const auto before_queue = pool.stats().restored_in_flight;
+  denied = update_one(*victim, 30.0, SegmentId{7}, bob);
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(pool.stats().restored_in_flight, before_queue);
+  EXPECT_EQ(pool.StateOf(*victim), State::kSpilled);
+  const auto adopted = update_one(*victim, 31.0, SegmentId{7}, alice);
+  ASSERT_TRUE(adopted.ok()) << adopted.status().ToString();
+  EXPECT_EQ(pool.stats().restored_in_flight, before_queue + 1);
+  EXPECT_EQ(pool.StateOf(*victim), State::kResident);
+
+  // On disk: same gate once the envelope has landed in the file.
+  pool.PauseSpillWriterForTest(false);
+  ASSERT_TRUE(pool.FlushSpillQueue().ok());
+  ASSERT_TRUE(pool.SpillAllToFile().ok());
+  ASSERT_EQ(pool.StateOf(*victim), State::kSpilled);
+  const auto before_file = pool.stats().restored_on_miss;
+  denied = update_one(*victim, 40.0, SegmentId{8}, bob);
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(pool.stats().restored_on_miss, before_file);
+  const auto restored = update_one(*victim, 41.0, SegmentId{8}, alice);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(pool.stats().restored_on_miss, before_file + 1);
+
+  // The file now carries owner-bound v3 envelopes ("driver" is still
+  // spilled) — exactly what tooling refuses to serve in open mode.
+  const auto owned = pool.OwnedSpillRecords();
+  ASSERT_TRUE(owned.ok()) << owned.status().ToString();
+  EXPECT_GE(*owned, 1u);
   std::remove(spill_path.c_str());
 }
 
