@@ -28,12 +28,17 @@
 //   --connections N      loopback client connections     (default 64)
 //   --users-per-conn U   users multiplexed per connection (default 25)
 //   --ticks T            fleet ticks                      (default 64)
+//   --loops N            front-door event-loop threads; repeatable — each
+//                        value adds one A/B row per worker count, so
+//                        `--loops 1 --loops 4` measures the multi-loop
+//                        sharding win (and its overhead at 1 vCPU) under
+//                        identical traffic    (default sweep: 1)
 //   --verify             byte-compare every reply against the twin pool
 //   --auth               protocol-v2 challenge-response on every
 //                        connection (per-connection principal); the
 //                        wire_upd_per_s delta vs an open-mode run is the
 //                        auth tax (handshake + per-update ownership gate)
-// Defaults: 64 x 25 x 64 = 102,400 updates per worker count.
+// Defaults: 64 x 25 x 64 = 102,400 updates per (workers, loops) config.
 // Emits BENCH_e23.json (schema: docs/PERFORMANCE.md).
 #include <chrono>
 #include <cstdlib>
@@ -101,6 +106,7 @@ int main(int argc, char** argv) {
   bool verify = false;
   bool auth = false;
   std::vector<int> worker_counts;
+  std::vector<int> loop_counts;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--connections") == 0 && a + 1 < argc) {
       connections = std::max(1, std::atoi(argv[++a]));
@@ -108,6 +114,8 @@ int main(int argc, char** argv) {
       users_per_conn = std::max(1, std::atoi(argv[++a]));
     } else if (std::strcmp(argv[a], "--ticks") == 0 && a + 1 < argc) {
       ticks = std::max(1, std::atoi(argv[++a]));
+    } else if (std::strcmp(argv[a], "--loops") == 0 && a + 1 < argc) {
+      loop_counts.push_back(std::max(1, std::atoi(argv[++a])));
     } else if (std::strcmp(argv[a], "--verify") == 0) {
       verify = true;
     } else if (std::strcmp(argv[a], "--auth") == 0) {
@@ -118,6 +126,7 @@ int main(int argc, char** argv) {
     }
   }
   if (worker_counts.empty()) worker_counts = {1, 2, 4};
+  if (loop_counts.empty()) loop_counts = {1};
   const std::uint32_t total_users =
       static_cast<std::uint32_t>(connections) *
       static_cast<std::uint32_t>(users_per_conn);
@@ -160,10 +169,10 @@ int main(int argc, char** argv) {
   constexpr std::uint64_t kSeedBase = 50000;
 
   std::uint64_t verify_mismatches = 0;
-  TableWriter table({"workers", "conns", "updates", "wire_upd_per_s",
-                     "inproc_upd_per_s", "wire_tax", "p50_ms", "p95_ms",
-                     "p99_ms", "recloaks", "steals", "max_batch",
-                     "cache_hit_rate"});
+  TableWriter table({"workers", "loops", "conns", "updates",
+                     "wire_upd_per_s", "inproc_upd_per_s", "wire_tax",
+                     "p50_ms", "p95_ms", "p99_ms", "recloaks", "steals",
+                     "max_batch", "cache_hit_rate"});
   JsonReport report("e23");
   report.MetaInt("connections", connections);
   report.MetaInt("users_per_conn", users_per_conn);
@@ -241,167 +250,188 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    // ---- the wire run -----------------------------------------------------
-    core::Anonymizer engine(ctx, occupancy);
-    server::ServerOptions server_options;
-    server_options.num_workers = workers;
-    server_options.max_queue = 1 << 18;
-    server::AnonymizationServer server(std::move(engine), server_options);
-    server::ContinuousSessionPool pool(server);
-    net::NetServerOptions net_options;
-    net_options.profile = profile;
-    net_options.continuous = continuous;
-    net_options.key_seed_base = kSeedBase;
-    net_options.poll_timeout_ms = 5;
-    if (auth) net_options.auth_secret = auth_secret;
-    net::NetServer front(pool, net_options);
-    if (const auto started = front.Start(); !started.ok()) {
-      std::fprintf(stderr, "net server start failed: %s\n",
-                   started.ToString().c_str());
-      return 1;
-    }
-
-    std::vector<net::Client> clients;
-    clients.reserve(static_cast<std::size_t>(connections));
-    for (int c = 0; c < connections; ++c) {
-      auto client = net::Client::Connect("127.0.0.1", front.port());
-      if (!client.ok()) {
-        std::fprintf(stderr, "connect failed: %s\n",
-                     client.status().ToString().c_str());
+    // ---- the wire runs: one per --loops value, same twin --------------------
+    // The twin is the byte oracle for every loop count — the multi-loop
+    // front door must be invisible in the artifact bytes.
+    for (const int loops : loop_counts) {
+      core::Anonymizer engine(ctx, occupancy);
+      server::ServerOptions server_options;
+      server_options.num_workers = workers;
+      server_options.max_queue = 1 << 18;
+      server::AnonymizationServer server(std::move(engine), server_options);
+      server::ContinuousSessionPool pool(server);
+      net::NetServerOptions net_options;
+      net_options.profile = profile;
+      net_options.continuous = continuous;
+      net_options.key_seed_base = kSeedBase;
+      net_options.poll_timeout_ms = 5;
+      net_options.loop_threads = loops;
+      if (auth) net_options.auth_secret = auth_secret;
+      net::NetServer front(pool, net_options);
+      if (const auto started = front.Start(); !started.ok()) {
+        std::fprintf(stderr, "net server start failed: %s\n",
+                     started.ToString().c_str());
         return 1;
       }
-      const auto hello =
-          auth ? client->Hello(front.map_fingerprint(),
-                               "conn" + std::to_string(c), auth_secret)
-               : client->Hello(front.map_fingerprint());
-      if (!hello.ok()) {
-        std::fprintf(stderr, "hello failed: %s\n",
-                     hello.ToString().c_str());
-        return 1;
-      }
-      clients.push_back(std::move(client).value());
-    }
 
-    Samples latency_ms;
-    std::uint64_t wire_failed = 0;
-    Stopwatch wall;
-    std::vector<double> sent_at_ms(static_cast<std::size_t>(connections));
-    for (int t = 0; t < ticks; ++t) {
-      const double now_s = static_cast<double>(t);
-      // Send burst: every connection's users, pipelined, one flush each.
+      std::vector<net::Client> clients;
+      clients.reserve(static_cast<std::size_t>(connections));
       for (int c = 0; c < connections; ++c) {
-        for (int u = 0; u < users_per_conn; ++u) {
-          const std::uint32_t global =
-              static_cast<std::uint32_t>(c * users_per_conn + u);
-          const std::uint32_t seq = static_cast<std::uint32_t>(
-              static_cast<std::uint64_t>(t) * total_users + global);
-          clients[static_cast<std::size_t>(c)].QueuePositionUpdate(
-              seq, UserName(global), now_s, positions[t][global]);
-        }
-        if (const auto flushed =
-                clients[static_cast<std::size_t>(c)].Flush();
-            !flushed.ok()) {
-          std::fprintf(stderr, "flush failed: %s\n",
-                       flushed.ToString().c_str());
+        auto client = net::Client::Connect("127.0.0.1", front.port());
+        if (!client.ok()) {
+          std::fprintf(stderr, "connect failed: %s\n",
+                       client.status().ToString().c_str());
           return 1;
         }
-        sent_at_ms[static_cast<std::size_t>(c)] = NowMs();
+        const auto hello =
+            auth ? client->Hello(front.map_fingerprint(),
+                                 "conn" + std::to_string(c), auth_secret)
+                 : client->Hello(front.map_fingerprint());
+        if (!hello.ok()) {
+          std::fprintf(stderr, "hello failed: %s\n",
+                       hello.ToString().c_str());
+          return 1;
+        }
+        clients.push_back(std::move(client).value());
       }
-      // Read back every reply (per connection, replies arrive in the order
-      // the updates were sent).
-      for (int c = 0; c < connections; ++c) {
-        for (int u = 0; u < users_per_conn; ++u) {
-          auto reply =
-              clients[static_cast<std::size_t>(c)].ReadArtifactReply();
-          if (!reply.ok()) {
-            std::fprintf(stderr, "reply failed (conn %d): %s\n", c,
-                         reply.status().ToString().c_str());
+
+      Samples latency_ms;
+      std::uint64_t wire_failed = 0;
+      Stopwatch wall;
+      std::vector<double> sent_at_ms(static_cast<std::size_t>(connections));
+      for (int t = 0; t < ticks; ++t) {
+        const double now_s = static_cast<double>(t);
+        // Send burst: every connection's users, pipelined, one flush each.
+        for (int c = 0; c < connections; ++c) {
+          for (int u = 0; u < users_per_conn; ++u) {
+            const std::uint32_t global =
+                static_cast<std::uint32_t>(c * users_per_conn + u);
+            const std::uint32_t seq = static_cast<std::uint32_t>(
+                static_cast<std::uint64_t>(t) * total_users + global);
+            clients[static_cast<std::size_t>(c)].QueuePositionUpdate(
+                seq, UserName(global), now_s, positions[t][global]);
+          }
+          if (const auto flushed =
+                  clients[static_cast<std::size_t>(c)].Flush();
+              !flushed.ok()) {
+            std::fprintf(stderr, "flush failed: %s\n",
+                         flushed.ToString().c_str());
             return 1;
           }
-          latency_ms.Add(NowMs() - sent_at_ms[static_cast<std::size_t>(c)]);
-          const std::uint32_t global =
-              static_cast<std::uint32_t>(c * users_per_conn + u);
-          const std::uint32_t seq = static_cast<std::uint32_t>(
-              static_cast<std::uint64_t>(t) * total_users + global);
-          if (reply->seq != seq) {
-            std::fprintf(stderr,
-                         "reply misrouted: conn %d expected seq %u got %u\n",
-                         c, seq, reply->seq);
-            return 2;
-          }
-          if (!reply->status.ok()) {
-            ++wire_failed;
-            continue;
-          }
-          if (verify &&
-              reply->artifact_wire !=
-                  expected[static_cast<std::size_t>(t)][global]) {
-            ++verify_mismatches;
+          sent_at_ms[static_cast<std::size_t>(c)] = NowMs();
+        }
+        // Read back every reply (per connection, replies arrive in the
+        // order the updates were sent).
+        for (int c = 0; c < connections; ++c) {
+          for (int u = 0; u < users_per_conn; ++u) {
+            auto reply =
+                clients[static_cast<std::size_t>(c)].ReadArtifactReply();
+            if (!reply.ok()) {
+              std::fprintf(stderr, "reply failed (conn %d): %s\n", c,
+                           reply.status().ToString().c_str());
+              return 1;
+            }
+            latency_ms.Add(NowMs() -
+                           sent_at_ms[static_cast<std::size_t>(c)]);
+            const std::uint32_t global =
+                static_cast<std::uint32_t>(c * users_per_conn + u);
+            const std::uint32_t seq = static_cast<std::uint32_t>(
+                static_cast<std::uint64_t>(t) * total_users + global);
+            if (reply->seq != seq) {
+              std::fprintf(
+                  stderr,
+                  "reply misrouted: conn %d expected seq %u got %u\n", c,
+                  seq, reply->seq);
+              return 2;
+            }
+            if (!reply->status.ok()) {
+              ++wire_failed;
+              continue;
+            }
+            if (verify &&
+                reply->artifact_wire !=
+                    expected[static_cast<std::size_t>(t)][global]) {
+              ++verify_mismatches;
+            }
           }
         }
       }
+      const double wall_s = wall.ElapsedMillis() / 1000.0;
+      const double wire_upd_per_s =
+          wall_s > 0 ? static_cast<double>(total_updates) / wall_s : 0.0;
+      clients.clear();  // disconnect so close-time counters fold into stats
+      const auto pool_stats = pool.stats();
+      const auto server_stats = server.stats();
+      const auto net_stats = front.stats();
+      const auto loop_stats = front.per_loop_stats();
+      const bool sharded = front.accept_sharded();
+      front.Stop();
+      if (wire_failed != 0) {
+        std::fprintf(stderr, "wire run reported %llu failed updates\n",
+                     static_cast<unsigned long long>(wire_failed));
+        return 1;
+      }
+      const std::uint64_t cache_total =
+          net_stats.artifact_cache_hits + net_stats.artifact_cache_misses;
+      table.AddRow(
+          {TableWriter::Int(workers), TableWriter::Int(loops),
+           TableWriter::Int(connections),
+           TableWriter::Int(static_cast<long long>(total_updates)),
+           TableWriter::Fixed(wire_upd_per_s, 0),
+           TableWriter::Fixed(inproc_upd_per_s, 0),
+           TableWriter::Fixed(
+               wire_upd_per_s > 0 ? inproc_upd_per_s / wire_upd_per_s : 0.0,
+               2),
+           TableWriter::Fixed(latency_ms.Percentile(50), 3),
+           TableWriter::Fixed(latency_ms.Percentile(95), 3),
+           TableWriter::Fixed(latency_ms.Percentile(99), 3),
+           TableWriter::Int(static_cast<long long>(pool_stats.recloaks)),
+           TableWriter::Int(static_cast<long long>(server_stats.steals)),
+           TableWriter::Int(static_cast<long long>(net_stats.largest_batch)),
+           TableWriter::Fixed(cache_total
+                                  ? static_cast<double>(
+                                        net_stats.artifact_cache_hits) /
+                                        static_cast<double>(cache_total)
+                                  : 0.0,
+                              3)});
+      auto& row = report.AddRow();
+      row.Int("workers", workers)
+          .Int("loops", loops)
+          .Bool("accept_sharded", sharded)
+          .Int("updates", static_cast<long long>(total_updates))
+          .Num("wire_updates_per_s", wire_upd_per_s)
+          .Num("inproc_updates_per_s", inproc_upd_per_s)
+          .Num("p50_ms", latency_ms.Percentile(50))
+          .Num("p95_ms", latency_ms.Percentile(95))
+          .Num("p99_ms", latency_ms.Percentile(99))
+          .Int("recloaks", static_cast<long long>(pool_stats.recloaks))
+          .Int("steals", static_cast<long long>(server_stats.steals))
+          .Int("batches", static_cast<long long>(net_stats.batches))
+          .Int("largest_batch",
+               static_cast<long long>(net_stats.largest_batch))
+          .Int("accept_handoffs",
+               static_cast<long long>(net_stats.accept_handoffs))
+          .Int("artifact_cache_hits",
+               static_cast<long long>(net_stats.artifact_cache_hits))
+          .Int("artifact_cache_misses",
+               static_cast<long long>(net_stats.artifact_cache_misses))
+          .Int("bytes_in", static_cast<long long>(net_stats.bytes_in))
+          .Int("bytes_out", static_cast<long long>(net_stats.bytes_out))
+          .Int("auth_ok", static_cast<long long>(net_stats.auth_ok))
+          .Int("auth_rejected",
+               static_cast<long long>(net_stats.auth_rejected))
+          .Int("ownership_rejected",
+               static_cast<long long>(net_stats.ownership_rejected))
+          .Int("verify_mismatches",
+               static_cast<long long>(verify_mismatches));
+      // Per-loop update share: how evenly the kernel (or the fallback
+      // round-robin) spread the fleet across loops. loopK_updates sums to
+      // the row's decoded updates.
+      for (std::size_t k = 0; k < loop_stats.size(); ++k) {
+        row.Int("loop" + std::to_string(k) + "_updates",
+                static_cast<long long>(loop_stats[k].updates_decoded));
+      }
     }
-    const double wall_s = wall.ElapsedMillis() / 1000.0;
-    const double wire_upd_per_s =
-        wall_s > 0 ? static_cast<double>(total_updates) / wall_s : 0.0;
-    clients.clear();  // disconnect so close-time counters fold into stats
-    const auto pool_stats = pool.stats();
-    const auto server_stats = server.stats();
-    const auto net_stats = front.stats();
-    front.Stop();
-    if (wire_failed != 0) {
-      std::fprintf(stderr, "wire run reported %llu failed updates\n",
-                   static_cast<unsigned long long>(wire_failed));
-      return 1;
-    }
-    const std::uint64_t cache_total =
-        net_stats.artifact_cache_hits + net_stats.artifact_cache_misses;
-    table.AddRow(
-        {TableWriter::Int(workers), TableWriter::Int(connections),
-         TableWriter::Int(static_cast<long long>(total_updates)),
-         TableWriter::Fixed(wire_upd_per_s, 0),
-         TableWriter::Fixed(inproc_upd_per_s, 0),
-         TableWriter::Fixed(
-             wire_upd_per_s > 0 ? inproc_upd_per_s / wire_upd_per_s : 0.0,
-             2),
-         TableWriter::Fixed(latency_ms.Percentile(50), 3),
-         TableWriter::Fixed(latency_ms.Percentile(95), 3),
-         TableWriter::Fixed(latency_ms.Percentile(99), 3),
-         TableWriter::Int(static_cast<long long>(pool_stats.recloaks)),
-         TableWriter::Int(static_cast<long long>(server_stats.steals)),
-         TableWriter::Int(static_cast<long long>(net_stats.largest_batch)),
-         TableWriter::Fixed(cache_total
-                                ? static_cast<double>(
-                                      net_stats.artifact_cache_hits) /
-                                      static_cast<double>(cache_total)
-                                : 0.0,
-                            3)});
-    report.AddRow()
-        .Int("workers", workers)
-        .Int("updates", static_cast<long long>(total_updates))
-        .Num("wire_updates_per_s", wire_upd_per_s)
-        .Num("inproc_updates_per_s", inproc_upd_per_s)
-        .Num("p50_ms", latency_ms.Percentile(50))
-        .Num("p95_ms", latency_ms.Percentile(95))
-        .Num("p99_ms", latency_ms.Percentile(99))
-        .Int("recloaks", static_cast<long long>(pool_stats.recloaks))
-        .Int("steals", static_cast<long long>(server_stats.steals))
-        .Int("batches", static_cast<long long>(net_stats.batches))
-        .Int("largest_batch",
-             static_cast<long long>(net_stats.largest_batch))
-        .Int("artifact_cache_hits",
-             static_cast<long long>(net_stats.artifact_cache_hits))
-        .Int("artifact_cache_misses",
-             static_cast<long long>(net_stats.artifact_cache_misses))
-        .Int("bytes_in", static_cast<long long>(net_stats.bytes_in))
-        .Int("bytes_out", static_cast<long long>(net_stats.bytes_out))
-        .Int("auth_ok", static_cast<long long>(net_stats.auth_ok))
-        .Int("auth_rejected",
-             static_cast<long long>(net_stats.auth_rejected))
-        .Int("ownership_rejected",
-             static_cast<long long>(net_stats.ownership_rejected))
-        .Int("verify_mismatches",
-             static_cast<long long>(verify_mismatches));
   }
   table.PrintMarkdown(std::cout);
   if (!report.WriteFile()) {

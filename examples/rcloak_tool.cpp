@@ -11,10 +11,10 @@
 //             --k K1,K2,... --out artifact.bin [--svg region.svg]
 //   reduce    --map map.rcmap --artifact artifact.bin --keys keys.rcks
 //             --passphrase PW --level L
-//   serve     --map map.rcmap [--port P] [--workers N] [--duration SECS]
-//             [--trace trace.txt] [--spill spill.rcsf] [--budget BYTES]
-//             [--async-spill] [--spill-shards N] [--secret S]
-//                                      (0s / no duration = run until killed)
+//   serve     --map map.rcmap [--port P] [--workers N] [--loops N]
+//             [--duration SECS] [--trace trace.txt] [--spill spill.rcsf]
+//             [--budget BYTES] [--async-spill] [--spill-shards N]
+//             [--secret S]         (0s / no duration = run until killed)
 //   sendto    --host H --port P --user NAME --segments "3,17,42"
 //             [--interval SECS] [--secret S] [--principal NAME]
 //   spill     --map map.rcmap --trace trace.txt --out spill.rcsf
@@ -32,6 +32,12 @@
 // attaches that file (a reconnecting user's updates then restore on miss,
 // and `--budget` caps the resident set); `restore` warm-boots a pool from
 // the file and reports what came back.
+//
+// `serve --loops N` shards the front door across N event-loop threads
+// (SO_REUSEPORT kernel accept sharding; connections stay pinned to their
+// loop, so per-user streams and artifact bytes are unchanged). Composes
+// with --spill/--secret/--async-spill — the pool underneath is shared and
+// thread-safe.
 //
 // `serve --secret S` turns on challenge–response authentication: every
 // client must answer the HELLO nonce with an HMAC tag under the same
@@ -526,13 +532,19 @@ int Serve(const Args& args) {
   rcloak::net::NetServerOptions options;
   options.port = static_cast<std::uint16_t>(args.Int("port", 0));
   options.auth_secret = rcloak::Bytes(secret.begin(), secret.end());
+  options.loop_threads = static_cast<int>(args.Int("loops", 1));
   rcloak::net::NetServer front(pool, options);
   if (const auto started = front.Start(); !started.ok()) {
     return Fail(started.ToString());
   }
   std::cout << "serving on 127.0.0.1:" << front.port()
             << " (map fingerprint " << std::hex << front.map_fingerprint()
-            << std::dec << ", " << server_options.num_workers << " workers"
+            << std::dec << ", " << server_options.num_workers << " workers, "
+            << front.loop_count() << " loop(s)"
+            << (front.loop_count() > 1
+                    ? (front.accept_sharded() ? " [SO_REUSEPORT sharded]"
+                                              : " [handoff fallback]")
+                    : "")
             << (secret.empty() ? "" : ", auth required") << ")\n";
   const long duration = args.Int("duration", 0);
   if (duration > 0) {

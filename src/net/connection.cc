@@ -29,6 +29,10 @@ Connection::ReadResult Connection::ReadReady() {
     if (n == 0) return ReadResult::kPeerClosed;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadResult::kOk;
     if (errno == EINTR) continue;
+    // An abrupt client teardown (RST mid-stream) is the peer leaving, not
+    // a server-side I/O failure — connect/disconnect churn should count as
+    // closes, not errors.
+    if (errno == ECONNRESET) return ReadResult::kPeerClosed;
     return ReadResult::kIoError;
   }
 }

@@ -1,7 +1,10 @@
-// One accepted socket on the server's event loop: incremental frame
+// One accepted socket on its owning event loop: incremental frame
 // reassembly off nonblocking reads, a bounded per-connection write queue
 // flushed with vectored writes, and the backpressure state the NetServer
-// acts on.
+// acts on. A connection is pinned to the loop that accepted (or adopted)
+// it for its whole lifetime — only that loop's thread ever touches it —
+// which is what keeps the multi-loop front door lock-free per connection
+// and a user's update stream ordered.
 //
 // The write queue holds two chunk shapes: small *owned* buffers (frame
 // prefixes, error frames, hello replies) and *shared* refcounted buffers
@@ -32,6 +35,12 @@ struct ConnectionLimits {
   std::size_t max_frame_payload = kDefaultMaxFramePayload;
   std::size_t write_soft_budget = 256u << 10;
   std::size_t write_hard_cap = 4u << 20;
+  // SO_SNDBUF for accepted sockets. 0 (default) leaves the kernel's
+  // autotuning in place; >0 pins the send buffer, which disables autotune
+  // and makes the soft-budget/hard-cap write queue — bounded, counted,
+  // droppable — the real per-connection memory bound instead of an
+  // unbounded kernel buffer.
+  int send_buffer_bytes = 0;
 };
 
 class Connection {
@@ -88,6 +97,7 @@ class Connection {
   bool handshaken = false;       // handshake complete (HELLO, + AUTH if on)
   bool awaiting_auth = false;    // HELLO done, challenge outstanding
   std::uint64_t loop_token = 0;  // EventLoop registration
+  std::uint32_t loop_index = 0;  // which loop owns this connection, for life
   // Challenge issued in the HELLO reply; compared against the AUTH tag.
   Bytes auth_nonce;
   // Ownership token of the authenticated principal (PrincipalToken); 0 in

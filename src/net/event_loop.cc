@@ -126,12 +126,22 @@ void EventLoop::Wakeup() {
 // ---------------------------------------------------------------- acceptor
 
 StatusOr<Acceptor> Acceptor::Listen(const std::string& address,
-                                    std::uint16_t port, int backlog) {
+                                    std::uint16_t port, int backlog,
+                                    bool reuse_port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                           0);
   if (fd < 0) return Errno("socket");
   const int reuse = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  if (reuse_port &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &reuse, sizeof(reuse)) < 0) {
+    // The caller asked for kernel accept sharding; failing silently here
+    // would make the sibling binds fail with EADDRINUSE later, which is a
+    // worse error to debug.
+    const Status status = Errno("setsockopt(SO_REUSEPORT)");
+    ::close(fd);
+    return status;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);

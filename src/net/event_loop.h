@@ -11,7 +11,10 @@
 //
 // Acceptor owns the nonblocking listening socket (SO_REUSEADDR, loopback
 // by default, port 0 = ephemeral) and drains accept4 until EAGAIN per
-// readiness event, handing each new nonblocking fd to a callback.
+// readiness event, handing each new nonblocking fd to a callback. With
+// `reuse_port` set, the socket also gets SO_REUSEPORT so N acceptors (one
+// per event loop) can share one address and let the kernel shard incoming
+// connections across them — the multi-loop front door's accept path.
 #pragma once
 
 #include <cstdint>
@@ -73,9 +76,13 @@ class EventLoop {
 class Acceptor {
  public:
   // Binds and listens; `port` 0 picks an ephemeral port (read it back via
-  // port()). The socket is nonblocking and close-on-exec.
+  // port()). The socket is nonblocking and close-on-exec. `reuse_port`
+  // adds SO_REUSEPORT before bind, so sibling acceptors created with the
+  // same flag can bind the same (address, port) and split accepts — bind
+  // the first on port 0, then bind the rest on the port it got.
   static StatusOr<Acceptor> Listen(const std::string& address,
-                                   std::uint16_t port, int backlog = 128);
+                                   std::uint16_t port, int backlog = 128,
+                                   bool reuse_port = false);
 
   Acceptor(Acceptor&& other) noexcept;
   Acceptor& operator=(Acceptor&& other) noexcept;

@@ -1,5 +1,8 @@
 #include "net/net_server.h"
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <random>
 #include <utility>
@@ -8,6 +11,16 @@
 #include "crypto/sha256.h"
 
 namespace rcloak::net {
+
+namespace {
+
+// Per-loop counters are written only by the owning loop thread; relaxed is
+// enough for the cross-thread sum in stats().
+inline void Bump(std::atomic<std::uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 core::ContinuousCloak::KeyProvider DeterministicKeyProvider(
     std::uint64_t seed_base, std::string_view user_id, int num_levels) {
@@ -22,12 +35,19 @@ NetServer::NetServer(server::ContinuousSessionPool& pool,
                      const NetServerOptions& options)
     : pool_(&pool),
       options_(options),
-      deanonymizer_(pool.server().engine().context()),
       map_fingerprint_(
           core::FingerprintNetwork(pool.server().engine().network())),
       segment_count_(pool.server().engine().network().segment_count()) {
   std::random_device entropy;
   nonce_salt_ = (static_cast<std::uint64_t>(entropy()) << 32) ^ entropy();
+  const int count = std::max(1, options_.loop_threads);
+  const auto& ctx = pool.server().engine().context();
+  loops_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    loops_.push_back(std::make_unique<Loop>(static_cast<std::uint32_t>(i),
+                                            static_cast<std::uint32_t>(count),
+                                            ctx));
+  }
 }
 
 NetServer::~NetServer() { Stop(); }
@@ -36,77 +56,242 @@ Status NetServer::Start() {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server already running");
   }
-  RCLOAK_RETURN_IF_ERROR(loop_.status());
-  auto acceptor = Acceptor::Listen(options_.bind_address, options_.port);
-  RCLOAK_RETURN_IF_ERROR(acceptor.status());
-  acceptor_ = std::make_unique<Acceptor>(std::move(acceptor).value());
-  port_ = acceptor_->port();
-  auto added = loop_.Add(acceptor_->fd(), EventLoop::kReadable,
-                         [this](std::uint32_t) { OnAcceptable(); });
-  RCLOAK_RETURN_IF_ERROR(added.status());
+  for (const auto& lp : loops_) {
+    RCLOAK_RETURN_IF_ERROR(lp->loop.status());
+  }
+  const std::size_t count = loops_.size();
+  // Loop 0 binds first; with more than one loop it asks for SO_REUSEPORT
+  // so the siblings can share the (address, port) and the kernel shards
+  // accepts. The ephemeral port it got is what the siblings bind.
+  bool sharded = count > 1;
+  auto first = Acceptor::Listen(options_.bind_address, options_.port, 128,
+                                /*reuse_port=*/sharded);
+  if (!first.ok() && sharded) {
+    // No SO_REUSEPORT on this kernel: single acceptor on loop 0, accepted
+    // fds round-robin to the other loops via their inboxes.
+    sharded = false;
+    first = Acceptor::Listen(options_.bind_address, options_.port, 128);
+  }
+  RCLOAK_RETURN_IF_ERROR(first.status());
+  loops_[0]->acceptor = std::make_unique<Acceptor>(std::move(first).value());
+  port_ = loops_[0]->acceptor->port();
+  for (std::size_t k = 1; sharded && k < count; ++k) {
+    auto sibling = Acceptor::Listen(options_.bind_address, port_, 128,
+                                    /*reuse_port=*/true);
+    if (!sibling.ok()) {
+      // A sibling bind can still lose (policy, uid checks): fall back to
+      // the handoff path rather than serving with a partial shard.
+      for (std::size_t j = 1; j < k; ++j) loops_[j]->acceptor.reset();
+      sharded = false;
+      break;
+    }
+    loops_[k]->acceptor =
+        std::make_unique<Acceptor>(std::move(sibling).value());
+  }
+  accept_sharded_ = sharded;
+  for (const auto& lp : loops_) {
+    if (!lp->acceptor) continue;
+    Loop* raw = lp.get();
+    auto added =
+        lp->loop.Add(lp->acceptor->fd(), EventLoop::kReadable,
+                     [this, raw](std::uint32_t) { OnAcceptable(*raw); });
+    RCLOAK_RETURN_IF_ERROR(added.status());
+  }
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { Loop(); });
+  for (const auto& lp : loops_) {
+    Loop* raw = lp.get();
+    lp->thread = std::thread([this, raw] { LoopMain(*raw); });
+  }
   return Status::Ok();
 }
 
 void NetServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  loop_.Wakeup();
-  if (thread_.joinable()) thread_.join();
+  // Fan the shutdown wake across every loop, then join them all.
+  for (const auto& lp : loops_) lp->loop.Wakeup();
+  for (const auto& lp : loops_) {
+    if (lp->thread.joinable()) lp->thread.join();
+  }
+  // An fd handed over after its target loop's final drain would leak the
+  // socket; with every thread joined the inboxes are quiescent.
+  for (const auto& lp : loops_) {
+    std::lock_guard<std::mutex> lock(lp->inbox_mutex);
+    for (const int fd : lp->inbox) ::close(fd);
+    lp->inbox.clear();
+  }
+}
+
+NetServerStats NetServer::SnapshotLoop(const Loop& lp) const {
+  const LoopStats& s = lp.stats;
+  NetServerStats out;
+  const auto get = [](const std::atomic<std::uint64_t>& counter) {
+    return counter.load(std::memory_order_relaxed);
+  };
+  out.connections_accepted = get(s.connections_accepted);
+  out.connections_active = get(s.connections_active);
+  out.connections_closed_peer = get(s.connections_closed_peer);
+  out.connections_dropped_error = get(s.connections_dropped_error);
+  out.connections_dropped_backpressure =
+      get(s.connections_dropped_backpressure);
+  out.accept_handoffs = get(s.accept_handoffs);
+  out.protocol_errors = get(s.protocol_errors);
+  out.hello_rejected = get(s.hello_rejected);
+  out.auth_ok = get(s.auth_ok);
+  out.auth_rejected = get(s.auth_rejected);
+  out.ownership_rejected = get(s.ownership_rejected);
+  out.bytes_in = get(s.bytes_in);
+  out.bytes_out = get(s.bytes_out);
+  out.frames_in = get(s.frames_in);
+  out.frames_out = get(s.frames_out);
+  out.updates_decoded = get(s.updates_decoded);
+  out.reduce_requests = get(s.reduce_requests);
+  out.reduce_in_tick = get(s.reduce_in_tick);
+  out.batches = get(s.batches);
+  out.largest_batch = get(s.largest_batch);
+  out.partial_dispatches = get(s.partial_dispatches);
+  out.artifact_cache_hits = get(s.artifact_cache_hits);
+  out.artifact_cache_misses = get(s.artifact_cache_misses);
+  out.reads_paused = get(s.reads_paused);
+  out.reads_resumed = get(s.reads_resumed);
+  return out;
 }
 
 NetServerStats NetServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  NetServerStats total;
+  for (const auto& lp : loops_) {
+    const NetServerStats s = SnapshotLoop(*lp);
+    total.connections_accepted += s.connections_accepted;
+    total.connections_active += s.connections_active;
+    total.connections_closed_peer += s.connections_closed_peer;
+    total.connections_dropped_error += s.connections_dropped_error;
+    total.connections_dropped_backpressure +=
+        s.connections_dropped_backpressure;
+    total.accept_handoffs += s.accept_handoffs;
+    total.protocol_errors += s.protocol_errors;
+    total.hello_rejected += s.hello_rejected;
+    total.auth_ok += s.auth_ok;
+    total.auth_rejected += s.auth_rejected;
+    total.ownership_rejected += s.ownership_rejected;
+    total.bytes_in += s.bytes_in;
+    total.bytes_out += s.bytes_out;
+    total.frames_in += s.frames_in;
+    total.frames_out += s.frames_out;
+    total.updates_decoded += s.updates_decoded;
+    total.reduce_requests += s.reduce_requests;
+    total.reduce_in_tick += s.reduce_in_tick;
+    total.batches += s.batches;
+    // A batch never spans loops, so the fleet-wide largest single batch is
+    // the max, not the sum.
+    total.largest_batch = std::max(total.largest_batch, s.largest_batch);
+    total.partial_dispatches += s.partial_dispatches;
+    total.artifact_cache_hits += s.artifact_cache_hits;
+    total.artifact_cache_misses += s.artifact_cache_misses;
+    total.reads_paused += s.reads_paused;
+    total.reads_resumed += s.reads_resumed;
+  }
+  return total;
 }
 
-void NetServer::Loop() {
+std::vector<NetServerStats> NetServer::per_loop_stats() const {
+  std::vector<NetServerStats> out;
+  out.reserve(loops_.size());
+  for (const auto& lp : loops_) out.push_back(SnapshotLoop(*lp));
+  return out;
+}
+
+void NetServer::LoopMain(Loop& lp) {
   while (running_.load(std::memory_order_acquire)) {
-    loop_.PollOnce(options_.poll_timeout_ms);
-    if (!tick_updates_.empty()) DispatchBatch();
-    if (!tick_touched_.empty()) {
-      for (const std::uint64_t conn_id : tick_touched_) {
-        const auto it = connections_.find(conn_id);
-        if (it != connections_.end()) FlushAndUpdate(*it->second);
+    lp.loop.PollOnce(options_.poll_timeout_ms);
+    DrainInbox(lp);
+    if (!lp.tick_updates.empty()) DispatchBatch(lp);
+    if (!lp.tick_touched.empty()) {
+      for (const std::uint64_t conn_id : lp.tick_touched) {
+        const auto it = lp.connections.find(conn_id);
+        if (it != lp.connections.end()) FlushAndUpdate(lp, *it->second);
       }
-      tick_touched_.clear();
+      lp.tick_touched.clear();
     }
-    RefreshTrafficStats();
+    RefreshTrafficStats(lp);
   }
   // Shutdown: drop every connection (queued bytes are best-effort flushed).
   std::vector<std::uint64_t> ids;
-  ids.reserve(connections_.size());
-  for (const auto& [id, conn] : connections_) ids.push_back(id);
+  ids.reserve(lp.connections.size());
+  for (const auto& [id, conn] : lp.connections) ids.push_back(id);
   for (const std::uint64_t id : ids) {
-    connections_[id]->Flush();
-    CloseConnection(id, CloseReason::kPeer);
+    lp.connections[id]->Flush();
+    CloseConnection(lp, id, CloseReason::kPeer);
   }
+  RefreshTrafficStats(lp);
+  // Adoptions that raced the shutdown wake: close them unserved (Stop()
+  // sweeps anything that lands even later, after the join).
+  std::vector<int> leftover;
+  {
+    std::lock_guard<std::mutex> lock(lp.inbox_mutex);
+    leftover.swap(lp.inbox);
+  }
+  for (const int fd : leftover) ::close(fd);
 }
 
-void NetServer::OnAcceptable() {
-  acceptor_->AcceptReady([this](int fd) {
-    const std::uint64_t conn_id = next_conn_id_++;
-    auto conn = std::make_unique<Connection>(fd, conn_id, options_.limits);
-    auto added =
-        loop_.Add(fd, EventLoop::kReadable, [this, conn_id](std::uint32_t r) {
-          OnConnectionEvent(conn_id, r);
-        });
-    if (!added.ok()) return;  // fd closed by Connection dtor
-    conn->loop_token = added.value();
-    connections_.emplace(conn_id, std::move(conn));
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.connections_accepted;
-    ++stats_.connections_active;
+void NetServer::OnAcceptable(Loop& lp) {
+  lp.acceptor->AcceptReady([this, &lp](int fd) {
+    if (accept_sharded_ || loops_.size() == 1) {
+      AdoptFd(lp, fd);
+      return;
+    }
+    // Fallback accept path: only loop 0 listens; spread connections
+    // round-robin so the loops still share the decode/dispatch load.
+    Loop& target = *loops_[accept_rr_++ % loops_.size()];
+    if (&target == &lp) {
+      AdoptFd(lp, fd);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(target.inbox_mutex);
+      target.inbox.push_back(fd);
+    }
+    Bump(lp.stats.accept_handoffs);
+    target.loop.Wakeup();
   });
 }
 
-void NetServer::OnConnectionEvent(std::uint64_t conn_id, std::uint32_t ready) {
-  const auto it = connections_.find(conn_id);
-  if (it == connections_.end()) return;
+void NetServer::DrainInbox(Loop& lp) {
+  if (loops_.size() == 1 || accept_sharded_) return;
+  std::vector<int> adopted;
+  {
+    std::lock_guard<std::mutex> lock(lp.inbox_mutex);
+    adopted.swap(lp.inbox);
+  }
+  for (const int fd : adopted) AdoptFd(lp, fd);
+}
+
+void NetServer::AdoptFd(Loop& lp, int fd) {
+  const std::uint64_t conn_id = lp.next_conn_id;
+  lp.next_conn_id += lp.conn_id_stride;
+  if (options_.limits.send_buffer_bytes > 0) {
+    const int size = options_.limits.send_buffer_bytes;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &size, sizeof(size));
+  }
+  auto conn = std::make_unique<Connection>(fd, conn_id, options_.limits);
+  conn->loop_index = lp.index;
+  auto added = lp.loop.Add(fd, EventLoop::kReadable,
+                           [this, &lp, conn_id](std::uint32_t ready) {
+                             OnConnectionEvent(lp, conn_id, ready);
+                           });
+  if (!added.ok()) return;  // fd closed by Connection dtor
+  conn->loop_token = added.value();
+  lp.connections.emplace(conn_id, std::move(conn));
+  Bump(lp.stats.connections_accepted);
+  Bump(lp.stats.connections_active);
+}
+
+void NetServer::OnConnectionEvent(Loop& lp, std::uint64_t conn_id,
+                                  std::uint32_t ready) {
+  const auto it = lp.connections.find(conn_id);
+  if (it == lp.connections.end()) return;
   Connection& conn = *it->second;
   if (ready & EventLoop::kWritable) {
-    FlushAndUpdate(conn);
-    if (connections_.find(conn_id) == connections_.end()) return;
+    FlushAndUpdate(lp, conn);
+    if (lp.connections.find(conn_id) == lp.connections.end()) return;
   }
   // Error/hangup bits fall through to the read path: read() reports them.
   if ((ready & ~EventLoop::kWritable) == 0) return;
@@ -114,61 +299,56 @@ void NetServer::OnConnectionEvent(std::uint64_t conn_id, std::uint32_t ready) {
     case Connection::ReadResult::kOk:
       break;
     case Connection::ReadResult::kPeerClosed:
-      DrainFrames(conn);  // frames completed by the final bytes still count
-      if (connections_.find(conn_id) != connections_.end()) {
-        CloseConnection(conn_id, CloseReason::kPeer);
+      DrainFrames(lp, conn);  // frames completed by the final bytes count
+      if (lp.connections.find(conn_id) != lp.connections.end()) {
+        CloseConnection(lp, conn_id, CloseReason::kPeer);
       }
       return;
-    case Connection::ReadResult::kProtocolError: {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.protocol_errors;
-    }
+    case Connection::ReadResult::kProtocolError:
+      Bump(lp.stats.protocol_errors);
       SendError(conn, kConnectionSeq, conn.last_error().code(),
                 conn.last_error().message());
       conn.Flush();
-      CloseConnection(conn_id, CloseReason::kError);
+      CloseConnection(lp, conn_id, CloseReason::kError);
       return;
     case Connection::ReadResult::kIoError:
-      CloseConnection(conn_id, CloseReason::kError);
+      CloseConnection(lp, conn_id, CloseReason::kError);
       return;
   }
-  DrainFrames(conn);
+  DrainFrames(lp, conn);
 }
 
-void NetServer::DrainFrames(Connection& conn) {
+void NetServer::DrainFrames(Loop& lp, Connection& conn) {
   const std::uint64_t conn_id = conn.id();
   while (auto frame = conn.NextFrame()) {
     ++conn.frames_in;
-    HandleFrame(conn, *frame);
+    HandleFrame(lp, conn, *frame);
     // The handler may have dropped the connection (hello mismatch, bad
     // frame); `conn` is dead then.
-    if (connections_.find(conn_id) == connections_.end()) return;
+    if (lp.connections.find(conn_id) == lp.connections.end()) return;
     // Decode latency budget: when the oldest update accumulated this tick
     // has waited past the budget, dispatch what we have instead of
     // delaying the whole batch behind the rest of the round.
-    if (options_.decode_latency_budget_ms > 0.0 && !tick_updates_.empty() &&
-        tick_timer_.ElapsedMillis() > options_.decode_latency_budget_ms) {
-      DispatchPartial();
+    if (options_.decode_latency_budget_ms > 0.0 && !lp.tick_updates.empty() &&
+        lp.tick_timer.ElapsedMillis() > options_.decode_latency_budget_ms) {
+      DispatchPartial(lp);
       // The flush inside may have dropped this connection (write error,
       // hard cap).
-      if (connections_.find(conn_id) == connections_.end()) return;
+      if (lp.connections.find(conn_id) == lp.connections.end()) return;
     }
   }
-  tick_touched_.push_back(conn_id);
+  lp.tick_touched.push_back(conn_id);
 }
 
-void NetServer::HandleFrame(Connection& conn, const Frame& frame) {
+void NetServer::HandleFrame(Loop& lp, Connection& conn, const Frame& frame) {
   // Handshake state machine: HELLO first, then (auth mode) exactly one
   // AUTH, then traffic. Anything out of order is a connection-level error.
   if (conn.awaiting_auth && frame.type != FrameType::kAuth) {
     SendError(conn, kConnectionSeq, ErrorCode::kPermissionDenied,
               "authentication required: answer the HELLO challenge first");
     conn.Flush();
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.auth_rejected;
-    }
-    CloseConnection(conn.id(), CloseReason::kError);
+    Bump(lp.stats.auth_rejected);
+    CloseConnection(lp, conn.id(), CloseReason::kError);
     return;
   }
   if (!conn.handshaken && !conn.awaiting_auth &&
@@ -176,11 +356,8 @@ void NetServer::HandleFrame(Connection& conn, const Frame& frame) {
     SendError(conn, kConnectionSeq, ErrorCode::kFailedPrecondition,
               "first frame must be HELLO");
     conn.Flush();
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.hello_rejected;
-    }
-    CloseConnection(conn.id(), CloseReason::kError);
+    Bump(lp.stats.hello_rejected);
+    CloseConnection(lp, conn.id(), CloseReason::kError);
     return;
   }
   if (conn.handshaken &&
@@ -191,25 +368,22 @@ void NetServer::HandleFrame(Connection& conn, const Frame& frame) {
               std::string(FrameTypeName(frame.type)) +
                   " after handshake completed");
     conn.Flush();
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.hello_rejected;
-    }
-    CloseConnection(conn.id(), CloseReason::kError);
+    Bump(lp.stats.hello_rejected);
+    CloseConnection(lp, conn.id(), CloseReason::kError);
     return;
   }
   switch (frame.type) {
     case FrameType::kHello:
-      HandleHello(conn, frame.payload);
+      HandleHello(lp, conn, frame.payload);
       return;
     case FrameType::kAuth:
-      HandleAuth(conn, frame.payload);
+      HandleAuth(lp, conn, frame.payload);
       return;
     case FrameType::kPositionUpdate:
-      HandlePositionUpdate(conn, frame.payload);
+      HandlePositionUpdate(lp, conn, frame.payload);
       return;
     case FrameType::kReduceRequest:
-      HandleReduceRequest(conn, frame.payload);
+      HandleReduceRequest(lp, conn, frame.payload);
       return;
     default:
       SendError(conn, kConnectionSeq, ErrorCode::kInvalidArgument,
@@ -219,7 +393,7 @@ void NetServer::HandleFrame(Connection& conn, const Frame& frame) {
   }
 }
 
-void NetServer::HandleHello(Connection& conn, const Bytes& payload) {
+void NetServer::HandleHello(Loop& lp, Connection& conn, const Bytes& payload) {
   const auto hello = DecodeHello(payload);
   Status reject = Status::Ok();
   if (!hello.ok()) {
@@ -235,11 +409,8 @@ void NetServer::HandleHello(Connection& conn, const Bytes& payload) {
   if (!reject.ok()) {
     SendError(conn, kConnectionSeq, reject.code(), reject.message());
     conn.Flush();
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.hello_rejected;
-    }
-    CloseConnection(conn.id(), CloseReason::kError);
+    Bump(lp.stats.hello_rejected);
+    CloseConnection(lp, conn.id(), CloseReason::kError);
     return;
   }
   HelloFrame reply{kProtocolVersion, map_fingerprint_, {}};
@@ -249,7 +420,7 @@ void NetServer::HandleHello(Connection& conn, const Bytes& payload) {
   } else {
     // Auth mode: the reply carries the challenge; the connection stays in
     // the awaiting-auth state until a valid AUTH lands.
-    conn.auth_nonce = NextNonce(conn.id());
+    conn.auth_nonce = NextNonce(lp, conn.id());
     conn.awaiting_auth = true;
     reply.nonce = conn.auth_nonce;
   }
@@ -259,7 +430,7 @@ void NetServer::HandleHello(Connection& conn, const Bytes& payload) {
   ++conn.frames_out;
 }
 
-void NetServer::HandleAuth(Connection& conn, const Bytes& payload) {
+void NetServer::HandleAuth(Loop& lp, Connection& conn, const Bytes& payload) {
   const auto auth = DecodeAuth(payload);
   Status reject = Status::Ok();
   if (!auth.ok()) {
@@ -274,32 +445,28 @@ void NetServer::HandleAuth(Connection& conn, const Bytes& payload) {
   if (!reject.ok()) {
     SendError(conn, kConnectionSeq, reject.code(), reject.message());
     conn.Flush();
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.auth_rejected;
-    }
-    CloseConnection(conn.id(), CloseReason::kError);
+    Bump(lp.stats.auth_rejected);
+    CloseConnection(lp, conn.id(), CloseReason::kError);
     return;
   }
   conn.awaiting_auth = false;
   conn.handshaken = true;
   conn.principal = PrincipalToken(auth->principal);
   conn.auth_nonce.clear();
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.auth_ok;
-  }
+  Bump(lp.stats.auth_ok);
   Bytes out;
   AppendAuthOk(out, AuthOkFrame{auth->principal});
   conn.QueueOwned(std::move(out));
   ++conn.frames_out;
 }
 
-Bytes NetServer::NextNonce(std::uint64_t conn_id) {
+Bytes NetServer::NextNonce(Loop& lp, std::uint64_t conn_id) {
   Bytes seed;
   seed.reserve(24);
   PutU64le(seed, nonce_salt_);
-  PutU64le(seed, ++nonce_counter_);
+  PutU64le(seed, ++lp.nonce_counter);
+  // Connection ids are globally unique across loops (per-loop stride), so
+  // two loops sharing a counter value still seed distinct nonces.
   PutU64le(seed, conn_id);
   const crypto::Sha256::Digest digest = crypto::Sha256::Hash(seed);
   return Bytes(digest.begin(), digest.begin() + kAuthNonceBytes);
@@ -312,7 +479,8 @@ core::ContinuousCloak::KeyProvider NetServer::KeyProviderFor(
                                   options_.profile.num_levels());
 }
 
-void NetServer::HandlePositionUpdate(Connection& conn, const Bytes& payload) {
+void NetServer::HandlePositionUpdate(Loop& lp, Connection& conn,
+                                     const Bytes& payload) {
   const auto decoded = DecodePositionUpdate(payload);
   if (!decoded.ok()) {
     // The seq did not survive the decode, so the reply cannot name it:
@@ -345,8 +513,7 @@ void NetServer::HandlePositionUpdate(Connection& conn, const Bytes& payload) {
     if (!state.ok()) {
       SendError(conn, decoded->seq, state.status().code(),
                 state.status().message());
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.ownership_rejected;
+      Bump(lp.stats.ownership_rejected);
       return;
     }
     adoptable = state.value() !=
@@ -363,28 +530,63 @@ void NetServer::HandlePositionUpdate(Connection& conn, const Bytes& payload) {
                                 KeyProviderFor(decoded->user_id),
                                 options_.continuous, decoded->now_s,
                                 conn.principal);
-    if (!tracked.ok()) {
-      SendError(conn, decoded->seq, tracked.status().code(),
-                tracked.status().message());
-      return;
+    if (tracked.ok()) {
+      user = tracked.value();
+    } else {
+      // Two loops can race to first-track one user (two connections on
+      // different loops naming it): the loser adopts the handle the
+      // winner just created — through the same ownership gate — instead
+      // of bouncing the update.
+      bool resolved = false;
+      const auto raced = pool_->UserIdOf(decoded->user_id);
+      if (raced.ok()) {
+        const auto state = pool_->StateOf(raced.value(), conn.principal);
+        if (!state.ok()) {
+          SendError(conn, decoded->seq, state.status().code(),
+                    state.status().message());
+          Bump(lp.stats.ownership_rejected);
+          return;
+        }
+        if (state.value() !=
+            server::ContinuousSessionPool::UserState::kUntracked) {
+          user = raced.value();
+          resolved = true;
+        }
+      }
+      if (!resolved) {
+        SendError(conn, decoded->seq, tracked.status().code(),
+                  tracked.status().message());
+        return;
+      }
     }
-    user = tracked.value();
   }
   PendingUpdate pending;
   pending.update = {user, decoded->now_s, decoded->segment, conn.principal};
   pending.conn_id = conn.id();
   pending.seq = decoded->seq;
   // The decode budget clock starts with the tick's first update.
-  if (tick_updates_.empty()) tick_timer_.Restart();
-  tick_updates_.push_back(pending);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.updates_decoded;
+  if (lp.tick_updates.empty()) lp.tick_timer.Restart();
+  lp.tick_updates.push_back(pending);
+  Bump(lp.stats.updates_decoded);
 }
 
-void NetServer::HandleReduceRequest(Connection& conn, const Bytes& payload) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.reduce_requests;
+void NetServer::HandleReduceRequest(Loop& lp, Connection& conn,
+                                    const Bytes& payload) {
+  Bump(lp.stats.reduce_requests);
+  const std::uint64_t conn_id = conn.id();
+  // Inline reduce work runs on the loop thread, so it shares — and counts
+  // toward — the tick's decode latency budget window: a batch whose
+  // budget is already blown is dispatched BEFORE the reduce runs (queued
+  // updates never wait behind it), and the post-frame check in
+  // DrainFrames accounts for the time the reduce itself consumed.
+  if (!lp.tick_updates.empty()) {
+    Bump(lp.stats.reduce_in_tick);
+    if (options_.decode_latency_budget_ms > 0.0 &&
+        lp.tick_timer.ElapsedMillis() > options_.decode_latency_budget_ms) {
+      DispatchPartial(lp);
+      // The flush inside may have dropped this connection.
+      if (lp.connections.find(conn_id) == lp.connections.end()) return;
+    }
   }
   const auto decoded = DecodeReduceRequest(payload);
   if (!decoded.ok()) {
@@ -398,8 +600,8 @@ void NetServer::HandleReduceRequest(Connection& conn, const Bytes& payload) {
   if (!artifact.ok()) {
     reply.status = artifact.status();
   } else {
-    auto region = deanonymizer_.Reduce(*artifact, decoded->granted_keys,
-                                       decoded->target_level);
+    auto region = lp.deanonymizer.Reduce(*artifact, decoded->granted_keys,
+                                         decoded->target_level);
     if (region.ok()) {
       reply.segments = region->segments_by_id();
     } else {
@@ -413,51 +615,53 @@ void NetServer::HandleReduceRequest(Connection& conn, const Bytes& payload) {
 }
 
 std::shared_ptr<const Bytes> NetServer::EncodeShared(
-    const server::ContinuousSessionPool::SharedArtifact& artifact) {
+    Loop& lp, const server::ContinuousSessionPool::SharedArtifact& artifact) {
   const core::CloakedArtifact* key = artifact.get();
-  const auto it = encoded_.find(key);
-  if (it != encoded_.end()) {
+  const auto it = lp.encoded.find(key);
+  if (it != lp.encoded.end()) {
     // Identity check: the weak_ptr must still resolve to THIS artifact —
     // an expired entry whose address was reused by a new artifact misses.
     if (const auto live = it->second.source.lock(); live.get() == key) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.artifact_cache_hits;
+      Bump(lp.stats.artifact_cache_hits);
       return it->second.wire;
     }
-    encoded_.erase(it);
+    lp.encoded.erase(it);
   }
   auto wire = std::make_shared<const Bytes>(core::EncodeArtifact(*artifact));
   // Opportunistic prune: drop entries whose artifacts are gone before the
-  // table can grow past the fleet's live-artifact count.
-  if (encoded_.size() >= 4096) {
-    for (auto entry = encoded_.begin(); entry != encoded_.end();) {
+  // table can grow past the loop's live-artifact count.
+  if (lp.encoded.size() >= 4096) {
+    for (auto entry = lp.encoded.begin(); entry != lp.encoded.end();) {
       if (entry->second.source.expired()) {
-        entry = encoded_.erase(entry);
+        entry = lp.encoded.erase(entry);
       } else {
         ++entry;
       }
     }
   }
-  encoded_.emplace(key, EncodedEntry{artifact, wire});
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.artifact_cache_misses;
+  lp.encoded.emplace(key, EncodedEntry{artifact, wire});
+  Bump(lp.stats.artifact_cache_misses);
   return wire;
 }
 
-void NetServer::DispatchBatch() {
+void NetServer::DispatchBatch(Loop& lp) {
   std::vector<server::ContinuousSessionPool::IdPositionUpdate> updates;
-  updates.reserve(tick_updates_.size());
-  for (const PendingUpdate& pending : tick_updates_) {
+  updates.reserve(lp.tick_updates.size());
+  for (const PendingUpdate& pending : lp.tick_updates) {
     updates.push_back(pending.update);
   }
+  // N loops call into the pool concurrently here; the pool's shard locks
+  // and per-user purity make the concurrent rounds safe and the replies
+  // byte-exact (a user's stream arrives on one pinned connection, so its
+  // updates never straddle two loops' batches out of order).
   const auto results = pool_->UpdateBatch(updates);
   for (std::size_t i = 0; i < results.size(); ++i) {
-    const PendingUpdate& pending = tick_updates_[i];
-    const auto it = connections_.find(pending.conn_id);
-    if (it == connections_.end()) continue;  // dropped mid-tick
+    const PendingUpdate& pending = lp.tick_updates[i];
+    const auto it = lp.connections.find(pending.conn_id);
+    if (it == lp.connections.end()) continue;  // dropped mid-tick
     Connection& conn = *it->second;
     if (results[i].ok()) {
-      const auto wire = EncodeShared(results[i].value());
+      const auto wire = EncodeShared(lp, results[i].value());
       conn.QueueOwned(ArtifactReplyPrefix(pending.seq, wire->size()));
       conn.QueueShared(wire);
     } else {
@@ -467,69 +671,65 @@ void NetServer::DispatchBatch() {
     }
     ++conn.frames_out;
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.batches;
-  if (tick_updates_.size() > stats_.largest_batch) {
-    stats_.largest_batch = tick_updates_.size();
+  Bump(lp.stats.batches);
+  if (lp.tick_updates.size() >
+      lp.stats.largest_batch.load(std::memory_order_relaxed)) {
+    lp.stats.largest_batch.store(lp.tick_updates.size(),
+                                 std::memory_order_relaxed);
   }
-  tick_updates_.clear();
+  lp.tick_updates.clear();
 }
 
-void NetServer::DispatchPartial() {
+void NetServer::DispatchPartial(Loop& lp) {
   // Snapshot the reply targets before DispatchBatch clears the tick, then
   // flush them immediately — the point of the early dispatch is that
   // these replies leave NOW, not after the remaining connections drain.
   std::vector<std::uint64_t> touched;
-  touched.reserve(tick_updates_.size());
-  for (const PendingUpdate& pending : tick_updates_) {
+  touched.reserve(lp.tick_updates.size());
+  for (const PendingUpdate& pending : lp.tick_updates) {
     touched.push_back(pending.conn_id);
   }
-  DispatchBatch();
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.partial_dispatches;
-  }
+  DispatchBatch(lp);
+  Bump(lp.stats.partial_dispatches);
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
   for (const std::uint64_t conn_id : touched) {
-    const auto it = connections_.find(conn_id);
-    if (it != connections_.end()) FlushAndUpdate(*it->second);
+    const auto it = lp.connections.find(conn_id);
+    if (it != lp.connections.end()) FlushAndUpdate(lp, *it->second);
   }
 }
 
-void NetServer::UpdateInterest(Connection& conn, bool want_write) {
+void NetServer::UpdateInterest(Loop& lp, Connection& conn, bool want_write) {
   std::uint32_t interest = 0;
   if (!conn.reading_paused) interest |= EventLoop::kReadable;
   if (want_write) interest |= EventLoop::kWritable;
   conn.write_armed = want_write;
-  (void)loop_.Modify(conn.loop_token, interest);
+  (void)lp.loop.Modify(conn.loop_token, interest);
 }
 
-void NetServer::FlushAndUpdate(Connection& conn) {
+void NetServer::FlushAndUpdate(Loop& lp, Connection& conn) {
   const auto result = conn.Flush();
   if (result == Connection::FlushResult::kError) {
-    CloseConnection(conn.id(), CloseReason::kError);
+    CloseConnection(lp, conn.id(), CloseReason::kError);
     return;
   }
   if (conn.over_hard_cap()) {
-    CloseConnection(conn.id(), CloseReason::kBackpressure);
+    CloseConnection(lp, conn.id(), CloseReason::kBackpressure);
     return;
   }
   bool interest_dirty = false;
   if (!conn.reading_paused && conn.over_soft_budget()) {
     conn.reading_paused = true;
     interest_dirty = true;
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.reads_paused;
+    Bump(lp.stats.reads_paused);
   } else if (conn.reading_paused && conn.below_resume_mark()) {
     conn.reading_paused = false;
     interest_dirty = true;
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.reads_resumed;
+    Bump(lp.stats.reads_resumed);
   }
   const bool want_write = result == Connection::FlushResult::kBlocked;
   if (interest_dirty || want_write != conn.write_armed) {
-    UpdateInterest(conn, want_write);
+    UpdateInterest(lp, conn, want_write);
   }
 }
 
@@ -541,52 +741,49 @@ void NetServer::SendError(Connection& conn, std::uint32_t seq, ErrorCode code,
   ++conn.frames_out;
 }
 
-void NetServer::CloseConnection(std::uint64_t conn_id, CloseReason reason) {
-  const auto it = connections_.find(conn_id);
-  if (it == connections_.end()) return;
+void NetServer::CloseConnection(Loop& lp, std::uint64_t conn_id,
+                                CloseReason reason) {
+  const auto it = lp.connections.find(conn_id);
+  if (it == lp.connections.end()) return;
   Connection& conn = *it->second;
-  loop_.Remove(conn.loop_token);
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    --stats_.connections_active;
-    switch (reason) {
-      case CloseReason::kPeer:
-        ++stats_.connections_closed_peer;
-        break;
-      case CloseReason::kError:
-        ++stats_.connections_dropped_error;
-        break;
-      case CloseReason::kBackpressure:
-        ++stats_.connections_dropped_backpressure;
-        break;
-    }
+  lp.loop.Remove(conn.loop_token);
+  lp.stats.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  switch (reason) {
+    case CloseReason::kPeer:
+      Bump(lp.stats.connections_closed_peer);
+      break;
+    case CloseReason::kError:
+      Bump(lp.stats.connections_dropped_error);
+      break;
+    case CloseReason::kBackpressure:
+      Bump(lp.stats.connections_dropped_backpressure);
+      break;
   }
-  closed_bytes_in_ += conn.bytes_in;
-  closed_bytes_out_ += conn.bytes_out;
-  closed_frames_in_ += conn.frames_in;
-  closed_frames_out_ += conn.frames_out;
-  connections_.erase(it);  // Connection dtor closes the fd
+  lp.closed_bytes_in += conn.bytes_in;
+  lp.closed_bytes_out += conn.bytes_out;
+  lp.closed_frames_in += conn.frames_in;
+  lp.closed_frames_out += conn.frames_out;
+  lp.connections.erase(it);  // Connection dtor closes the fd
 }
 
-void NetServer::RefreshTrafficStats() {
+void NetServer::RefreshTrafficStats(Loop& lp) {
   // Traffic counters live on the connections (loop-thread-only); publish
   // closed + live totals once per loop round so stats() readers see the
   // in-flight traffic, not just what already disconnected.
-  std::uint64_t bytes_in = closed_bytes_in_;
-  std::uint64_t bytes_out = closed_bytes_out_;
-  std::uint64_t frames_in = closed_frames_in_;
-  std::uint64_t frames_out = closed_frames_out_;
-  for (const auto& [id, conn] : connections_) {
+  std::uint64_t bytes_in = lp.closed_bytes_in;
+  std::uint64_t bytes_out = lp.closed_bytes_out;
+  std::uint64_t frames_in = lp.closed_frames_in;
+  std::uint64_t frames_out = lp.closed_frames_out;
+  for (const auto& [id, conn] : lp.connections) {
     bytes_in += conn->bytes_in;
     bytes_out += conn->bytes_out;
     frames_in += conn->frames_in;
     frames_out += conn->frames_out;
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.bytes_in = bytes_in;
-  stats_.bytes_out = bytes_out;
-  stats_.frames_in = frames_in;
-  stats_.frames_out = frames_out;
+  lp.stats.bytes_in.store(bytes_in, std::memory_order_relaxed);
+  lp.stats.bytes_out.store(bytes_out, std::memory_order_relaxed);
+  lp.stats.frames_in.store(frames_in, std::memory_order_relaxed);
+  lp.stats.frames_out.store(frames_out, std::memory_order_relaxed);
 }
 
 }  // namespace rcloak::net

@@ -1,27 +1,45 @@
-// The networked front door: one epoll event-loop thread turning framed
-// position updates off TCP sockets into ContinuousSessionPool batches.
+// The networked front door: a pool of epoll event-loop threads turning
+// framed position updates off TCP sockets into ContinuousSessionPool
+// batches.
 //
 // The perf-relevant shape (measured by bench/bench_e23_net.cpp):
 //
-//   * Per-tick batch formation. One PollOnce round drains every readable
-//     connection; every POSITION_UPDATE decoded anywhere in the round is
-//     accumulated and handed to the pool as ONE UpdateBatch call on the
-//     id path — the wire front door rides the same classify/re-cloak/
-//     commit machinery (and the same determinism pin) as in-process
-//     callers, paying the batch setup once per tick, not per frame.
+//   * N independent loops (`loop_threads`). Each loop owns its own epoll
+//     fd, eventfd wakeup, acceptor on a shared SO_REUSEPORT listening
+//     socket (the kernel shards incoming connections across the loops;
+//     when SO_REUSEPORT binding is unavailable, loop 0 accepts alone and
+//     round-robin-hands fds to the other loops through their eventfd-
+//     signaled inboxes), connection map, frame-reassembly buffers, tick
+//     accumulator, artifact-encode cache and reduce Deanonymizer session.
+//     Zero cross-loop locks on the steady path: a connection is pinned to
+//     the loop that owns it for its whole lifetime, so a user's update
+//     stream (one connection) stays ordered and its artifact bytes stay
+//     byte-identical at any loop count (pinned at 1/2/4 loops in
+//     tests/net_test.cc and bench_e23 --verify).
+//   * Per-tick batch formation, per loop. One PollOnce round drains every
+//     readable connection on that loop; every POSITION_UPDATE decoded in
+//     the round is accumulated and handed to the pool as ONE UpdateBatch
+//     call on the id path. N loops drive the pool's sharded/work-stealing
+//     machinery concurrently — the pool's shard locks and per-user
+//     determinism make the concurrent batches safe and byte-exact.
 //   * Allocation-free decode on the steady path: the decoded user id is a
 //     view into the frame payload, interned once (UserIdOf is a shared-
 //     lock find), and the update travels as IdPositionUpdate — no
 //     std::string materializes per update.
 //   * Zero-copy replies. An artifact in force is EncodeArtifact'd once
-//     into a refcounted buffer (cache keyed by artifact identity) and
-//     queued BY REFERENCE on every connection it is served to; the
-//     vectored write joins the owned frame prefix and the shared body on
-//     the wire. Serving the same artifact to 10k connections costs one
-//     encode, zero body copies.
+//     per loop into a refcounted buffer (cache keyed by artifact
+//     identity) and queued BY REFERENCE on every connection it is served
+//     to; the vectored write joins the owned frame prefix and the shared
+//     body on the wire.
 //   * Syscall batching: reads drain to EAGAIN, writes go through
 //     sendmsg(iovec[64]), EPOLLOUT is registered only while a write queue
 //     is non-empty.
+//
+// Statistics: every counter lives in a per-loop block of relaxed atomics
+// written only by the owning loop thread (morally plain u64s; the atomics
+// exist so stats() can sum the blocks from any thread without a lock on
+// the steady path). `connections_active` stays a coherent gauge because
+// each loop only moves its own share.
 //
 // Backpressure: a connection whose write queue passes the soft budget
 // stops being read (EPOLLIN off) until it drains below half the budget; a
@@ -38,7 +56,8 @@
 // auto-tracks unknown users under the server's profile and a
 // deterministic per-user key provider, so a fleet driver is just
 // "connect, hello, stream updates". REDUCE_REQUEST runs inline on the
-// loop thread through a context-sharing Deanonymizer.
+// owning loop thread through that loop's context-sharing Deanonymizer and
+// counts toward the loop's decode latency budget window.
 #pragma once
 
 #include <atomic>
@@ -71,6 +90,14 @@ struct NetServerOptions {
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;  // 0 = ephemeral; read back via port()
 
+  // Event-loop threads fronting the pool. 1 (default) is the single-loop
+  // behavior of every earlier protocol pin, byte-for-byte. N > 1 shards
+  // the whole wire path — accept, decode, batch dispatch, reply encode,
+  // inline reduce — across N independent loops with no cross-loop locks;
+  // per-user ordering is preserved because a connection is pinned to one
+  // loop for life.
+  int loop_threads = 1;
+
   // Session parameters applied when a POSITION_UPDATE names an untracked
   // user (the auto-track path).
   core::PrivacyProfile profile = core::PrivacyProfile(
@@ -92,19 +119,20 @@ struct NetServerOptions {
   Bytes auth_secret;
 
   ConnectionLimits limits;
-  // Poll timeout while idle; Stop() wakes the loop, so this only bounds
+  // Poll timeout while idle; Stop() wakes every loop, so this only bounds
   // shutdown latency when the eventfd write itself is lost (it is not).
   int poll_timeout_ms = 100;
-  // Latency budget on one tick's decode round, measured from the moment
-  // the tick's FIRST update is decoded. When a decode round runs past it
-  // (a burst of readable connections, a slow restore mid-drain), the
-  // accumulated batch is dispatched and flushed EARLY instead of waiting
-  // for the round to finish — the first updates in the tick are never
-  // delayed by the last connections drained. 0 (default) = one dispatch
-  // per tick, the original behavior. Replies are byte-identical either
-  // way: artifacts are a pure function of each user's own update
-  // sequence, and a partial dispatch never reorders a user's updates
-  // (pinned in tests/net_test.cc).
+  // Latency budget on one tick's decode round, applied PER LOOP and
+  // measured from the moment the loop's tick decodes its FIRST update.
+  // When a decode round runs past it (a burst of readable connections, a
+  // slow restore mid-drain, an inline REDUCE_REQUEST — reduce work counts
+  // toward the window, and an already-blown budget dispatches the pending
+  // batch before the reduce runs), the accumulated batch is dispatched
+  // and flushed EARLY instead of waiting for the round to finish. 0
+  // (default) = one dispatch per tick, the original behavior. Replies are
+  // byte-identical either way: artifacts are a pure function of each
+  // user's own update sequence, and a partial dispatch never reorders a
+  // user's updates (pinned in tests/net_test.cc).
   double decode_latency_budget_ms = 0.0;
 };
 
@@ -114,6 +142,9 @@ struct NetServerStats {
   std::uint64_t connections_closed_peer = 0;
   std::uint64_t connections_dropped_error = 0;
   std::uint64_t connections_dropped_backpressure = 0;
+  // Accepted fds handed from loop 0 to another loop's inbox (only the
+  // non-SO_REUSEPORT fallback accept path; 0 when the kernel shards).
+  std::uint64_t accept_handoffs = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t hello_rejected = 0;
   // Challenge-response outcomes (auth mode only).
@@ -129,8 +160,12 @@ struct NetServerStats {
   std::uint64_t frames_out = 0;
   std::uint64_t updates_decoded = 0;
   std::uint64_t reduce_requests = 0;
+  // Subset of `reduce_requests` that ran while the loop already had a
+  // tick batch pending — inline reduce work that shares (and counts
+  // toward) the decode latency budget window.
+  std::uint64_t reduce_in_tick = 0;
   // Batch formation: ticks that carried at least one update, and the
-  // largest single-tick batch handed to the pool.
+  // largest single-tick batch handed to the pool (max over loops).
   std::uint64_t batches = 0;
   std::uint64_t largest_batch = 0;
   // Subset of `batches` dispatched mid-tick by the decode latency budget.
@@ -157,14 +192,24 @@ class NetServer {
   NetServer(const NetServer&) = delete;
   NetServer& operator=(const NetServer&) = delete;
 
-  // Binds, then runs the event loop on a dedicated thread.
+  // Binds the shared listening address, then runs one event loop per
+  // `loop_threads` on dedicated threads.
   Status Start();
-  // Idempotent; joins the loop thread and closes every connection.
+  // Idempotent; fans a shutdown wake across every loop, joins them all
+  // and closes every connection (queued bytes best-effort flushed).
   void Stop();
 
   std::uint16_t port() const noexcept { return port_; }
   std::uint64_t map_fingerprint() const noexcept { return map_fingerprint_; }
+  int loop_count() const noexcept { return static_cast<int>(loops_.size()); }
+  // True when every loop owns its own SO_REUSEPORT acceptor (set by
+  // Start(); false before Start and in the round-robin fallback).
+  bool accept_sharded() const noexcept { return accept_sharded_; }
+  // Aggregated over the per-loop stat blocks.
   NetServerStats stats() const;
+  // One snapshot per loop, same fields — the per-loop update share for
+  // benches and ops dashboards.
+  std::vector<NetServerStats> per_loop_stats() const;
 
  private:
   struct PendingUpdate {
@@ -181,77 +226,147 @@ class NetServer {
     std::shared_ptr<const Bytes> wire;
   };
 
-  void Loop();
-  void OnAcceptable();
-  void OnConnectionEvent(std::uint64_t conn_id, std::uint32_t ready);
+  // One loop's statistics block. Every field is written only by the
+  // owning loop thread; the relaxed atomics exist solely so stats() can
+  // read the block from another thread without tearing — there is no
+  // cross-loop contention and no lock.
+  struct LoopStats {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_active{0};
+    std::atomic<std::uint64_t> connections_closed_peer{0};
+    std::atomic<std::uint64_t> connections_dropped_error{0};
+    std::atomic<std::uint64_t> connections_dropped_backpressure{0};
+    std::atomic<std::uint64_t> accept_handoffs{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> hello_rejected{0};
+    std::atomic<std::uint64_t> auth_ok{0};
+    std::atomic<std::uint64_t> auth_rejected{0};
+    std::atomic<std::uint64_t> ownership_rejected{0};
+    std::atomic<std::uint64_t> bytes_in{0};
+    std::atomic<std::uint64_t> bytes_out{0};
+    std::atomic<std::uint64_t> frames_in{0};
+    std::atomic<std::uint64_t> frames_out{0};
+    std::atomic<std::uint64_t> updates_decoded{0};
+    std::atomic<std::uint64_t> reduce_requests{0};
+    std::atomic<std::uint64_t> reduce_in_tick{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> largest_batch{0};
+    std::atomic<std::uint64_t> partial_dispatches{0};
+    std::atomic<std::uint64_t> artifact_cache_hits{0};
+    std::atomic<std::uint64_t> artifact_cache_misses{0};
+    std::atomic<std::uint64_t> reads_paused{0};
+    std::atomic<std::uint64_t> reads_resumed{0};
+  };
+
+  // Everything one event loop owns. No other loop thread ever touches a
+  // Loop's members, with two deliberate exceptions: `inbox`/`inbox_mutex`
+  // (the fallback accept handoff, written by loop 0, drained by the
+  // owner) and the relaxed-atomic `stats` block (read by stats()).
+  struct Loop {
+    Loop(std::uint32_t index, std::uint32_t stride,
+         std::shared_ptr<const core::MapContext> ctx)
+        : index(index),
+          next_conn_id(index + 1),
+          conn_id_stride(stride),
+          deanonymizer(std::move(ctx)) {}
+
+    const std::uint32_t index;
+    EventLoop loop;
+    std::unique_ptr<Acceptor> acceptor;  // null on loops 1.. in fallback
+    std::thread thread;
+
+    // Loop-thread state. Connection ids are globally unique: loop k mints
+    // index+1, index+1+stride, ... so a reply or close can always be
+    // attributed to its owning loop.
+    std::uint64_t next_conn_id;
+    const std::uint64_t conn_id_stride;
+    std::uint64_t nonce_counter = 0;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Connection>>
+        connections;
+    std::vector<PendingUpdate> tick_updates;
+    // Restarted when a tick's first update lands in tick_updates — the
+    // decode budget bounds how long that first update waits, not how long
+    // the loop sat idle in epoll_wait.
+    Stopwatch tick_timer;
+    std::vector<std::uint64_t> tick_touched;
+    std::unordered_map<const core::CloakedArtifact*, EncodedEntry> encoded;
+    // Per-loop reduce session: REDUCE_REQUEST runs inline on the loop
+    // thread, so each loop carries its own context-sharing Deanonymizer.
+    core::Deanonymizer deanonymizer;
+    // Traffic from connections that already closed (live connections are
+    // summed on top by RefreshTrafficStats).
+    std::uint64_t closed_bytes_in = 0;
+    std::uint64_t closed_bytes_out = 0;
+    std::uint64_t closed_frames_in = 0;
+    std::uint64_t closed_frames_out = 0;
+
+    // Fallback accept handoff: loop 0 pushes accepted fds here and wakes
+    // the loop; the owner adopts them at the top of its next round.
+    std::mutex inbox_mutex;
+    std::vector<int> inbox;
+
+    LoopStats stats;
+  };
+
+  void LoopMain(Loop& lp);
+  void OnAcceptable(Loop& lp);
+  // Registers an accepted fd as a connection owned by `lp`.
+  void AdoptFd(Loop& lp, int fd);
+  // Adopts any fds loop 0 handed over since the last round.
+  void DrainInbox(Loop& lp);
+  void OnConnectionEvent(Loop& lp, std::uint64_t conn_id, std::uint32_t ready);
   // Decodes every complete frame buffered on `conn`; position updates land
-  // in tick_updates_, everything else is handled inline.
-  void DrainFrames(Connection& conn);
-  void HandleFrame(Connection& conn, const Frame& frame);
-  void HandleHello(Connection& conn, const Bytes& payload);
-  void HandleAuth(Connection& conn, const Bytes& payload);
-  void HandlePositionUpdate(Connection& conn, const Bytes& payload);
-  void HandleReduceRequest(Connection& conn, const Bytes& payload);
-  // End-of-tick: one pool.UpdateBatch over tick_updates_, replies queued
+  // in lp.tick_updates, everything else is handled inline.
+  void DrainFrames(Loop& lp, Connection& conn);
+  void HandleFrame(Loop& lp, Connection& conn, const Frame& frame);
+  void HandleHello(Loop& lp, Connection& conn, const Bytes& payload);
+  void HandleAuth(Loop& lp, Connection& conn, const Bytes& payload);
+  void HandlePositionUpdate(Loop& lp, Connection& conn, const Bytes& payload);
+  void HandleReduceRequest(Loop& lp, Connection& conn, const Bytes& payload);
+  // End-of-tick: one pool.UpdateBatch over lp.tick_updates, replies queued
   // per connection, every touched connection flushed once.
-  void DispatchBatch();
+  void DispatchBatch(Loop& lp);
   // Mid-tick early dispatch (decode_latency_budget_ms exceeded): runs
   // DispatchBatch over what accumulated so far and flushes the touched
   // connections immediately, so their replies leave before the rest of
   // the round is drained.
-  void DispatchPartial();
+  void DispatchPartial(Loop& lp);
   // Flush + EPOLLOUT/backpressure bookkeeping for one connection.
-  void FlushAndUpdate(Connection& conn);
-  void UpdateInterest(Connection& conn, bool want_write);
+  void FlushAndUpdate(Loop& lp, Connection& conn);
+  void UpdateInterest(Loop& lp, Connection& conn, bool want_write);
   // Shared encode of the artifact in force (cache hit on identity).
   std::shared_ptr<const Bytes> EncodeShared(
-      const server::ContinuousSessionPool::SharedArtifact& artifact);
+      Loop& lp, const server::ContinuousSessionPool::SharedArtifact& artifact);
   void SendError(Connection& conn, std::uint32_t seq, ErrorCode code,
                  std::string message);
   enum class CloseReason : std::uint8_t { kPeer, kError, kBackpressure };
-  void CloseConnection(std::uint64_t conn_id, CloseReason reason);
-  // Publishes closed + live traffic totals into stats_ (loop thread only).
-  void RefreshTrafficStats();
+  void CloseConnection(Loop& lp, std::uint64_t conn_id, CloseReason reason);
+  // Publishes closed + live traffic totals into lp.stats (loop thread
+  // only).
+  void RefreshTrafficStats(Loop& lp);
+  NetServerStats SnapshotLoop(const Loop& lp) const;
   core::ContinuousCloak::KeyProvider KeyProviderFor(std::string_view user);
-  // Fresh unpredictable challenge (loop thread only).
-  Bytes NextNonce(std::uint64_t conn_id);
+  // Fresh unpredictable challenge (owning loop thread only; conn ids are
+  // globally unique, so challenges never collide across loops).
+  Bytes NextNonce(Loop& lp, std::uint64_t conn_id);
 
   server::ContinuousSessionPool* pool_;
   NetServerOptions options_;
-  core::Deanonymizer deanonymizer_;
   std::uint64_t map_fingerprint_ = 0;
   std::size_t segment_count_ = 0;
 
-  EventLoop loop_;
-  std::unique_ptr<Acceptor> acceptor_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  bool accept_sharded_ = false;
+  // Round-robin cursor for the fallback handoff; loop 0's thread only.
+  std::uint64_t accept_rr_ = 0;
   std::uint16_t port_ = 0;
-  std::thread thread_;
   std::atomic<bool> running_{false};
 
-  // Loop-thread state (no locks: only Loop() touches these).
-  std::uint64_t next_conn_id_ = 1;
   // Nonce generation: random per-server salt (std::random_device at
-  // construction) hashed with a counter, so challenges never repeat and
-  // are not predictable from earlier ones.
+  // construction) hashed with a per-loop counter and the globally unique
+  // connection id, so challenges never repeat and are not predictable
+  // from earlier ones.
   std::uint64_t nonce_salt_ = 0;
-  std::uint64_t nonce_counter_ = 0;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
-  std::vector<PendingUpdate> tick_updates_;
-  // Restarted when a tick's first update lands in tick_updates_ — the
-  // decode budget bounds how long that first update waits, not how long
-  // the loop sat idle in epoll_wait.
-  Stopwatch tick_timer_;
-  std::vector<std::uint64_t> tick_touched_;
-  std::unordered_map<const core::CloakedArtifact*, EncodedEntry> encoded_;
-  // Traffic from connections that already closed (live connections are
-  // summed on top by RefreshTrafficStats).
-  std::uint64_t closed_bytes_in_ = 0;
-  std::uint64_t closed_bytes_out_ = 0;
-  std::uint64_t closed_frames_in_ = 0;
-  std::uint64_t closed_frames_out_ = 0;
-
-  mutable std::mutex stats_mutex_;
-  NetServerStats stats_;
 };
 
 }  // namespace rcloak::net

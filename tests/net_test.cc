@@ -7,9 +7,12 @@
 // server workers + client driver).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "crypto/sha256.h"
@@ -247,7 +250,7 @@ struct LoopbackRig {
 
 LoopbackRig StartLoopback(const RoadNetwork& net, int workers,
                           double decode_budget_ms = 0.0,
-                          const Bytes& auth_secret = {}) {
+                          const Bytes& auth_secret = {}, int loops = 1) {
   LoopbackRig rig;
   rig.ctx = core::MapContext::Create(net);
   core::Anonymizer engine(rig.ctx, OnePerSegment(net));
@@ -261,6 +264,7 @@ LoopbackRig StartLoopback(const RoadNetwork& net, int workers,
   options.poll_timeout_ms = 5;
   options.decode_latency_budget_ms = decode_budget_ms;
   options.auth_secret = auth_secret;
+  options.loop_threads = loops;
   rig.front = std::make_unique<net::NetServer>(*rig.pool, options);
   EXPECT_TRUE(rig.front->Start().ok());
   return rig;
@@ -610,6 +614,326 @@ TEST(NetServerTest, SpilledUserAdoptedOnReconnect) {
   const auto expected = drive(*client, 0, 10);
   EXPECT_EQ(served, expected);
   std::remove(spill_path.c_str());
+}
+
+// ------------------------------------------------------------ multi-loop
+
+// The multi-loop pin: the front door sharded across 1, 2 and 4 event
+// loops — open mode and auth mode — serves per-user artifact SHA
+// sequences identical to driving the pool directly. Sharding moves
+// connections between threads, never bytes.
+TEST(NetServerTest, MultiLoopWireByteIdenticalAtOneTwoFourLoops) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  constexpr int kConns = 6;
+  constexpr int kUsersPerConn = 2;
+  constexpr int kTicks = 6;
+  constexpr std::uint32_t kUsers = kConns * kUsersPerConn;
+  const Bytes secret{'m', 'l', 'o', 'o', 'p'};
+  const auto position = [&net](std::uint32_t user, int tick) {
+    return SegmentId{(user * 19 + static_cast<std::uint32_t>(tick) * 7) %
+                     static_cast<std::uint32_t>(net.segment_count())};
+  };
+  const auto name = [](std::uint32_t user) {
+    return "m" + std::to_string(user);
+  };
+
+  // The oracle: direct pool, same schedule, no wire.
+  const net::NetServerOptions defaults;
+  const auto ctx = core::MapContext::Create(net);
+  std::map<std::string, std::vector<std::string>> direct_seqs;
+  {
+    core::Anonymizer engine(ctx, OnePerSegment(net));
+    AnonymizationServer direct_server(std::move(engine), {});
+    ContinuousSessionPool direct(direct_server);
+    std::vector<util::UserId> ids(kUsers);
+    for (std::uint32_t u = 0; u < kUsers; ++u) {
+      auto tracked = direct.Track(
+          name(u), defaults.profile, defaults.algorithm,
+          net::DeterministicKeyProvider(defaults.key_seed_base, name(u),
+                                        defaults.profile.num_levels()),
+          defaults.continuous);
+      ASSERT_TRUE(tracked.ok());
+      ids[u] = *tracked;
+    }
+    for (int t = 0; t < kTicks; ++t) {
+      std::vector<ContinuousSessionPool::IdPositionUpdate> batch;
+      for (std::uint32_t u = 0; u < kUsers; ++u) {
+        batch.push_back({ids[u], static_cast<double>(t), position(u, t)});
+      }
+      auto results = direct.UpdateBatch(batch);
+      for (std::uint32_t u = 0; u < kUsers; ++u) {
+        ASSERT_TRUE(results[u].ok());
+        direct_seqs[name(u)].push_back(
+            Sha(core::EncodeArtifact(**results[u])));
+      }
+    }
+  }
+
+  for (const bool auth : {false, true}) {
+    for (const int loops : {1, 2, 4}) {
+      auto rig = StartLoopback(net, /*workers=*/2, 0.0,
+                               auth ? secret : Bytes{}, loops);
+      ASSERT_EQ(rig.front->loop_count(), loops);
+      std::vector<net::Client> clients;
+      for (int c = 0; c < kConns; ++c) {
+        auto client = net::Client::Connect("127.0.0.1", rig.front->port());
+        ASSERT_TRUE(client.ok());
+        // Auth mode: one principal per connection; each user is driven by
+        // exactly one connection, so ownership never rejects.
+        const auto hello =
+            auth ? client->Hello(rig.front->map_fingerprint(),
+                                 "conn" + std::to_string(c), secret)
+                 : client->Hello(rig.front->map_fingerprint());
+        ASSERT_TRUE(hello.ok()) << hello.ToString();
+        clients.push_back(std::move(client).value());
+      }
+
+      std::map<std::string, std::vector<std::string>> wire_seqs;
+      for (int t = 0; t < kTicks; ++t) {
+        for (int c = 0; c < kConns; ++c) {
+          for (int k = 0; k < kUsersPerConn; ++k) {
+            const std::uint32_t user =
+                static_cast<std::uint32_t>(c * kUsersPerConn + k);
+            clients[static_cast<std::size_t>(c)].QueuePositionUpdate(
+                static_cast<std::uint32_t>(t * 100 +
+                                           static_cast<int>(user)),
+                name(user), static_cast<double>(t), position(user, t));
+          }
+          ASSERT_TRUE(clients[static_cast<std::size_t>(c)].Flush().ok());
+        }
+        for (int c = 0; c < kConns; ++c) {
+          for (int k = 0; k < kUsersPerConn; ++k) {
+            const auto reply =
+                clients[static_cast<std::size_t>(c)].ReadArtifactReply();
+            ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+            const std::uint32_t user =
+                static_cast<std::uint32_t>(c * kUsersPerConn + k);
+            ASSERT_EQ(reply->seq,
+                      static_cast<std::uint32_t>(t * 100 +
+                                                 static_cast<int>(user)));
+            wire_seqs[name(user)].push_back(Sha(reply->artifact_wire));
+          }
+        }
+      }
+      clients.clear();
+      rig.front->Stop();
+      EXPECT_EQ(wire_seqs, direct_seqs)
+          << "loops=" << loops << " auth=" << auth;
+
+      // The per-loop blocks must agree with the aggregate.
+      const auto total = rig.front->stats();
+      EXPECT_EQ(total.updates_decoded,
+                static_cast<std::uint64_t>(kUsers) * kTicks);
+      std::uint64_t summed = 0;
+      for (const auto& per : rig.front->per_loop_stats()) {
+        summed += per.updates_decoded;
+      }
+      EXPECT_EQ(summed, total.updates_decoded);
+    }
+  }
+}
+
+// Per-user ordering under sharding: one user pipelining a long burst over
+// its single (loop-pinned) connection gets replies strictly in send order
+// and byte-identical to the direct pool fed the same sequence one update
+// at a time.
+TEST(NetServerTest, MultiLoopSingleConnectionPreservesUserOrder) {
+  const RoadNetwork net = roadnet::MakeGrid({10, 10, 100.0});
+  constexpr int kUpdates = 60;
+  const auto position = [&net](int i) {
+    return SegmentId{(3u + static_cast<std::uint32_t>(i) * 29u) %
+                     static_cast<std::uint32_t>(net.segment_count())};
+  };
+
+  auto rig = StartLoopback(net, /*workers=*/2, 0.0, {}, /*loops=*/4);
+  auto client = net::Client::Connect("127.0.0.1", rig.front->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello().ok());
+  // One flush for the whole burst: the updates arrive as one byte stream
+  // and may be split across many decode rounds and partial batches, but
+  // never across loops.
+  for (int i = 0; i < kUpdates; ++i) {
+    client->QueuePositionUpdate(static_cast<std::uint32_t>(i + 1), "solo",
+                                static_cast<double>(i), position(i));
+  }
+  ASSERT_TRUE(client->Flush().ok());
+  std::vector<std::string> wire_hashes;
+  for (int i = 0; i < kUpdates; ++i) {
+    const auto reply = client->ReadArtifactReply();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_EQ(reply->seq, static_cast<std::uint32_t>(i + 1));  // in order
+    wire_hashes.push_back(Sha(reply->artifact_wire));
+  }
+  rig.front->Stop();
+
+  const net::NetServerOptions defaults;
+  core::Anonymizer engine(rig.ctx, OnePerSegment(net));
+  AnonymizationServer direct_server(std::move(engine), {});
+  ContinuousSessionPool direct(direct_server);
+  auto tracked = direct.Track(
+      "solo", defaults.profile, defaults.algorithm,
+      net::DeterministicKeyProvider(defaults.key_seed_base, "solo",
+                                    defaults.profile.num_levels()),
+      defaults.continuous);
+  ASSERT_TRUE(tracked.ok());
+  std::vector<std::string> direct_hashes;
+  for (int i = 0; i < kUpdates; ++i) {
+    std::vector<ContinuousSessionPool::IdPositionUpdate> batch;
+    batch.push_back({*tracked, static_cast<double>(i), position(i)});
+    auto results = direct.UpdateBatch(batch);
+    ASSERT_TRUE(results[0].ok());
+    direct_hashes.push_back(Sha(core::EncodeArtifact(**results[0])));
+  }
+  EXPECT_EQ(wire_hashes, direct_hashes);
+}
+
+// Connect/disconnect churn across loops, under TSAN: driver threads
+// hammer the sharded accept path, half the connections vanish abruptly
+// with replies still unread (RST teardown), and the bookkeeping must
+// balance — every accepted connection is closed exactly once, none
+// survives Stop().
+TEST(NetServerTest, MultiLoopConnectDisconnectChurn) {
+  const RoadNetwork net = roadnet::MakeGrid({8, 8, 100.0});
+  auto rig = StartLoopback(net, /*workers=*/2, 0.0, {}, /*loops=*/4);
+  const std::uint16_t port = rig.front->port();
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 12;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(kThreads);
+  for (int d = 0; d < kThreads; ++d) {
+    drivers.emplace_back([d, port, &failures, &net] {
+      for (int i = 0; i < kIterations; ++i) {
+        auto client = net::Client::Connect("127.0.0.1", port);
+        if (!client.ok()) {
+          ++failures;
+          continue;
+        }
+        if (!client->Hello().ok()) {
+          ++failures;
+          continue;
+        }
+        const std::string user =
+            "churn" + std::to_string(d) + "_" + std::to_string(i);
+        client->QueuePositionUpdate(1, user, 0.0, SegmentId{3});
+        client->QueuePositionUpdate(
+            2, user, 1.0,
+            SegmentId{static_cast<std::uint32_t>(i) %
+                      static_cast<std::uint32_t>(net.segment_count())});
+        if (!client->Flush().ok()) {
+          ++failures;
+          continue;
+        }
+        // Even iterations read their replies and part politely; odd ones
+        // slam the connection with both replies unread — an RST teardown
+        // the server must book as a close, not an I/O error.
+        if (i % 2 == 0) {
+          if (!client->ReadArtifactReply().ok() ||
+              !client->ReadArtifactReply().ok()) {
+            ++failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : drivers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The door still works after the churn.
+  auto survivor = net::Client::Connect("127.0.0.1", port);
+  ASSERT_TRUE(survivor.ok());
+  ASSERT_TRUE(survivor->Hello().ok());
+  survivor->QueuePositionUpdate(9, "survivor", 0.0, SegmentId{5});
+  ASSERT_TRUE(survivor->Flush().ok());
+  EXPECT_TRUE(survivor->ReadArtifactReply().ok());
+
+  // Let the server observe the closes, then stop and balance the books.
+  rig.front->Stop();
+  const auto stats = rig.front->stats();
+  EXPECT_GE(stats.connections_accepted,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(stats.connections_active, 0u);
+  EXPECT_EQ(stats.connections_accepted,
+            stats.connections_closed_peer + stats.connections_dropped_error +
+                stats.connections_dropped_backpressure);
+}
+
+// Stop() with non-empty write queues on every loop: connections flood
+// pipelined updates and never read a reply, so reply bytes pile up in the
+// per-connection write queues (past the soft budget — reads pause) and
+// shutdown has to walk away from queued data on every loop without
+// hanging or leaking.
+TEST(NetServerTest, MultiLoopStopCleanWithQueuedWritesAndPausedReads) {
+  const RoadNetwork net = roadnet::MakeGrid({8, 8, 100.0});
+  const auto ctx = core::MapContext::Create(net);
+  core::Anonymizer engine(ctx, OnePerSegment(net));
+  server::ServerOptions server_options;
+  server_options.num_workers = 2;
+  AnonymizationServer server(std::move(engine), server_options);
+  ContinuousSessionPool pool(server);
+  net::NetServerOptions options;
+  options.poll_timeout_ms = 5;
+  options.loop_threads = 4;
+  // A tiny soft budget so the first blocked flush pauses reading; a hard
+  // cap high enough that nothing is dropped — the queues must still be
+  // there when Stop() runs. The pinned SO_SNDBUF turns off kernel sndbuf
+  // autotuning, so the flood actually backs up into the server's write
+  // queues instead of megabytes of kernel buffer.
+  options.limits.write_soft_budget = 1024;
+  options.limits.write_hard_cap = 64u << 20;
+  options.limits.send_buffer_bytes = 16 << 10;
+  net::NetServer front(pool, options);
+  ASSERT_TRUE(front.Start().ok());
+
+  constexpr int kConns = 3;
+  constexpr int kUpdatesPerConn = 3000;
+  std::vector<net::Client> clients;
+  for (int c = 0; c < kConns; ++c) {
+    auto client = net::Client::Connect("127.0.0.1", front.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->Hello().ok());
+    clients.push_back(std::move(client).value());
+  }
+  // One flush per connection, nobody ever reads a reply: the server's
+  // reply stream overruns the peer's receive window and the write queues
+  // grow past the soft budget.
+  for (int c = 0; c < kConns; ++c) {
+    for (int i = 0; i < kUpdatesPerConn; ++i) {
+      clients[static_cast<std::size_t>(c)].QueuePositionUpdate(
+          static_cast<std::uint32_t>(i + 1),
+          "flood" + std::to_string(c) + "_" + std::to_string(i % 4),
+          static_cast<double>(i),
+          SegmentId{static_cast<std::uint32_t>(i) %
+                    static_cast<std::uint32_t>(net.segment_count())});
+    }
+    ASSERT_TRUE(clients[static_cast<std::size_t>(c)].Flush().ok());
+  }
+  // Wait until every update is decoded and at least one read has paused —
+  // proof the queues really are non-empty and backpressure engaged.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto stats = front.stats();
+    if (stats.updates_decoded >=
+            static_cast<std::uint64_t>(kConns) * kUpdatesPerConn &&
+        stats.reads_paused >= 1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const auto before = front.stats();
+  EXPECT_GE(before.reads_paused, 1u);
+  EXPECT_EQ(before.connections_dropped_backpressure, 0u);
+
+  // The actual pin: Stop() returns promptly with all that data queued.
+  const auto stop_started = std::chrono::steady_clock::now();
+  front.Stop();
+  const auto stop_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - stop_started)
+                           .count();
+  EXPECT_LT(stop_ms, 5000.0);
+  EXPECT_EQ(front.stats().connections_active, 0u);
 }
 
 // ------------------------------------------------------------ auth (v2)
